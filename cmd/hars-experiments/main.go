@@ -1,0 +1,76 @@
+// Command hars-experiments regenerates the tables and figures of the
+// paper's evaluation chapter on the simulated platform.
+//
+// Usage:
+//
+//	hars-experiments [-exp all|fig5.1|fig5.2|fig5.3|fig5.4|fig5.5|fig5.6|fig5.7|table3.1|table4.3|power] [-scale quick|full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to regenerate (all, fig5.1, fig5.2, fig5.3, fig5.4, fig5.5, fig5.6, fig5.7, table3.1, table4.3, power, ablation, extended)")
+	scale := flag.String("scale", "full", "experiment scale: quick or full")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick()
+	case "full":
+		sc = experiments.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	fmt.Printf("building environment (power profiling & model fit, scale=%s)...\n", *scale)
+	env, err := experiments.NewEnv(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	drivers := []struct {
+		name string
+		run  func(*experiments.Env) *experiments.Report
+	}{
+		{"table3.1", experiments.Table31},
+		{"table4.3", experiments.Table43},
+		{"power", experiments.PowerProfile},
+		{"fig5.1", experiments.Fig51},
+		{"fig5.2", experiments.Fig52},
+		{"fig5.3", experiments.Fig53},
+		{"fig5.4", experiments.Fig54},
+		{"fig5.5", experiments.Fig55},
+		{"fig5.6", experiments.Fig56},
+		{"fig5.7", experiments.Fig57},
+		{"ablation", experiments.Ablations},
+		{"extended", experiments.ExtendedSuite},
+	}
+	ran := 0
+	for _, d := range drivers {
+		if *exp != "all" && *exp != d.name {
+			continue
+		}
+		t0 := time.Now()
+		rep := d.run(env)
+		fmt.Println()
+		fmt.Print(rep.String())
+		fmt.Printf("(%s regenerated in %.1fs)\n", d.name, time.Since(t0).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("\ntotal wall time: %.1fs\n", time.Since(start).Seconds())
+}

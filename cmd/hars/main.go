@@ -1,0 +1,89 @@
+// Command hars runs one benchmark under one version of the runtime
+// (baseline, static optimal, or a HARS variant) and reports the measured
+// heartbeat rate, normalized performance, power, and efficiency.
+//
+// Usage:
+//
+//	hars -bench BO -version hars-ei -target 0.5 [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/heartbeat"
+	"repro/internal/workload"
+)
+
+func main() {
+	benchName := flag.String("bench", "BO", "benchmark short tag: "+strings.Join(workload.Shorts(), ", "))
+	version := flag.String("version", "hars-ei", "version: baseline, so, hars-i, hars-e, hars-ei")
+	target := flag.Float64("target", 0.5, "target fraction of the maximum achievable rate")
+	scale := flag.String("scale", "quick", "experiment scale: quick or full")
+	trace := flag.Bool("trace", false, "print the adaptation decisions (HARS versions only)")
+	flag.Parse()
+
+	bench, ok := workload.ByShort(strings.ToUpper(*benchName))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (want one of %s)\n", *benchName, strings.Join(workload.Shorts(), ", "))
+		os.Exit(2)
+	}
+	sc := experiments.Quick()
+	if *scale == "full" {
+		sc = experiments.Full()
+	}
+	env, err := experiments.NewEnv(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	maxRate := env.MaxRate(bench)
+	tgt := env.Target(bench, *target)
+	fmt.Printf("%s: max achievable rate %.3f hb/s, target %.3f (%.3f..%.3f)\n",
+		bench.Name, maxRate, tgt.Avg, tgt.Min, tgt.Max)
+
+	var res experiments.RunResult
+	switch strings.ToLower(*version) {
+	case "baseline":
+		res = env.RunBaseline(bench, tgt)
+	case "so":
+		res = env.RunStaticOptimal(bench, tgt)
+	case "hars-i":
+		res = runHARS(env, bench, tgt, core.HARSI, *trace)
+	case "hars-e":
+		res = runHARS(env, bench, tgt, core.HARSE, *trace)
+	case "hars-ei":
+		res = runHARS(env, bench, tgt, core.HARSEI, *trace)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown version %q\n", *version)
+		os.Exit(2)
+	}
+
+	fmt.Printf("version:        %s\n", *version)
+	fmt.Printf("measured rate:  %.3f hb/s\n", res.Rate)
+	fmt.Printf("norm perf:      %.3f\n", res.NormPerf)
+	fmt.Printf("avg power:      %.3f W\n", res.PowerW)
+	fmt.Printf("perf/watt:      %.4f\n", res.PP)
+	fmt.Printf("final state:    %s\n", res.State.Pretty(env.Plat))
+	if res.OverheadUtil > 0 {
+		fmt.Printf("manager util:   %.3f%%\n", res.OverheadUtil*100)
+	}
+}
+
+func runHARS(env *experiments.Env, bench workload.Benchmark, tgt heartbeat.Target, v core.Version, trace bool) experiments.RunResult {
+	cfg := core.Config{Version: v}
+	if !trace {
+		return env.RunHARS(bench, tgt, cfg)
+	}
+	res, decisions := env.RunHARSTraced(bench, tgt, cfg)
+	for _, d := range decisions {
+		fmt.Printf("t=%7.1fs hb=%4d rate=%6.3f %s -> %s (explored %d)\n",
+			float64(d.Time)/1e6, d.HBIndex, d.Rate,
+			d.From.Pretty(env.Plat), d.To.Pretty(env.Plat), d.Explored)
+	}
+	return res
+}

@@ -1,0 +1,86 @@
+// Command mphars runs a pair of benchmarks concurrently under a
+// multi-application version (baseline, CONS-I, MP-HARS-I, MP-HARS-E) and
+// reports per-application performance, total power, the case efficiency,
+// and optionally the per-heartbeat behaviour trace (the raw data of the
+// paper's Figures 5.5–5.7).
+//
+// Usage:
+//
+//	mphars -apps BO,FL -version mp-hars-e -target 0.5 [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	apps := flag.String("apps", "BO,FL", "two benchmark short tags, comma-separated")
+	version := flag.String("version", "mp-hars-e", "version: baseline, cons-i, mp-hars-i, mp-hars-e")
+	target := flag.Float64("target", 0.5, "per-app target fraction of solo maximum")
+	scale := flag.String("scale", "quick", "experiment scale: quick or full")
+	trace := flag.Bool("trace", false, "dump the behaviour trace as CSV")
+	flag.Parse()
+
+	parts := strings.Split(strings.ToUpper(*apps), ",")
+	if len(parts) != 2 {
+		fmt.Fprintln(os.Stderr, "-apps wants exactly two tags, e.g. BO,FL")
+		os.Exit(2)
+	}
+	var caseNames [2]string
+	for i, p := range parts {
+		if _, ok := workload.ByShort(p); !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q (want one of %s)\n", p, strings.Join(workload.Shorts(), ", "))
+			os.Exit(2)
+		}
+		caseNames[i] = p
+	}
+	versions := map[string]string{
+		"baseline": "Baseline", "cons-i": "CONS-I",
+		"mp-hars-i": "MP-HARS-I", "mp-hars-e": "MP-HARS-E",
+	}
+	v, ok := versions[strings.ToLower(*version)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown version %q\n", *version)
+		os.Exit(2)
+	}
+
+	sc := experiments.Quick()
+	if *scale == "full" {
+		sc = experiments.Full()
+	}
+	env, err := experiments.NewEnv(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	run := env.RunMultiApp(caseNames, v, *target)
+
+	fmt.Printf("case %s+%s under %s\n", caseNames[0], caseNames[1], v)
+	for i, r := range run.PerApp {
+		b, _ := workload.ByShort(caseNames[i])
+		tgt := env.Target(b, *target)
+		fmt.Printf("  %-3s rate=%.3f hb/s target=%.3f norm=%.3f\n",
+			caseNames[i], r.Rate, tgt.Avg, r.NormPerf)
+	}
+	fmt.Printf("  total power:     %.3f W\n", run.PowerW)
+	fmt.Printf("  case efficiency: %.4f (geomean norm perf per watt)\n", run.Eff)
+
+	if *trace {
+		for i := range run.Traces {
+			if len(run.Traces[i]) == 0 {
+				continue
+			}
+			fmt.Printf("\n# %s trace (hb_index,hps,b_core,l_core,b_ghz,l_ghz)\n", caseNames[i])
+			for _, tp := range run.Traces[i] {
+				fmt.Printf("%d,%.3f,%d,%d,%.1f,%.1f\n",
+					tp.HBIndex, tp.HPS, tp.BigCores, tp.LittleCores, tp.BigGHz, tp.LittleGHz)
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command powerprof runs the paper's power-model calibration (§5.1.1): it
+// sweeps the profiling microbenchmark over (cores × frequency × utilization)
+// on the simulated board, fits the per-cluster per-frequency linear models
+// P = α·(C_U·U_U) + β, and prints the coefficients, the goodness of fit,
+// and optionally the raw profile points as CSV.
+//
+// Usage:
+//
+//	powerprof [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hmp"
+	"repro/internal/power"
+	"repro/internal/stats"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "also dump the raw profile points as CSV")
+	out := flag.String("o", "", "write the fitted model as JSON to this file")
+	flag.Parse()
+
+	plat := hmp.Default()
+	gt := power.DefaultGroundTruth(plat)
+	points := power.RunProfile(plat, gt, power.ProfileConfig{})
+	model, err := power.FitLinearModel(plat, points)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	tb := stats.Table{
+		Title:  "Fitted power models: P = alpha*(C_U*U_U) + beta",
+		Header: []string{"cluster", "freq (GHz)", "alpha (W)", "beta (W)", "R^2"},
+	}
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		spec := &plat.Clusters[k]
+		for lv := 0; lv < spec.Levels(); lv++ {
+			tb.AddRow(k.String(),
+				stats.F(float64(spec.KHz(lv))/1e6, 1),
+				stats.F(model.Alpha[k][lv], 3),
+				stats.F(model.Beta[k][lv], 3),
+				stats.F(model.R2[k][lv], 4))
+		}
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("profiled %d configurations\n", len(points))
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := model.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("model written to %s\n", *out)
+	}
+
+	if *csv {
+		fmt.Println("\ncluster,freq_khz,cores,util,watts")
+		for _, p := range points {
+			fmt.Printf("%s,%d,%d,%.2f,%.4f\n",
+				p.Cluster, plat.Clusters[p.Cluster].KHz(p.Level), p.Cores, p.Util, p.Watts)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Package repro is a from-scratch Go reproduction of "HARS: a
+// Heterogeneity-Aware Runtime System for Self-Adaptive Multithreaded
+// Applications" (Jaeyoung Yun, UNIST / DAC 2015).
+//
+// The library implements the full system stack the paper describes: a
+// simulated ODROID-XU3-class big.LITTLE platform with per-cluster DVFS and
+// power sensing (internal/hmp, internal/sim, internal/power), the Linux HMP
+// Global Task Scheduler model (internal/gts), the Application Heartbeats
+// framework (internal/heartbeat), PARSEC-like multithreaded workload models
+// (internal/workload), the HARS runtime — performance estimator, power
+// estimator, runtime manager, chunk-based and interleaving schedulers
+// (internal/core) — the MP-HARS multi-application extension with resource
+// partitioning and interference-aware adaptation (internal/mphars), the
+// static-optimal and CONS-I baselines (internal/oracle, internal/mphars),
+// and drivers regenerating every table and figure of the paper's evaluation
+// (internal/experiments).
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// substitution rationale, and EXPERIMENTS.md for the paper-versus-measured
+// record. The benchmarks in bench_test.go regenerate each experiment:
+//
+//	go test -bench=Fig51 -benchmem
+package repro

@@ -1,0 +1,121 @@
+// Live service control: the HARS control loop on a *real* Go worker pool,
+// no simulator involved. A two-tier image-thumbnail service has heavyweight
+// workers (full-quality pipeline) and lightweight workers (fast pipeline);
+// the live controller holds a jobs-per-second target while minimizing a
+// per-worker cost, actuating pool sizes and per-tier throttles exactly the
+// way HARS actuates cores and DVFS.
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/heartbeat"
+	"repro/internal/hmp"
+	"repro/internal/live"
+	"repro/internal/power"
+)
+
+// pool is a resizable two-tier worker pool. Each worker "processes a job"
+// (a sleep whose length depends on tier and throttle) and beats.
+type pool struct {
+	ctrl   *live.Controller
+	mu     sync.Mutex
+	cancel []context.CancelFunc // one per running worker
+	jobs   atomic.Int64
+}
+
+// apply resizes the pool to match the configuration: BigCores heavy
+// workers at BigLevel throttle, LittleCores light workers at LittleLevel.
+func (p *pool) apply(space *hmp.Platform, st hmp.State) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.cancel {
+		c()
+	}
+	p.cancel = nil
+	start := func(jobTime time.Duration) {
+		ctx, cancel := context.WithCancel(context.Background())
+		p.cancel = append(p.cancel, cancel)
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(jobTime):
+					p.jobs.Add(1)
+					p.ctrl.Beat()
+				}
+			}
+		}()
+	}
+	// Heavy workers are 1.5× faster per throttle step; throttle scales the
+	// per-job time as frequency scales core speed.
+	for i := 0; i < st.BigCores; i++ {
+		base := 12 * time.Millisecond
+		start(time.Duration(float64(base) / (1.5 * space.FreqScale(hmp.Big, st.BigLevel))))
+	}
+	for i := 0; i < st.LittleCores; i++ {
+		base := 12 * time.Millisecond
+		start(time.Duration(float64(base) / space.FreqScale(hmp.Little, st.LittleLevel)))
+	}
+}
+
+func main() {
+	space := hmp.Default() // 4 heavy + 4 light worker slots, throttle grids
+
+	// Hand-written cost model: a heavy worker costs 4× a light one, and
+	// cost grows quadratically with throttle (like dynamic power).
+	cost := &power.LinearModel{}
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		n := space.Clusters[k].Levels()
+		cost.Alpha[k] = make([]float64, n)
+		cost.Beta[k] = make([]float64, n)
+		cost.R2[k] = make([]float64, n)
+		tier := 1.0
+		if k == hmp.Big {
+			tier = 4.0
+		}
+		for lv := 0; lv < n; lv++ {
+			s := space.FreqScale(k, lv)
+			cost.Alpha[k][lv] = tier * s * s
+			cost.Beta[k][lv] = 0.1 * tier
+		}
+	}
+
+	p := &pool{}
+	target := heartbeat.Target{Min: 320, Avg: 350, Max: 380} // jobs/s
+	ctrl, err := live.NewController(live.Config{
+		Space:      space,
+		Cost:       cost,
+		Target:     target,
+		Units:      8,
+		AdaptEvery: 150,
+		Window:     200,
+	}, live.ActuatorFunc(func(st hmp.State) { p.apply(space, st) }))
+	if err != nil {
+		panic(err)
+	}
+	p.ctrl = ctrl
+	ctrl.OnDecision = func(from, to hmp.State, rate float64) {
+		fmt.Printf("  adapt: %s -> %s (measured %.0f jobs/s)\n", from, to, rate)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ctrl.Run(ctx, 50*time.Millisecond)
+
+	fmt.Printf("target: %.0f jobs/s (band %.0f..%.0f); starting at max configuration\n",
+		target.Avg, target.Min, target.Max)
+	for i := 0; i < 6; i++ {
+		time.Sleep(1 * time.Second)
+		st := ctrl.State()
+		fmt.Printf("t=%ds rate=%4.0f jobs/s config=%d heavy@L%d + %d light@L%d\n",
+			i+1, ctrl.Rate(), st.BigCores, st.BigLevel, st.LittleCores, st.LittleLevel)
+	}
+	fmt.Printf("\nprocessed %d jobs; %d adaptation searches\n", p.jobs.Load(), ctrl.Searches())
+	p.apply(space, hmp.State{}) // stop workers
+}

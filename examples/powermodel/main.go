@@ -1,0 +1,57 @@
+// Power-model calibration: run the paper's profiling microbenchmark sweep
+// against the simulated board, fit the per-cluster per-frequency linear
+// models P = α·(C_U·U_U) + β, and check the fit against ground truth at
+// configurations the profiler never visited.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/hmp"
+	"repro/internal/power"
+)
+
+func main() {
+	plat := hmp.Default()
+	board := power.DefaultGroundTruth(plat)
+
+	points := power.RunProfile(plat, board, power.ProfileConfig{})
+	fmt.Printf("profiled %d (cluster, freq, cores, util) configurations\n", len(points))
+
+	model, err := power.FitLinearModel(plat, points)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ncluster  freq    alpha    beta     R²")
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		spec := &plat.Clusters[k]
+		for lv := 0; lv < spec.Levels(); lv++ {
+			fmt.Printf("%-7s  %.1fGHz  %6.3f  %6.3f  %.4f\n",
+				k, float64(spec.KHz(lv))/1e6,
+				model.Alpha[k][lv], model.Beta[k][lv], model.R2[k][lv])
+		}
+	}
+
+	// Cross-validate on off-grid utilizations.
+	fmt.Println("\ncross-validation at util=0.6 (unseen by the profiler):")
+	worst := 0.0
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		lv := plat.Clusters[k].MaxLevel() / 2
+		for cores := 1; cores <= 4; cores++ {
+			busy := make([]float64, plat.Clusters[k].Cores)
+			for i := 0; i < cores; i++ {
+				busy[i] = 0.6
+			}
+			truth := board.ClusterPower(k, lv, busy)
+			est := model.Estimate(k, lv, cores, 0.6)
+			rel := math.Abs(est-truth) / truth * 100
+			worst = math.Max(worst, rel)
+			fmt.Printf("  %-7s %d cores: truth %5.2f W, estimate %5.2f W (%.1f%% off)\n",
+				k, cores, truth, est, rel)
+		}
+	}
+	fmt.Printf("worst relative error: %.1f%%\n", worst)
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/heartbeat"
+	"repro/internal/hmp"
+	"repro/internal/power"
+)
+
+// PerfEval is the performance estimator's evaluation of one system state.
+type PerfEval struct {
+	Assignment
+	TB, TL     float64 // t_B and t_L (time to finish one unit of total work)
+	TF         float64 // t_f = max(t_B, t_L)
+	Throughput float64 // 1/t_f, in units of work per second (relative scale)
+	UB, UL     float64 // estimated utilization of the used cores per cluster
+}
+
+// PerfEstimator is HARS's performance estimator (§3.1.1): performance is
+// assumed proportional to core count and frequency level with the
+// platform's nominal big/little ratio (r0 scaled by the cluster
+// frequencies), and the thread assignment of Table 3.1 is assumed.
+type PerfEstimator struct {
+	Plat *hmp.Platform
+	T    int // total threads of the target application
+
+	// R0 overrides the platform's nominal big/little performance ratio
+	// when positive. The online ratio learner (ratio.go) installs its
+	// estimate here; zero keeps the paper's fixed r0.
+	R0 float64
+}
+
+// Ratio returns the big/little performance ratio in effect.
+func (e *PerfEstimator) Ratio() float64 {
+	if e.R0 > 0 {
+		return e.R0
+	}
+	return e.Plat.R0()
+}
+
+// Evaluate computes the Table 3.1 assignment and timing for a state.
+func (e *PerfEstimator) Evaluate(st hmp.State) PerfEval {
+	lilIPC := e.Plat.Clusters[hmp.Little].IPC
+	sb := e.Ratio() * lilIPC * e.Plat.FreqScale(hmp.Big, st.BigLevel)
+	sl := lilIPC * e.Plat.FreqScale(hmp.Little, st.LittleLevel)
+	r := sb / sl
+	a := Assign(e.T, st.BigCores, st.LittleCores, r)
+	tb, tl, tf := a.CompletionTime(e.T, sb, sl)
+	ev := PerfEval{Assignment: a, TB: tb, TL: tl, TF: tf}
+	if tf > 0 && !math.IsInf(tf, 1) {
+		ev.Throughput = 1 / tf
+		ev.UB = tb / tf
+		ev.UL = tl / tf
+	}
+	return ev
+}
+
+// EstimateRate predicts the heartbeat rate in a candidate state given the
+// observed rate in the current state, using the paper's simple workload
+// model: the amount of work per heartbeat stays what it was in the last
+// period, so the rate scales with estimated throughput.
+func (e *PerfEstimator) EstimateRate(cur hmp.State, curRate float64, cand hmp.State) float64 {
+	curEv := e.Evaluate(cur)
+	candEv := e.Evaluate(cand)
+	if curEv.Throughput <= 0 {
+		return 0
+	}
+	return curRate * candEv.Throughput / curEv.Throughput
+}
+
+// PowerEstimator is HARS's power estimator (§3.1.2): the fitted per-cluster
+// linear models applied to the estimated used cores and utilizations.
+type PowerEstimator struct {
+	Model *power.LinearModel
+}
+
+// Estimate returns the estimated watts for a state whose performance
+// evaluation is ev.
+func (pe *PowerEstimator) Estimate(st hmp.State, ev PerfEval) float64 {
+	return pe.Model.Estimate(hmp.Big, st.BigLevel, ev.CBU, ev.UB) +
+		pe.Model.Estimate(hmp.Little, st.LittleLevel, ev.CLU, ev.UL)
+}
+
+// Estimators bundles the two estimators the runtime manager consults.
+type Estimators struct {
+	Perf  *PerfEstimator
+	Power *PowerEstimator
+}
+
+// NewEstimators builds estimators for an application with T threads on the
+// platform, using the fitted power model.
+func NewEstimators(plat *hmp.Platform, threads int, model *power.LinearModel) Estimators {
+	return Estimators{
+		Perf:  &PerfEstimator{Plat: plat, T: threads},
+		Power: &PowerEstimator{Model: model},
+	}
+}
+
+// Score evaluates one candidate state: estimated rate, estimated power, and
+// normalized performance per watt.
+func (e Estimators) Score(cur hmp.State, curRate float64, cand hmp.State, tgt heartbeat.Target) (rate, watts, pp float64) {
+	rate = e.Perf.EstimateRate(cur, curRate, cand)
+	ev := e.Perf.Evaluate(cand)
+	watts = e.Power.Estimate(cand, ev)
+	if watts <= 0 {
+		watts = 1e-9
+	}
+	pp = heartbeat.NormalizedPerf(tgt, rate) / watts
+	return rate, watts, pp
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"repro/internal/heartbeat"
+	"repro/internal/hmp"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Version selects one of the paper's HARS variants.
+type Version int
+
+// The evaluated HARS versions.
+const (
+	// HARSI is the incremental search version: m = 1, n = 0, d = 1 when the
+	// application overperforms, m = 0, n = 1, d = 1 when it underperforms.
+	HARSI Version = iota
+	// HARSE is the exhaustive search version (m = n = 4, d = 7) with the
+	// chunk-based scheduler.
+	HARSE
+	// HARSEI is HARS-E with the interleaving scheduler.
+	HARSEI
+)
+
+// String names the version as in the paper's figures.
+func (v Version) String() string {
+	switch v {
+	case HARSI:
+		return "HARS-I"
+	case HARSE:
+		return "HARS-E"
+	case HARSEI:
+		return "HARS-EI"
+	}
+	return "HARS-?"
+}
+
+// Config tunes the runtime manager.
+type Config struct {
+	Version Version
+
+	// AdaptEvery is the adaptation period in heartbeats (isAdaptPeriod of
+	// Algorithm 1). Default 10.
+	AdaptEvery int64
+
+	// Params overrides the search parameters; zero means "use the
+	// version's defaults". Figure 5.3 sweeps D with M = N = 4.
+	Params SearchParams
+
+	// Scheduler overrides the version's thread scheduler when non-nil.
+	Scheduler *SchedulerKind
+
+	// InitState is the state the manager starts from; zero means the
+	// platform maximum (the baseline state).
+	InitState *hmp.State
+
+	// Overhead model: the CPU time the user-level runtime burns, charged
+	// against OverheadCPU. PerCandidate is per explored state in a search,
+	// PerSearch per search invocation, PollPerTick per simulator tick for
+	// the heartbeat-polling loop.
+	PerCandidate sim.Time
+	PerSearch    sim.Time
+	PollPerTick  sim.Time
+	OverheadCPU  int
+
+	// The §3.1.4 extensions, all disabled by default (paper behaviour):
+
+	// Predictor replaces the naive "same workload as last period" model
+	// with a smarter workload predictor (e.g. &KalmanPredictor{}).
+	Predictor WorkloadPredictor
+
+	// LearnRatio enables online estimation of the application's true
+	// big/little performance ratio, replacing the fixed r0.
+	LearnRatio bool
+
+	// SearchFn replaces Algorithm 2 with an alternative search (e.g.
+	// NewTabuSearch(8)); nil keeps the paper's Search.
+	SearchFn SearchFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.AdaptEvery <= 0 {
+		c.AdaptEvery = 10
+	}
+	if c.PerCandidate <= 0 {
+		c.PerCandidate = 150 * sim.Microsecond
+	}
+	if c.PerSearch <= 0 {
+		c.PerSearch = 500 * sim.Microsecond
+	}
+	if c.PollPerTick <= 0 {
+		c.PollPerTick = 2 * sim.Microsecond
+	}
+	return c
+}
+
+// params returns the search parameters for this adaptation, following the
+// paper's per-version rules.
+func (c Config) params(overperforming bool) SearchParams {
+	if c.Params != (SearchParams{}) {
+		return c.Params
+	}
+	switch c.Version {
+	case HARSI:
+		if overperforming {
+			return SearchParams{M: 1, N: 0, D: 1}
+		}
+		return SearchParams{M: 0, N: 1, D: 1}
+	default: // HARSE, HARSEI
+		return SearchParams{M: 4, N: 4, D: 7}
+	}
+}
+
+// scheduler returns the thread scheduler for the configured version.
+func (c Config) scheduler() SchedulerKind {
+	if c.Scheduler != nil {
+		return *c.Scheduler
+	}
+	if c.Version == HARSEI {
+		return Interleaved
+	}
+	return Chunk
+}
+
+// Decision records one adaptation for tracing (behaviour graphs).
+type Decision struct {
+	Time     sim.Time
+	HBIndex  int64
+	Rate     float64
+	From, To hmp.State
+	Explored int
+}
+
+// Manager is HARS's runtime manager (Algorithm 1), run as a machine daemon.
+// It owns the whole machine: single-application HARS assumes the target
+// self-adaptive application is the only managed workload.
+type Manager struct {
+	cfg     Config
+	proc    *sim.Process
+	est     Estimators
+	target  heartbeat.Target
+	state   hmp.State
+	applied Assignment // the thread assignment currently in force
+	learner *RatioLearner
+
+	lastSeen      int64
+	lastAdapt     int64
+	decisions     []Decision
+	exploredTotal int
+	searches      int
+
+	// OnDecision, when set, observes every adaptation (for behaviour
+	// graphs).
+	OnDecision func(Decision)
+}
+
+// NewManager attaches a HARS runtime manager to a process: it applies the
+// initial system state and thread schedule immediately (Algorithm 1 lines
+// 2–3) and adapts on heartbeats once registered as a daemon.
+func NewManager(m *sim.Machine, proc *sim.Process, model *power.LinearModel, target heartbeat.Target, cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	mgr := &Manager{
+		cfg:    cfg,
+		proc:   proc,
+		est:    NewEstimators(m.Platform(), len(proc.Threads), model),
+		target: target,
+	}
+	if cfg.LearnRatio {
+		mgr.learner = NewRatioLearner(m.Platform(), len(proc.Threads))
+	}
+	st := hmp.MaxState(m.Platform())
+	if cfg.InitState != nil {
+		st = *cfg.InitState
+	}
+	mgr.state = st
+	mgr.apply(m, st)
+	proc.HB.SetTarget(target)
+	return mgr
+}
+
+// State returns the manager's current system state.
+func (mgr *Manager) State() hmp.State { return mgr.state }
+
+// Target returns the manager's performance target.
+func (mgr *Manager) Target() heartbeat.Target { return mgr.target }
+
+// Decisions returns the adaptation trace.
+func (mgr *Manager) Decisions() []Decision { return mgr.decisions }
+
+// Searches returns how many times the search function ran.
+func (mgr *Manager) Searches() int { return mgr.searches }
+
+// ExploredTotal returns the total number of candidate states evaluated.
+func (mgr *Manager) ExploredTotal() int { return mgr.exploredTotal }
+
+// LearnedRatio returns the online big/little ratio estimate (0 when ratio
+// learning is disabled).
+func (mgr *Manager) LearnedRatio() float64 {
+	if mgr.learner == nil {
+		return 0
+	}
+	return mgr.learner.Ratio()
+}
+
+// Tick implements sim.Daemon: the main function of Algorithm 1.
+func (mgr *Manager) Tick(m *sim.Machine) {
+	m.ChargeOverhead(mgr.cfg.OverheadCPU, mgr.cfg.PollPerTick)
+	count := mgr.proc.HB.Count()
+	if count == mgr.lastSeen {
+		return
+	}
+	mgr.lastSeen = count
+	rec, ok := mgr.proc.HB.Latest()
+	if !ok {
+		return
+	}
+	rate := rec.WindowRate
+	// Online extensions observe every heartbeat (no-ops in the paper's
+	// default configuration).
+	if mgr.learner != nil {
+		mgr.learner.Observe(mgr.state, mgr.applied, rate)
+		mgr.est.Perf.R0 = mgr.learner.Ratio()
+	}
+	baseRate := rate
+	if mgr.cfg.Predictor != nil {
+		if tput := mgr.est.Perf.Evaluate(mgr.state).Throughput; tput > 0 && rate > 0 {
+			mgr.cfg.Predictor.Observe(tput / rate)
+			if w := mgr.cfg.Predictor.Predict(); w > 0 {
+				baseRate = tput / w
+			}
+		}
+	}
+	// isAdaptPeriod: one adaptation opportunity every AdaptEvery beats.
+	if rec.Index < mgr.lastAdapt+mgr.cfg.AdaptEvery {
+		return
+	}
+	if !heartbeat.OutsideBand(mgr.target, rate) {
+		return
+	}
+	mgr.lastAdapt = rec.Index
+	over := rate > mgr.target.Avg
+	prm := mgr.cfg.params(over)
+	searchFn := mgr.cfg.SearchFn
+	if searchFn == nil {
+		searchFn = Search
+	}
+	res := searchFn(mgr.est, mgr.state, baseRate, mgr.target, prm, Unbounded(m.Platform()))
+	mgr.searches++
+	mgr.exploredTotal += res.Explored
+	m.ChargeOverhead(mgr.cfg.OverheadCPU,
+		mgr.cfg.PerSearch+sim.Time(res.Explored)*mgr.cfg.PerCandidate)
+
+	d := Decision{
+		Time:     m.Now(),
+		HBIndex:  rec.Index,
+		Rate:     rate,
+		From:     mgr.state,
+		To:       res.State,
+		Explored: res.Explored,
+	}
+	mgr.decisions = append(mgr.decisions, d)
+	if mgr.OnDecision != nil {
+		mgr.OnDecision(d)
+	}
+	if res.State != mgr.state {
+		mgr.state = res.State
+		mgr.apply(m, res.State)
+	}
+}
+
+// apply is setSysStateAndScheduleThreads: DVFS plus thread scheduling.
+func (mgr *Manager) apply(m *sim.Machine, st hmp.State) {
+	m.SetLevel(hmp.Big, st.BigLevel)
+	m.SetLevel(hmp.Little, st.LittleLevel)
+	ev := mgr.est.Perf.Evaluate(st)
+	mgr.applied = ev.Assignment
+	plat := m.Platform()
+	ApplySchedule(mgr.proc, ev.Assignment, mgr.cfg.scheduler(),
+		DefaultCores(plat, hmp.Big, st.BigCores),
+		DefaultCores(plat, hmp.Little, st.LittleCores))
+}

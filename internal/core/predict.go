@@ -1,0 +1,113 @@
+package core
+
+// This file implements the first extension of the paper's Discussion
+// (§3.1.4): replacing the naive workload prediction — "the amount of total
+// unit of work is the same as the one observed before the heartbeat
+// period" — with a Kalman filter that dynamically predicts the uncertain
+// workload "in a more precise manner using educated guesses", as in
+// Hoffmann et al.'s POET-style controllers [6].
+
+// WorkloadPredictor estimates the application's per-heartbeat workload (in
+// estimated-throughput units per beat) from noisy observations. The runtime
+// manager divides the current state's estimated throughput by the predicted
+// workload to obtain the base rate its search extrapolates from.
+type WorkloadPredictor interface {
+	// Observe feeds one workload measurement.
+	Observe(workload float64)
+	// Predict returns the workload expected over the next period. Before
+	// any observation it returns 0, meaning "no prediction".
+	Predict() float64
+	// Reset clears all state.
+	Reset()
+}
+
+// LastValuePredictor is the paper's default model: the next period's
+// workload equals the last observed one.
+type LastValuePredictor struct {
+	last float64
+	seen bool
+}
+
+// Observe implements WorkloadPredictor.
+func (p *LastValuePredictor) Observe(w float64) {
+	p.last = w
+	p.seen = true
+}
+
+// Predict implements WorkloadPredictor.
+func (p *LastValuePredictor) Predict() float64 {
+	if !p.seen {
+		return 0
+	}
+	return p.last
+}
+
+// Reset implements WorkloadPredictor.
+func (p *LastValuePredictor) Reset() { *p = LastValuePredictor{} }
+
+// KalmanPredictor is a scalar Kalman filter over the workload signal with a
+// random-walk process model:
+//
+//	x_{t+1} = x_t + w,  w ~ N(0, Q)       (workload drifts slowly)
+//	z_t     = x_t + v,  v ~ N(0, R)       (rates are noisy measurements)
+//
+// Q/R trades responsiveness against smoothing: larger Q tracks phase
+// changes faster, larger R suppresses heartbeat jitter.
+type KalmanPredictor struct {
+	// Q is the process-noise variance; R the measurement-noise variance.
+	// Zero values select defaults (Q = 1e-4, R = 1e-2, relative to the
+	// first observation's magnitude).
+	Q, R float64
+
+	x      float64 // state estimate
+	p      float64 // estimate covariance
+	scale  float64 // magnitude normalization from the first observation
+	primed bool
+}
+
+func (k *KalmanPredictor) params() (q, r float64) {
+	q, r = k.Q, k.R
+	if q <= 0 {
+		q = 1e-4
+	}
+	if r <= 0 {
+		r = 1e-2
+	}
+	return q, r
+}
+
+// Observe implements WorkloadPredictor.
+func (k *KalmanPredictor) Observe(z float64) {
+	if !k.primed {
+		k.x = z
+		k.scale = z
+		if k.scale == 0 {
+			k.scale = 1
+		}
+		k.p = 1
+		k.primed = true
+		return
+	}
+	q, r := k.params()
+	// Normalize noise magnitudes to the signal scale so defaults behave
+	// across workloads of very different sizes.
+	q *= k.scale * k.scale
+	r *= k.scale * k.scale
+	// Time update (random walk): x stays, covariance grows.
+	k.p += q
+	// Measurement update.
+	gain := k.p / (k.p + r)
+	k.x += gain * (z - k.x)
+	k.p *= 1 - gain
+}
+
+// Predict implements WorkloadPredictor.
+func (k *KalmanPredictor) Predict() float64 {
+	if !k.primed {
+		return 0
+	}
+	return k.x
+}
+
+// Reset implements WorkloadPredictor.
+func (k *KalmanPredictor) Reset() { *k = KalmanPredictor{Q: k.Q, R: k.R} }

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/hmp"
+)
+
+// This file implements the paper's planned extension of updating the
+// big/little performance ratio at run time (§5.1.2: "In our future work, we
+// plan for HARS to update the performance ratio in real time"). The
+// evaluation shows why: HARS assumes r0 = 1.5 everywhere, but blackscholes
+// runs equally fast on both clusters (r = 1.0), so the estimator's rate
+// predictions are systematically wrong and HARS settles in a suboptimal
+// state that the static-optimal sweep avoids.
+
+// ratioSample aggregates the observations made under one distinct
+// (state, assignment) operating point: the mean heartbeat rate measured
+// there. Keeping the applied assignment (rather than re-deriving the
+// r-optimal one) is what makes the ratio identifiable: the assignment was
+// chosen under the *old* ratio estimate and may be suboptimal for the true
+// one. Aggregating per operating point keeps the sample window diverse no
+// matter how long the runtime dwells in one state.
+type ratioSample struct {
+	st      hmp.State
+	asg     Assignment
+	sumRate float64
+	n       int
+}
+
+func (s *ratioSample) rate() float64 { return s.sumRate / float64(s.n) }
+
+// RatioLearner estimates an application's true big/little speed ratio from
+// the (state, heartbeat-rate) pairs the runtime observes while adapting. It
+// grid-searches the ratio that makes the Table 3.1 throughput model best
+// explain the observed relative rates between visited states.
+type RatioLearner struct {
+	// Grid bounds and step of the candidate ratio sweep. Zero values select
+	// 0.5 .. 3.0 in steps of 0.05.
+	Min, Max, Step float64
+	// Window is the number of recent samples retained (default 24).
+	Window int
+
+	plat    *hmp.Platform
+	threads int
+	samples []ratioSample
+	ratio   float64
+}
+
+// NewRatioLearner creates a learner for an application with the given
+// thread count, starting from the platform's nominal ratio.
+func NewRatioLearner(plat *hmp.Platform, threads int) *RatioLearner {
+	return &RatioLearner{plat: plat, threads: threads, ratio: plat.R0()}
+}
+
+func (rl *RatioLearner) bounds() (lo, hi, step float64, window int) {
+	lo, hi, step, window = rl.Min, rl.Max, rl.Step, rl.Window
+	if lo <= 0 {
+		lo = 0.5
+	}
+	if hi <= lo {
+		hi = 3.0
+	}
+	if step <= 0 {
+		step = 0.05
+	}
+	if window <= 0 {
+		window = 24
+	}
+	return lo, hi, step, window
+}
+
+// Ratio returns the current estimate of the big/little speed ratio.
+func (rl *RatioLearner) Ratio() float64 { return rl.ratio }
+
+// Samples returns how many observations the learner currently holds.
+func (rl *RatioLearner) Samples() int { return len(rl.samples) }
+
+// Observe feeds one observation — the state and thread assignment in force
+// plus the measured rate — and refits the ratio. Junk rates are ignored.
+// Repeated observations at the same operating point are averaged into one
+// sample, so the window holds up to Window *distinct* operating points.
+func (rl *RatioLearner) Observe(st hmp.State, asg Assignment, rate float64) {
+	if rate <= 0 || math.IsInf(rate, 0) || math.IsNaN(rate) {
+		return
+	}
+	if asg.TB+asg.TL == 0 {
+		return
+	}
+	_, _, _, window := rl.bounds()
+	for i := range rl.samples {
+		if rl.samples[i].st == st && rl.samples[i].asg == asg {
+			rl.samples[i].sumRate += rate
+			rl.samples[i].n++
+			rl.refit()
+			return
+		}
+	}
+	rl.samples = append(rl.samples, ratioSample{st: st, asg: asg, sumRate: rate, n: 1})
+	if len(rl.samples) > window {
+		rl.samples = rl.samples[len(rl.samples)-window:]
+	}
+	rl.refit()
+}
+
+// throughputAt evaluates the completion-time model for the assignment that
+// was actually applied, under a hypothesized big/little ratio r (little IPC
+// normalized to 1).
+func (rl *RatioLearner) throughputAt(s ratioSample, r float64) float64 {
+	sb := r * rl.plat.FreqScale(hmp.Big, s.st.BigLevel)
+	sl := rl.plat.FreqScale(hmp.Little, s.st.LittleLevel)
+	_, _, tf := s.asg.CompletionTime(rl.threads, sb, sl)
+	if tf <= 0 || math.IsInf(tf, 1) {
+		return 0
+	}
+	return 1 / tf
+}
+
+// refit grid-searches the ratio minimizing the squared error of predicted
+// log-rate offsets: under the right r, rate_i / throughput_r(st_i) is the
+// same constant (the workload) for every sample.
+func (rl *RatioLearner) refit() {
+	// Two diverse operating points are the identifiability minimum (two
+	// equations for the two unknowns: ratio and per-beat workload).
+	if len(rl.samples) < 2 || !rl.samplesDiverse() {
+		return
+	}
+	lo, hi, step, _ := rl.bounds()
+	bestR, bestErr := rl.ratio, math.Inf(1)
+	for r := lo; r <= hi+1e-9; r += step {
+		var logs []float64
+		ok := true
+		for _, s := range rl.samples {
+			tp := rl.throughputAt(s, r)
+			if tp <= 0 {
+				ok = false
+				break
+			}
+			logs = append(logs, math.Log(s.rate()/tp))
+		}
+		if !ok {
+			continue
+		}
+		mean := 0.0
+		for _, l := range logs {
+			mean += l
+		}
+		mean /= float64(len(logs))
+		sse := 0.0
+		for _, l := range logs {
+			d := l - mean
+			sse += d * d
+		}
+		if sse < bestErr {
+			bestErr = sse
+			bestR = r
+		}
+	}
+	rl.ratio = bestR
+}
+
+// samplesDiverse reports whether the retained samples span assignments with
+// different big-cluster involvement; identical placements can't identify r.
+func (rl *RatioLearner) samplesDiverse() bool {
+	firstShare := bigShare(rl.samples[0])
+	for _, s := range rl.samples[1:] {
+		if math.Abs(bigShare(s)-firstShare) > 0.05 {
+			return true
+		}
+	}
+	return false
+}
+
+// bigShare is a scalar proxy for how big-heavy an observation is.
+func bigShare(s ratioSample) float64 {
+	total := s.asg.TB + s.asg.TL
+	if total == 0 {
+		return 0
+	}
+	return float64(s.asg.TB*(s.st.BigLevel+1)) / float64(total)
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hmp"
+	"repro/internal/sim"
+)
+
+// SchedulerKind selects between HARS's two thread schedulers (§3.1.3).
+type SchedulerKind int
+
+// The schedulers.
+const (
+	// Chunk assigns the consecutive T_L lowest-ID threads to the little
+	// cores and the rest to the big cores, leveraging constructive cache
+	// sharing among consecutive threads — but risking stage starvation in
+	// pipeline applications.
+	Chunk SchedulerKind = iota
+	// Interleaved spreads the big-core assignments evenly across the thread
+	// ID range, so every pipeline stage gets a fair share of each core type.
+	Interleaved
+	// Hierarchy uses the application's thread-hierarchy information
+	// (sim.ThreadGrouper) to distribute big-core slots proportionally to
+	// each group and interleave within it — the paper's §3.1.4 extension
+	// for pipelines with asymmetric stage sizes. Applications without
+	// hierarchy information fall back to Interleaved.
+	Hierarchy
+)
+
+// String names the scheduler kind.
+func (k SchedulerKind) String() string {
+	switch k {
+	case Chunk:
+		return "chunk"
+	case Interleaved:
+		return "interleaved"
+	case Hierarchy:
+		return "hierarchy"
+	}
+	return fmt.Sprintf("SchedulerKind(%d)", int(k))
+}
+
+// ThreadClusters decides, for T threads ordered by thread ID and a Table 3.1
+// assignment of TB threads to the big cluster, which threads go to big
+// (true) and which to little (false).
+func ThreadClusters(t, tb int, kind SchedulerKind) []bool {
+	if tb < 0 {
+		tb = 0
+	}
+	if tb > t {
+		tb = t
+	}
+	out := make([]bool, t)
+	switch kind {
+	case Chunk:
+		// Little cores take the first T_L = T − T_B thread IDs (Fig 3.2a).
+		for i := t - tb; i < t; i++ {
+			out[i] = true
+		}
+	case Interleaved:
+		// Spread T_B big slots evenly over the ID range (Fig 3.2b):
+		// thread i is "big" when the cumulative big quota crosses an
+		// integer at i.
+		assigned := 0
+		for i := 0; i < t; i++ {
+			quota := (i + 1) * tb / t
+			if quota > assigned {
+				out[i] = true
+				assigned++
+			}
+		}
+	}
+	return out
+}
+
+// ThreadClustersHierarchy distributes TB big-core slots over thread groups
+// proportionally to group size (largest-remainder rounding), interleaving
+// within each group. Groups are contiguous runs of thread IDs, as exposed
+// by sim.ThreadGrouper.
+func ThreadClustersHierarchy(groups []int, tb int) []bool {
+	t := 0
+	for _, g := range groups {
+		t += g
+	}
+	if t == 0 {
+		return nil
+	}
+	if tb < 0 {
+		tb = 0
+	}
+	if tb > t {
+		tb = t
+	}
+	// Proportional quota with largest remainders.
+	quota := make([]int, len(groups))
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, 0, len(groups))
+	assigned := 0
+	for i, g := range groups {
+		exact := float64(tb) * float64(g) / float64(t)
+		quota[i] = int(exact)
+		if quota[i] > g {
+			quota[i] = g
+		}
+		assigned += quota[i]
+		rems = append(rems, rem{idx: i, frac: exact - float64(quota[i])})
+	}
+	// Hand out the remaining slots to the largest fractional remainders
+	// (stable order: remainder desc, then group index asc).
+	for assigned < tb {
+		best := -1
+		for j := range rems {
+			i := rems[j].idx
+			if quota[i] >= groups[i] {
+				continue
+			}
+			if best < 0 || rems[j].frac > rems[best].frac {
+				best = j
+			}
+		}
+		if best < 0 {
+			break
+		}
+		quota[rems[best].idx]++
+		rems[best].frac = -1
+		assigned++
+	}
+	// Interleave within each group.
+	out := make([]bool, 0, t)
+	for i, g := range groups {
+		out = append(out, ThreadClusters(g, quota[i], Interleaved)...)
+	}
+	return out
+}
+
+// PlanThreads computes the per-thread cluster plan (true = big) for a
+// program under the chosen scheduler, honouring thread-hierarchy information
+// when the scheduler is Hierarchy and the program provides it.
+func PlanThreads(prog sim.Program, t, tb int, kind SchedulerKind) []bool {
+	if kind == Hierarchy {
+		if g, ok := prog.(sim.ThreadGrouper); ok {
+			if plan := ThreadClustersHierarchy(g.ThreadGroups(), tb); len(plan) == t {
+				return plan
+			}
+		}
+		kind = Interleaved
+	}
+	return ThreadClusters(t, tb, kind)
+}
+
+// ApplySchedule installs the affinity masks of the chosen scheduler onto a
+// process: threads assigned to a cluster get the mask of the cores that
+// cluster actually uses (C_B,U / C_L,U of Table 3.1), taken from the
+// application's allocated core lists. The simulated OS balances within each
+// mask, as Linux does within a cpuset.
+//
+// bigCores and littleCores are the global CPU numbers allocated to the
+// application (MP-HARS passes its partition; single-application HARS passes
+// the first C_B,U big and C_L,U little cores).
+func ApplySchedule(p *sim.Process, asg Assignment, kind SchedulerKind, bigCores, littleCores []int) {
+	plan := PlanThreads(p.Program(), len(p.Threads), asg.TB, kind)
+	ApplyPlan(p, plan, asg, bigCores, littleCores)
+}
+
+// ApplyPlan installs an explicit per-thread cluster plan.
+func ApplyPlan(p *sim.Process, toBig []bool, asg Assignment, bigCores, littleCores []int) {
+	t := len(p.Threads)
+	useBig := trimCores(bigCores, asg.CBU)
+	useLittle := trimCores(littleCores, asg.CLU)
+	bigMask := hmp.MaskOf(useBig...)
+	littleMask := hmp.MaskOf(useLittle...)
+
+	// Degenerate allocations: fall back to whichever cluster has cores.
+	if bigMask == 0 && littleMask == 0 {
+		panic(fmt.Sprintf("core: ApplySchedule(%s): no cores allocated", p.Name))
+	}
+	for i := 0; i < t; i++ {
+		mask := littleMask
+		if i < len(toBig) && toBig[i] {
+			mask = bigMask
+		}
+		if mask == 0 {
+			if bigMask != 0 {
+				mask = bigMask
+			} else {
+				mask = littleMask
+			}
+		}
+		p.SetAffinity(i, mask)
+	}
+}
+
+func trimCores(cores []int, n int) []int {
+	if n > len(cores) {
+		n = len(cores)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return cores[:n]
+}
+
+// DefaultCores returns the first n global CPU numbers of cluster k — the
+// core list single-application HARS hands to ApplySchedule.
+func DefaultCores(p *hmp.Platform, k hmp.ClusterKind, n int) []int {
+	if n > p.Clusters[k].Cores {
+		n = p.Clusters[k].Cores
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, p.CPU(k, i))
+	}
+	return out
+}

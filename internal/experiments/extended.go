@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ExtendedSuite runs the three headline versions (Baseline, HARS-E,
+// HARS-EI) over the full ten-benchmark catalog — the paper's six plus the
+// extended models. This is *not* a paper figure; it checks that HARS's
+// improvements generalize beyond the evaluated set (memory-bound canneal,
+// the dedup and x264 pipelines, streamcluster's phase jumps).
+func ExtendedSuite(e *Env) *Report {
+	versions := []string{"Baseline", "HARS-E", "HARS-EI"}
+	benches := workload.AllExtended()
+	rep := &Report{Title: "Extended suite (beyond the paper): perf/watt at the 50%±5% target"}
+	rep.Table.Header = append([]string{"bench"}, versions...)
+
+	for _, b := range benches {
+		e.MaxRate(b) // serial calibration, cached
+	}
+	type job struct{ bi, vi int }
+	var jobs []job
+	for bi := range benches {
+		for vi := range versions {
+			jobs = append(jobs, job{bi, vi})
+		}
+	}
+	results := make([]RunResult, len(jobs))
+	parallelFor(len(jobs), func(i int) {
+		j := jobs[i]
+		b := benches[j.bi]
+		tgt := e.Target(b, 0.50)
+		switch versions[j.vi] {
+		case "Baseline":
+			results[i] = e.RunBaseline(b, tgt)
+		case "HARS-E":
+			results[i] = e.RunHARS(b, tgt, core.Config{Version: core.HARSE})
+		case "HARS-EI":
+			results[i] = e.RunHARS(b, tgt, core.Config{Version: core.HARSEI})
+		}
+	})
+	perVersion := map[string][]float64{}
+	for bi := range benches {
+		base := results[bi*len(versions)].PP
+		cells := []string{benches[bi].Short}
+		for vi, v := range versions {
+			rel := 0.0
+			if base > 0 {
+				rel = results[bi*len(versions)+vi].PP / base
+			}
+			perVersion[v] = append(perVersion[v], rel)
+			cells = append(cells, stats.F(rel, 2))
+		}
+		rep.Table.AddRow(cells...)
+	}
+	gm := []string{"GM"}
+	for _, v := range versions {
+		gm = append(gm, stats.F(stats.GeoMean(perVersion[v]), 2))
+	}
+	rep.Table.AddRow(gm...)
+	rep.Notes = append(rep.Notes,
+		"benchmarks beyond the paper's six: CA=canneal, DE=dedup, SC=streamcluster, X2=x264")
+	return rep
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig51Versions are the five versions of Figures 5.1 and 5.2 in plot order.
+var Fig51Versions = []string{"Baseline", "SO", "HARS-I", "HARS-E", "HARS-EI"}
+
+// SingleAppOptions parameterize the single-application comparison.
+type SingleAppOptions struct {
+	// TargetFrac is the fraction of the maximum achievable performance the
+	// target is set to: 0.50 for Figure 5.1, 0.75 for Figure 5.2.
+	TargetFrac float64
+	// Benchmarks filters by short tag; empty means all six.
+	Benchmarks []string
+}
+
+func (o SingleAppOptions) benches() []workload.Benchmark {
+	if len(o.Benchmarks) == 0 {
+		return workload.All()
+	}
+	var out []workload.Benchmark
+	for _, s := range o.Benchmarks {
+		if b, ok := workload.ByShort(s); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// SingleAppResult holds one benchmark's five-version measurements.
+type SingleAppResult struct {
+	Bench   workload.Benchmark
+	Results map[string]RunResult // keyed by version name
+}
+
+// RunSingleApp measures all five versions for the selected benchmarks at
+// the given target fraction: the engine behind Figures 5.1 and 5.2.
+func RunSingleApp(e *Env, o SingleAppOptions) []SingleAppResult {
+	benches := o.benches()
+	out := make([]SingleAppResult, len(benches))
+	// Calibrate serially first (cached) so parallel runs share targets.
+	for _, b := range benches {
+		e.MaxRate(b)
+	}
+	type job struct {
+		bench   int
+		version string
+	}
+	var jobs []job
+	for i := range benches {
+		for _, v := range Fig51Versions {
+			jobs = append(jobs, job{bench: i, version: v})
+		}
+	}
+	results := make([]RunResult, len(jobs))
+	parallelFor(len(jobs), func(i int) {
+		j := jobs[i]
+		b := benches[j.bench]
+		tgt := e.Target(b, o.TargetFrac)
+		switch j.version {
+		case "Baseline":
+			results[i] = e.RunBaseline(b, tgt)
+		case "SO":
+			results[i] = e.RunStaticOptimal(b, tgt)
+		case "HARS-I":
+			results[i] = e.RunHARS(b, tgt, core.Config{Version: core.HARSI})
+		case "HARS-E":
+			results[i] = e.RunHARS(b, tgt, core.Config{Version: core.HARSE})
+		case "HARS-EI":
+			results[i] = e.RunHARS(b, tgt, core.Config{Version: core.HARSEI})
+		}
+	})
+	for i := range benches {
+		out[i] = SingleAppResult{Bench: benches[i], Results: map[string]RunResult{}}
+	}
+	for i, j := range jobs {
+		out[j.bench].Results[j.version] = results[i]
+	}
+	return out
+}
+
+// Fig51 regenerates Figure 5.1 (performance/watt, default 50% target): per
+// benchmark, each version's normalized performance per watt relative to the
+// baseline version, plus the geometric mean.
+func Fig51(e *Env) *Report {
+	return singleAppReport(e, SingleAppOptions{TargetFrac: 0.50},
+		"Figure 5.1: performance/watt, default performance target (50%±5%)")
+}
+
+// Fig52 regenerates Figure 5.2 (performance/watt, high 75% target).
+func Fig52(e *Env) *Report {
+	return singleAppReport(e, SingleAppOptions{TargetFrac: 0.75},
+		"Figure 5.2: performance/watt, high performance target (75%±5%)")
+}
+
+func singleAppReport(e *Env, o SingleAppOptions, title string) *Report {
+	rows := RunSingleApp(e, o)
+	rep := &Report{Title: title}
+	rep.Table.Header = append([]string{"bench"}, Fig51Versions...)
+	perVersion := map[string][]float64{}
+	for _, row := range rows {
+		base := row.Results["Baseline"].PP
+		cells := []string{row.Bench.Short}
+		for _, v := range Fig51Versions {
+			rel := 0.0
+			if base > 0 {
+				rel = row.Results[v].PP / base
+			}
+			perVersion[v] = append(perVersion[v], rel)
+			cells = append(cells, stats.F(rel, 2))
+		}
+		rep.Table.AddRow(cells...)
+	}
+	gm := []string{"GM"}
+	for _, v := range Fig51Versions {
+		gm = append(gm, stats.F(stats.GeoMean(perVersion[v]), 2))
+	}
+	rep.Table.AddRow(gm...)
+	rep.Notes = append(rep.Notes,
+		"values are normalized performance/watt relative to the Baseline version (Baseline = 1.00)")
+	for _, row := range rows {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("%s: target %.2f hb/s, SO state %s, HARS-EI settled %s",
+			row.Bench.Short, e.Target(row.Bench, o.TargetFrac).Avg,
+			row.Results["SO"].State.Pretty(e.Plat),
+			row.Results["HARS-EI"].State.Pretty(e.Plat)))
+	}
+	return rep
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestProbeMultiApp logs quick-scale Figure 5.4 numbers for inspection.
+func TestProbeMultiApp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe only")
+	}
+	e, err := NewEnv(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range Fig54Cases {
+		base := e.RunMultiApp(c, "Baseline", 0.50)
+		t.Logf("case %d (%s+%s): baseline eff=%.4f pw=%.2f normA=%.2f normB=%.2f",
+			ci+1, c[0], c[1], base.Eff, base.PowerW, base.PerApp[0].NormPerf, base.PerApp[1].NormPerf)
+		for _, v := range []string{"CONS-I", "MP-HARS-I", "MP-HARS-E"} {
+			r := e.RunMultiApp(c, v, 0.50)
+			t.Logf("  %-10s eff=%.4f rel=%.2f pw=%.2fW normA=%.2f normB=%.2f rateA=%.2f rateB=%.2f",
+				v, r.Eff, r.Eff/base.Eff, r.PowerW,
+				r.PerApp[0].NormPerf, r.PerApp[1].NormPerf,
+				r.PerApp[0].Rate, r.PerApp[1].Rate)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestProbeSingleApp logs quick-scale Figure 5.1 numbers for inspection.
+// It asserts nothing beyond successful execution; the shape assertions live
+// in experiments_test.go.
+func TestProbeSingleApp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe only")
+	}
+	e, err := NewEnv(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := RunSingleApp(e, SingleAppOptions{TargetFrac: 0.50})
+	for _, row := range rows {
+		base := row.Results["Baseline"]
+		t.Logf("%s target=%.2f base(rate=%.2f pw=%.2f)", row.Bench.Short, e.Target(row.Bench, 0.5).Avg, base.Rate, base.PowerW)
+		for _, v := range Fig51Versions {
+			r := row.Results[v]
+			t.Logf("  %-8s rate=%.2f norm=%.2f pw=%.2fW pp=%.3f rel=%.2f state=%s",
+				v, r.Rate, r.NormPerf, r.PowerW, r.PP, r.PP/base.PP, r.State.Pretty(e.Plat))
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/heartbeat"
+	"repro/internal/hmp"
+	"repro/internal/mphars"
+	"repro/internal/stats"
+)
+
+// Table31 regenerates the paper's Table 3.1: the thread assignment to the
+// big and little clusters for the default platform (CB = CL = 4) at the
+// nominal performance ratio r0 = 1.5, over a representative range of T.
+func Table31(e *Env) *Report {
+	rep := &Report{Title: "Table 3.1: thread assignment to the big and little clusters (r = 1.5, CB = CL = 4)"}
+	rep.Table.Header = []string{"T", "regime", "TB", "TL", "CB,U", "CL,U"}
+	cb, cl := e.Plat.Clusters[hmp.Big].Cores, e.Plat.Clusters[hmp.Little].Cores
+	r := e.Plat.R0()
+	rcb := r * float64(cb)
+	for t := 1; t <= 16; t++ {
+		a := core.Assign(t, cb, cl, r)
+		regime := "T ≤ CB"
+		switch {
+		case t <= cb:
+		case float64(t) <= rcb:
+			regime = "CB < T ≤ r·CB"
+		case float64(t) <= rcb+float64(cl):
+			regime = "r·CB < T ≤ r·CB+CL"
+		default:
+			regime = "r·CB+CL < T"
+		}
+		rep.Table.AddRow(
+			fmt.Sprint(t), regime,
+			fmt.Sprint(a.TB), fmt.Sprint(a.TL),
+			fmt.Sprint(a.CBU), fmt.Sprint(a.CLU))
+	}
+	return rep
+}
+
+// Table43 regenerates the paper's Table 4.3: the state & freeze decision of
+// MP-HARS's interference-aware adaptation for every combination of the
+// application's satisfaction, the other applications' aggregate
+// satisfaction, and the cluster's frozen state.
+func Table43(_ *Env) *Report {
+	rep := &Report{Title: "Table 4.3: state & freeze decision table"}
+	rep.Table.Header = []string{"AppInPeriod", "TheOthers", "FrozenState", "StateDecision", "FreezeDecision"}
+	sats := []heartbeat.Satisfaction{heartbeat.Underperf, heartbeat.Achieve, heartbeat.Overperf}
+	for _, app := range sats {
+		for _, others := range sats {
+			for _, frozen := range []bool{true, false} {
+				st, fr := mphars.Decide(app, others, frozen)
+				fz := "UNFREEZE"
+				if frozen {
+					fz = "FREEZE"
+				}
+				rep.Table.AddRow(app.String(), others.String(), fz, st.String(), fr.String())
+			}
+		}
+	}
+	return rep
+}
+
+// PowerProfile reports the fitted linear power models of §5.1.1: the per
+// cluster, per frequency-level regression coefficients and goodness of fit.
+func PowerProfile(e *Env) *Report {
+	rep := &Report{Title: "Power estimator calibration (§5.1.1): P = α·(C_U·U_U) + β per cluster and frequency"}
+	rep.Table.Header = []string{"cluster", "freq (GHz)", "alpha (W)", "beta (W)", "R²"}
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		spec := &e.Plat.Clusters[k]
+		for lv := 0; lv < spec.Levels(); lv++ {
+			rep.Table.AddRow(
+				k.String(),
+				stats.F(float64(spec.KHz(lv))/1e6, 1),
+				stats.F(e.Model.Alpha[k][lv], 3),
+				stats.F(e.Model.Beta[k][lv], 3),
+				stats.F(e.Model.R2[k][lv], 4))
+		}
+	}
+	return rep
+}

@@ -1,0 +1,168 @@
+package gts_test
+
+import (
+	"testing"
+
+	"repro/internal/gts"
+	"repro/internal/hmp"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// busy is a CPU-bound program with n threads.
+type busy struct{ n int }
+
+func (b *busy) Name() string    { return "busy" }
+func (b *busy) NumThreads() int { return b.n }
+func (b *busy) Start(p *sim.Process) {
+	for i := 0; i < b.n; i++ {
+		p.SetWork(i, 0.05)
+	}
+}
+func (b *busy) UnitDone(p *sim.Process, local int) { p.SetWork(local, 0.05) }
+func (b *busy) SpeedFactor(local int, k hmp.ClusterKind) float64 {
+	if k == hmp.Big {
+		return 1.5
+	}
+	return 1
+}
+
+func countOnCluster(p *sim.Process, plat *hmp.Platform, k hmp.ClusterKind) int {
+	n := 0
+	for _, t := range p.Threads {
+		if t.Core() >= 0 && plat.ClusterOf(t.Core()) == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCPUBoundThreadsPileOntoBigCluster(t *testing.T) {
+	plat := hmp.Default()
+	m := sim.New(plat, sim.Config{})
+	g := gts.New(plat)
+	m.SetPlacer(g)
+	// Eight CPU-intensive threads pile two-deep onto the big cores while
+	// the little cores idle — the paper's §4.1.1 observation that GTS does
+	// not allocate excess big-cluster workload to the little cluster.
+	p := m.Spawn("busy", &busy{n: 8}, 4)
+	m.Run(2 * sim.Second)
+	if got := countOnCluster(p, plat, hmp.Big); got != 8 {
+		t.Fatalf("threads on big cluster = %d, want 8", got)
+	}
+	for cpu := 0; cpu < 4; cpu++ {
+		if n := m.RunQueueLen(cpu); n != 0 {
+			t.Errorf("little core %d run queue = %d, want 0", cpu, n)
+		}
+	}
+	for cpu := 4; cpu < 8; cpu++ {
+		if n := m.RunQueueLen(cpu); n != 2 {
+			t.Errorf("big core %d run queue = %d, want 2", cpu, n)
+		}
+	}
+}
+
+func TestIdleBalanceSpillsUnderHeavyOvercommit(t *testing.T) {
+	plat := hmp.Default()
+	m := sim.New(plat, sim.Config{})
+	g := gts.New(plat)
+	m.SetPlacer(g)
+	// Sixteen CPU-intensive threads exceed the little-ward pull threshold:
+	// the little cores pull work until big queues drop below it.
+	p := m.Spawn("busy", &busy{n: 16}, 4)
+	m.Run(3 * sim.Second)
+	if got := countOnCluster(p, plat, hmp.Little); got < 4 {
+		t.Fatalf("threads on little cluster = %d, want ≥ 4 (spill)", got)
+	}
+	for cpu := 4; cpu < 8; cpu++ {
+		if n := m.RunQueueLen(cpu); n < 2 {
+			t.Errorf("big core %d run queue = %d, want ≥ 2", cpu, n)
+		}
+	}
+}
+
+func TestLightThreadsMigrateDown(t *testing.T) {
+	plat := hmp.Default()
+	m := sim.New(plat, sim.Config{})
+	g := gts.New(plat)
+	m.SetPlacer(g)
+	// 10% duty cycle: load ≈ 102 « Down threshold.
+	bench := &power.Microbench{Threads: 2, Util: 0.1, Period: 20 * sim.Millisecond, Speed: 1}
+	p := m.Spawn("light", bench, 4)
+	m.Run(2 * sim.Second)
+	if got := countOnCluster(p, plat, hmp.Little); got != 2 {
+		t.Fatalf("light threads on little cluster = %d, want 2", got)
+	}
+	for _, th := range p.Threads {
+		if l := g.Load(th); l > g.Down {
+			t.Errorf("light thread load = %v, want < %v", l, g.Down)
+		}
+	}
+}
+
+func TestAllowedCpusetRestrictsPlacement(t *testing.T) {
+	plat := hmp.Default()
+	m := sim.New(plat, sim.Config{})
+	g := gts.New(plat)
+	g.SetAllowed(hmp.MaskOf(0, 1))
+	m.SetPlacer(g)
+	p := m.Spawn("busy", &busy{n: 4}, 4)
+	m.Run(1 * sim.Second)
+	for _, th := range p.Threads {
+		if c := th.Core(); c != 0 && c != 1 {
+			t.Fatalf("thread on core %d, outside cpuset {0,1}", c)
+		}
+	}
+	for cpu := 2; cpu < 8; cpu++ {
+		if u := m.Util(cpu); u > 0.01 {
+			t.Errorf("core %d outside cpuset has util %v", cpu, u)
+		}
+	}
+}
+
+func TestAffinityRespected(t *testing.T) {
+	plat := hmp.Default()
+	m := sim.New(plat, sim.Config{})
+	m.SetPlacer(gts.New(plat))
+	p := m.Spawn("busy", &busy{n: 1}, 4)
+	p.SetAffinity(0, hmp.MaskOf(2)) // CPU-bound but pinned to a little core
+	m.Run(1 * sim.Second)
+	if c := p.Threads[0].Core(); c != 2 {
+		t.Fatalf("pinned thread on core %d, want 2", c)
+	}
+}
+
+func TestEmptyCpusetPanics(t *testing.T) {
+	g := gts.New(hmp.Default())
+	defer func() {
+		if recover() == nil {
+			t.Error("SetAllowed(0) should panic")
+		}
+	}()
+	g.SetAllowed(0)
+}
+
+func TestLoadOfUnknownThreadDefaultsHigh(t *testing.T) {
+	plat := hmp.Default()
+	g := gts.New(plat)
+	m := sim.New(plat, sim.Config{})
+	p := m.Spawn("busy", &busy{n: 1}, 4)
+	if l := g.Load(p.Threads[0]); l != gts.LoadScale {
+		t.Errorf("unseen thread load = %v, want %v", l, gts.LoadScale)
+	}
+}
+
+func TestThroughputUnderGTSBaseline(t *testing.T) {
+	// Sanity check of the baseline version's achievable rate: 8 CPU-bound
+	// threads land on the 4 big cores at max frequency (littles idle), so
+	// total throughput ≈ 4 cores × 3 units/s = 12 units/s.
+	plat := hmp.Default()
+	m := sim.New(plat, sim.Config{})
+	m.SetPlacer(gts.New(plat))
+	p := m.Spawn("busy", &busy{n: 8}, 4)
+	m.Run(10 * sim.Second)
+	got := p.WorkDone()
+	if got < 110 || got > 125 {
+		t.Fatalf("10 s work under GTS = %v, want ≈120 (big cluster only)", got)
+	}
+}

@@ -1,0 +1,37 @@
+package hmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes the platform description, so users can capture and
+// share custom board definitions.
+func (p *Platform) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		return fmt.Errorf("hmp: encode platform: %w", err)
+	}
+	return nil
+}
+
+// ReadPlatform parses and validates a platform description produced by
+// WriteJSON (or written by hand for a custom board).
+func ReadPlatform(r io.Reader) (*Platform, error) {
+	var p Platform
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("hmp: decode platform: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// The Kind fields are redundant with array position; fix them up so a
+	// hand-written file can omit them.
+	p.Clusters[Little].Kind = Little
+	p.Clusters[Big].Kind = Big
+	return &p, nil
+}

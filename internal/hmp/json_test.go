@@ -1,0 +1,63 @@
+package hmp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPlatformJSONRoundTrip(t *testing.T) {
+	p := Default()
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPlatform(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalCores() != p.TotalCores() || got.BaseKHz != p.BaseKHz {
+		t.Fatalf("round trip changed platform: %+v", got)
+	}
+	if got.Clusters[Big].Levels() != p.Clusters[Big].Levels() {
+		t.Fatal("round trip lost OPPs")
+	}
+	if got.R0() != p.R0() {
+		t.Fatal("round trip changed R0")
+	}
+}
+
+func TestReadPlatformRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "{nope",
+		"unknown field": `{"Clusters":[{},{}],"BaseKHz":1,"Bogus":2}`,
+		"no cores": `{"BaseKHz":800000,"Clusters":[
+			{"Name":"A7","Cores":0,"IPC":1,"OPPs":[{"KHz":800000,"MilliVolt":900}]},
+			{"Name":"A15","Cores":4,"IPC":1.5,"OPPs":[{"KHz":800000,"MilliVolt":900}]}]}`,
+		"descending OPPs": `{"BaseKHz":800000,"Clusters":[
+			{"Name":"A7","Cores":4,"IPC":1,"OPPs":[{"KHz":900000,"MilliVolt":900},{"KHz":800000,"MilliVolt":900}]},
+			{"Name":"A15","Cores":4,"IPC":1.5,"OPPs":[{"KHz":800000,"MilliVolt":900}]}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadPlatform(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadPlatformFixesKinds(t *testing.T) {
+	// A hand-written file omitting Kind fields still works.
+	in := `{"BaseKHz":800000,"Clusters":[
+		{"Name":"A7","Cores":2,"IPC":1,"OPPs":[{"KHz":800000,"MilliVolt":900}]},
+		{"Name":"A15","Cores":2,"IPC":1.5,"OPPs":[{"KHz":800000,"MilliVolt":900},{"KHz":1600000,"MilliVolt":1200}]}]}`
+	p, err := ReadPlatform(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Clusters[Big].Kind != Big || p.Clusters[Little].Kind != Little {
+		t.Fatal("kinds not fixed up")
+	}
+	if p.TotalCores() != 4 {
+		t.Fatalf("TotalCores = %d", p.TotalCores())
+	}
+}

@@ -1,0 +1,283 @@
+package live
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/heartbeat"
+	"repro/internal/hmp"
+	"repro/internal/power"
+)
+
+// fakeClock is a manual clock for deterministic control-loop tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func testCost(p *hmp.Platform) *power.LinearModel {
+	lm := &power.LinearModel{}
+	coeff := [hmp.NumClusters]float64{hmp.Little: 0.3, hmp.Big: 1.2}
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		n := p.Clusters[k].Levels()
+		lm.Alpha[k] = make([]float64, n)
+		lm.Beta[k] = make([]float64, n)
+		lm.R2[k] = make([]float64, n)
+		for lv := 0; lv < n; lv++ {
+			s := p.FreqScale(k, lv)
+			lm.Alpha[k][lv] = coeff[k] * s * s
+			lm.Beta[k][lv] = 0.1 * s
+		}
+	}
+	return lm
+}
+
+func testConfig(clk Clock) Config {
+	p := hmp.Default()
+	return Config{
+		Space:  p,
+		Cost:   testCost(p),
+		Target: heartbeat.Target{Min: 9, Avg: 10, Max: 11},
+		Units:  8,
+		Clock:  clk,
+	}
+}
+
+// beatAtRate feeds beats at the given rate for d of fake time.
+func beatAtRate(c *Controller, clk *fakeClock, rate float64, d time.Duration) {
+	interval := time.Duration(float64(time.Second) / rate)
+	for elapsed := time.Duration(0); elapsed < d; elapsed += interval {
+		clk.advance(interval)
+		c.Beat()
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	clk := &fakeClock{}
+	good := testConfig(clk)
+	act := ActuatorFunc(func(hmp.State) {})
+
+	if _, err := NewController(good, nil); err == nil {
+		t.Error("nil actuator should fail")
+	}
+	bad := good
+	bad.Space = nil
+	if _, err := NewController(bad, act); err == nil {
+		t.Error("nil space should fail")
+	}
+	bad = good
+	bad.Cost = nil
+	if _, err := NewController(bad, act); err == nil {
+		t.Error("nil cost should fail")
+	}
+	bad = good
+	bad.Target = heartbeat.Target{}
+	if _, err := NewController(bad, act); err == nil {
+		t.Error("invalid target should fail")
+	}
+	bad = good
+	bad.Units = 0
+	if _, err := NewController(bad, act); err == nil {
+		t.Error("zero units should fail")
+	}
+}
+
+func TestInitialStateApplied(t *testing.T) {
+	clk := &fakeClock{}
+	var applied []hmp.State
+	cfg := testConfig(clk)
+	init := hmp.State{BigCores: 1, LittleCores: 1}
+	cfg.InitState = &init
+	c, err := NewController(cfg, ActuatorFunc(func(st hmp.State) { applied = append(applied, st) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 1 || applied[0] != init {
+		t.Fatalf("initial actuation = %v, want %v", applied, init)
+	}
+	if c.State() != init {
+		t.Fatal("State() should report the init state")
+	}
+}
+
+func TestControllerShrinksWhenOverperforming(t *testing.T) {
+	clk := &fakeClock{}
+	var last hmp.State
+	cfg := testConfig(clk)
+	c, err := NewController(cfg, ActuatorFunc(func(st hmp.State) { last = st }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := hmp.MaxState(cfg.Space)
+	if last != max {
+		t.Fatalf("should start at max, got %v", last)
+	}
+	// 30 beats/s against a target band of 9..11: massively overperforming.
+	beatAtRate(c, clk, 30, 2*time.Second)
+	if !c.Poll() {
+		t.Fatal("Poll should adapt")
+	}
+	if last == max {
+		t.Fatal("actuator did not receive a new state")
+	}
+	// The chosen state must predict a rate still above the target minimum
+	// but with a smaller estimated cost.
+	if c.Searches() != 1 {
+		t.Fatalf("searches = %d", c.Searches())
+	}
+}
+
+func TestControllerGrowsWhenUnderperforming(t *testing.T) {
+	clk := &fakeClock{}
+	var last hmp.State
+	cfg := testConfig(clk)
+	init := hmp.State{BigCores: 0, LittleCores: 1, BigLevel: 0, LittleLevel: 0}
+	cfg.InitState = &init
+	cfg.Version = core.HARSE
+	c, err := NewController(cfg, ActuatorFunc(func(st hmp.State) { last = st }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	beatAtRate(c, clk, 1, 15*time.Second) // far below Min = 9
+	if !c.Poll() {
+		t.Fatal("Poll should adapt upward")
+	}
+	if last.PerfScore(cfg.Space, cfg.Space.R0()) <= init.PerfScore(cfg.Space, cfg.Space.R0()) {
+		t.Fatalf("state did not grow: %v", last)
+	}
+}
+
+func TestControllerHoldsInBand(t *testing.T) {
+	clk := &fakeClock{}
+	calls := 0
+	cfg := testConfig(clk)
+	c, err := NewController(cfg, ActuatorFunc(func(hmp.State) { calls++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	beatAtRate(c, clk, 10, 3*time.Second) // dead on target
+	if c.Poll() {
+		t.Fatal("Poll must not adapt inside the band")
+	}
+	if calls != 1 { // only the initial actuation
+		t.Fatalf("actuator calls = %d, want 1", calls)
+	}
+}
+
+func TestAdaptPeriodHonoured(t *testing.T) {
+	clk := &fakeClock{}
+	cfg := testConfig(clk)
+	cfg.AdaptEvery = 50
+	c, err := NewController(cfg, ActuatorFunc(func(hmp.State) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	beatAtRate(c, clk, 30, 1*time.Second) // 30 beats < 50
+	if c.Poll() {
+		t.Fatal("Poll should wait for the adaptation period")
+	}
+	beatAtRate(c, clk, 30, 1*time.Second) // now 60 beats
+	if !c.Poll() {
+		t.Fatal("Poll should adapt after the period")
+	}
+}
+
+func TestOnDecisionObserved(t *testing.T) {
+	clk := &fakeClock{}
+	cfg := testConfig(clk)
+	c, err := NewController(cfg, ActuatorFunc(func(hmp.State) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen int
+	c.OnDecision = func(from, to hmp.State, rate float64) {
+		seen++
+		if from == to || rate <= 0 {
+			t.Errorf("bad decision %v -> %v (%v)", from, to, rate)
+		}
+	}
+	beatAtRate(c, clk, 30, 2*time.Second)
+	c.Poll()
+	if seen != 1 {
+		t.Fatalf("OnDecision fired %d times, want 1", seen)
+	}
+}
+
+func TestPollWithoutBeats(t *testing.T) {
+	clk := &fakeClock{}
+	c, err := NewController(testConfig(clk), ActuatorFunc(func(hmp.State) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Poll() {
+		t.Fatal("Poll with no beats should be a no-op")
+	}
+	if c.Rate() != 0 {
+		t.Fatal("Rate with no beats should be 0")
+	}
+}
+
+func TestConcurrentBeats(t *testing.T) {
+	// Beat must be safe from many goroutines (run with -race to verify).
+	clk := &fakeClock{}
+	c, err := NewController(testConfig(clk), ActuatorFunc(func(hmp.State) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				clk.advance(time.Millisecond)
+				c.Beat()
+				c.Rate()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			c.Poll()
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+}
+
+func TestRunLoopStopsOnCancel(t *testing.T) {
+	clk := &fakeClock{}
+	c, err := NewController(testConfig(clk), ActuatorFunc(func(hmp.State) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	stopped := make(chan struct{})
+	go func() {
+		c.Run(ctx, time.Millisecond)
+		close(stopped)
+	}()
+	cancel()
+	select {
+	case <-stopped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+}

@@ -1,0 +1,120 @@
+package mphars
+
+import (
+	"fmt"
+
+	"repro/internal/hmp"
+)
+
+// allocateCores is the core allocation function of Algorithm 4: it first
+// frees the cores a shrinking application gives up, then satisfies the new
+// allocation by reusing cores the application already holds (minimizing
+// thread migration) and only then claiming free cores. It returns the
+// global CPU numbers now owned on each cluster.
+func (mgr *Manager) allocateCores(n *appNode) (bigCores, littleCores []int) {
+	bigCores = mgr.allocateCluster(n, hmp.Big, n.useBCore, n.nprocsB, &n.decBigCoreCnt)
+	littleCores = mgr.allocateCluster(n, hmp.Little, n.useLCore, n.nprocsL, &n.decLittleCoreCnt)
+	return bigCores, littleCores
+}
+
+func (mgr *Manager) allocateCluster(n *appNode, k hmp.ClusterKind, use []bool, want int, dec *int) []int {
+	cluster := mgr.clusters[k]
+	// Free the decreased core count (Algorithm 4 lines 4–19).
+	for i := range use {
+		if *dec == 0 {
+			break
+		}
+		if use[i] {
+			use[i] = false
+			cluster.freeCore[i] = true
+			*dec--
+		}
+	}
+	// First pass: keep already-used cores (lines 20–25 / 33–38).
+	var cpus []int
+	allocated := 0
+	for i := range use {
+		if allocated >= want {
+			break
+		}
+		if use[i] {
+			cpus = append(cpus, mgr.plat.CPU(k, i))
+			allocated++
+		}
+	}
+	// Over-allocation repair: if the app still holds more cores than it
+	// wants (shouldn't happen when dec was set correctly), free the rest.
+	for i := range use {
+		if use[i] && !containsCPU(cpus, mgr.plat.CPU(k, i)) {
+			use[i] = false
+			cluster.freeCore[i] = true
+		}
+	}
+	// Second pass: claim free cores (lines 26–32 / 39–45).
+	for i := range use {
+		if allocated >= want {
+			break
+		}
+		if cluster.freeCore[i] {
+			cluster.freeCore[i] = false
+			use[i] = true
+			cpus = append(cpus, mgr.plat.CPU(k, i))
+			allocated++
+		}
+	}
+	if allocated < want {
+		panic(fmt.Sprintf("mphars: cluster %s cannot supply %d cores (got %d); search bounds violated",
+			k, want, allocated))
+	}
+	return cpus
+}
+
+func containsCPU(cpus []int, cpu int) bool {
+	for _, c := range cpus {
+		if c == cpu {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckInvariants verifies the partitioning invariants: no core is owned by
+// two applications, and every core is either owned or free. Tests and
+// paranoid callers use it.
+func (mgr *Manager) CheckInvariants() error {
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		cores := mgr.plat.Clusters[k].Cores
+		owners := make([]int, cores)
+		for n := mgr.head; n != nil; n = n.next {
+			use := n.useLCore
+			nprocs := n.nprocsL
+			if k == hmp.Big {
+				use = n.useBCore
+				nprocs = n.nprocsB
+			}
+			held := 0
+			for i := 0; i < cores; i++ {
+				if use[i] {
+					owners[i]++
+					held++
+				}
+			}
+			if held != nprocs {
+				return fmt.Errorf("mphars: %s holds %d %s cores but nprocs=%d",
+					n.proc.Name, held, k, nprocs)
+			}
+		}
+		for i := 0; i < cores; i++ {
+			free := mgr.clusters[k].freeCore[i]
+			switch {
+			case owners[i] > 1:
+				return fmt.Errorf("mphars: %s core %d owned by %d apps", k, i, owners[i])
+			case owners[i] == 1 && free:
+				return fmt.Errorf("mphars: %s core %d owned but marked free", k, i)
+			case owners[i] == 0 && !free:
+				return fmt.Errorf("mphars: %s core %d unowned but not free", k, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package mphars
+
+import (
+	"fmt"
+
+	"repro/internal/heartbeat"
+)
+
+// StateDecision is the interference-aware adaptation's verdict on a shared
+// cluster's frequency: increase, keep, or decrease (Table 4.3).
+type StateDecision int
+
+// The three state decisions.
+const (
+	KeepState StateDecision = iota
+	IncState
+	DecState
+)
+
+// String renders the decision as in Table 4.3.
+func (d StateDecision) String() string {
+	switch d {
+	case KeepState:
+		return "KEEP"
+	case IncState:
+		return "INC"
+	case DecState:
+		return "DEC"
+	}
+	return fmt.Sprintf("StateDecision(%d)", int(d))
+}
+
+// FreezeDecision is the verdict on a cluster's frozen state (Table 4.3).
+type FreezeDecision int
+
+// The three freeze decisions.
+const (
+	KeepFreeze FreezeDecision = iota
+	Freeze
+	Unfreeze
+)
+
+// String renders the decision as in Table 4.3.
+func (d FreezeDecision) String() string {
+	switch d {
+	case KeepFreeze:
+		return "KEEP"
+	case Freeze:
+		return "FREEZE"
+	case Unfreeze:
+		return "UNFREEZE"
+	}
+	return fmt.Sprintf("FreezeDecision(%d)", int(d))
+}
+
+// Decide implements the paper's State & Freeze decision table (Table 4.3),
+// row for row. app is the satisfaction state of the application currently in
+// its adaptation period; others is the aggregated state of the other
+// applications sharing the cluster; frozen is the cluster's frozen state.
+//
+// The table encodes the interference-aware policy: an underperforming
+// application may always raise the shared frequency (and unfreezes the
+// cluster, since "if the system performance needs to be increased" is an
+// unfreeze condition); a satisfied application leaves shared state alone;
+// an overperforming application may lower the shared frequency only when
+// every other application also overperforms and the cluster is not frozen —
+// and doing so freezes the cluster until everyone has collected reliable
+// data at the new operating point.
+func Decide(app, others heartbeat.Satisfaction, frozen bool) (StateDecision, FreezeDecision) {
+	switch app {
+	case heartbeat.Underperf:
+		if frozen {
+			return IncState, Unfreeze
+		}
+		return IncState, KeepFreeze
+	case heartbeat.Achieve:
+		return KeepState, KeepFreeze
+	default: // Overperf
+		if frozen {
+			// As given in Table 4.3: while frozen, the only movement open to
+			// an overperforming application is upward (helping the others).
+			return IncState, KeepFreeze
+		}
+		if others == heartbeat.Overperf {
+			return DecState, Freeze
+		}
+		return KeepState, KeepFreeze
+	}
+}
+
+// AggregateOthers folds the satisfaction states of the other applications
+// into the single "TheOthers" column of Table 4.3: any underperformer
+// dominates, then any achiever; only if all overperform is the aggregate
+// Overperf. With no other applications the aggregate is Overperf (nothing
+// restricts a decrease).
+func AggregateOthers(states []heartbeat.Satisfaction) heartbeat.Satisfaction {
+	agg := heartbeat.Overperf
+	for _, s := range states {
+		if s == heartbeat.Underperf {
+			return heartbeat.Underperf
+		}
+		if s == heartbeat.Achieve {
+			agg = heartbeat.Achieve
+		}
+	}
+	return agg
+}

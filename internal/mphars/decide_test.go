@@ -1,0 +1,79 @@
+package mphars
+
+import (
+	"testing"
+
+	"repro/internal/heartbeat"
+)
+
+// TestDecideTable43 checks every row of the paper's Table 4.3 verbatim.
+func TestDecideTable43(t *testing.T) {
+	rows := []struct {
+		app    heartbeat.Satisfaction
+		others heartbeat.Satisfaction
+		frozen bool
+		state  StateDecision
+		freeze FreezeDecision
+	}{
+		{heartbeat.Underperf, heartbeat.Underperf, true, IncState, Unfreeze},
+		{heartbeat.Underperf, heartbeat.Underperf, false, IncState, KeepFreeze},
+		{heartbeat.Underperf, heartbeat.Achieve, true, IncState, Unfreeze},
+		{heartbeat.Underperf, heartbeat.Achieve, false, IncState, KeepFreeze},
+		{heartbeat.Underperf, heartbeat.Overperf, true, IncState, Unfreeze},
+		{heartbeat.Underperf, heartbeat.Overperf, false, IncState, KeepFreeze},
+
+		{heartbeat.Achieve, heartbeat.Underperf, true, KeepState, KeepFreeze},
+		{heartbeat.Achieve, heartbeat.Underperf, false, KeepState, KeepFreeze},
+		{heartbeat.Achieve, heartbeat.Achieve, true, KeepState, KeepFreeze},
+		{heartbeat.Achieve, heartbeat.Achieve, false, KeepState, KeepFreeze},
+		{heartbeat.Achieve, heartbeat.Overperf, true, KeepState, KeepFreeze},
+		{heartbeat.Achieve, heartbeat.Overperf, false, KeepState, KeepFreeze},
+
+		{heartbeat.Overperf, heartbeat.Underperf, true, IncState, KeepFreeze},
+		{heartbeat.Overperf, heartbeat.Underperf, false, KeepState, KeepFreeze},
+		{heartbeat.Overperf, heartbeat.Achieve, true, IncState, KeepFreeze},
+		{heartbeat.Overperf, heartbeat.Achieve, false, KeepState, KeepFreeze},
+		{heartbeat.Overperf, heartbeat.Overperf, true, IncState, KeepFreeze},
+		{heartbeat.Overperf, heartbeat.Overperf, false, DecState, Freeze},
+	}
+	for _, r := range rows {
+		gotState, gotFreeze := Decide(r.app, r.others, r.frozen)
+		if gotState != r.state || gotFreeze != r.freeze {
+			t.Errorf("Decide(%v, %v, frozen=%v) = (%v, %v), want (%v, %v)",
+				r.app, r.others, r.frozen, gotState, gotFreeze, r.state, r.freeze)
+		}
+	}
+}
+
+func TestAggregateOthers(t *testing.T) {
+	u, a, o := heartbeat.Underperf, heartbeat.Achieve, heartbeat.Overperf
+	cases := []struct {
+		in   []heartbeat.Satisfaction
+		want heartbeat.Satisfaction
+	}{
+		{nil, o},
+		{[]heartbeat.Satisfaction{o}, o},
+		{[]heartbeat.Satisfaction{o, o}, o},
+		{[]heartbeat.Satisfaction{o, a}, a},
+		{[]heartbeat.Satisfaction{a, a}, a},
+		{[]heartbeat.Satisfaction{o, a, u}, u},
+		{[]heartbeat.Satisfaction{u}, u},
+	}
+	for _, c := range cases {
+		if got := AggregateOthers(c.in); got != c.want {
+			t.Errorf("AggregateOthers(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDecisionStrings(t *testing.T) {
+	if IncState.String() != "INC" || DecState.String() != "DEC" || KeepState.String() != "KEEP" {
+		t.Error("StateDecision strings wrong")
+	}
+	if Freeze.String() != "FREEZE" || Unfreeze.String() != "UNFREEZE" || KeepFreeze.String() != "KEEP" {
+		t.Error("FreezeDecision strings wrong")
+	}
+	if StateDecision(9).String() == "" || FreezeDecision(9).String() == "" {
+		t.Error("unknown decisions should render")
+	}
+}

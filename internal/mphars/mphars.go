@@ -1,0 +1,467 @@
+// Package mphars implements MP-HARS, the multi-application extension of
+// HARS (Chapter 4), plus the CONS-I baseline it is evaluated against.
+//
+// MP-HARS adds two modules on top of HARS:
+//
+//   - Resource partitioning: every application owns a private set of cores,
+//     tracked with the per-application and per-cluster data structures of
+//     Tables 4.1 and 4.2 and allocated by Algorithm 4 (reusing already-owned
+//     cores to minimize migrations, growing only into free cores).
+//   - Interference-aware adaptation: cluster frequencies are shared, so
+//     changing them is governed by the State & Freeze decision table
+//     (Table 4.3). A frequency decrease sets a per-application freezing
+//     count (in heartbeats) on every application using the cluster; while
+//     any count is non-zero the cluster is frozen and cannot be decreased
+//     again, giving everyone time to collect reliable performance data at
+//     the new operating point.
+//
+// The runtime manager keeps application data in a linked list and iterates
+// it every tick (Algorithm 3), running each application's HARS-style search
+// (Algorithm 2) with bounds derived from the free-core count and the
+// frequency controllability of each cluster.
+package mphars
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/heartbeat"
+	"repro/internal/hmp"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Version selects the MP-HARS search flavour.
+type Version int
+
+// The evaluated MP-HARS versions.
+const (
+	// MPHARSI explores neighbour states with distance 1 (incremental).
+	MPHARSI Version = iota
+	// MPHARSE explores exhaustively with m = 4, n = 4, d = 7.
+	MPHARSE
+)
+
+// String names the version as in Figure 5.4.
+func (v Version) String() string {
+	switch v {
+	case MPHARSI:
+		return "MP-HARS-I"
+	case MPHARSE:
+		return "MP-HARS-E"
+	}
+	return "MP-HARS-?"
+}
+
+// Config tunes the MP-HARS runtime manager.
+type Config struct {
+	Version Version
+
+	// AdaptEvery is the per-application adaptation period in heartbeats.
+	// Default 10.
+	AdaptEvery int64
+
+	// FreezeBeats is the freezing count installed after a frequency
+	// decrease: the number of heartbeats an affected application must
+	// observe before the cluster may be decreased again. Default 10.
+	FreezeBeats int
+
+	// Scheduler is the per-application thread scheduler. Default Chunk.
+	Scheduler core.SchedulerKind
+
+	// Overhead accounting (see core.Config).
+	PerCandidate sim.Time
+	PerSearch    sim.Time
+	PollPerTick  sim.Time
+	OverheadCPU  int
+}
+
+func (c Config) withDefaults() Config {
+	if c.AdaptEvery <= 0 {
+		c.AdaptEvery = 10
+	}
+	if c.FreezeBeats <= 0 {
+		c.FreezeBeats = 10
+	}
+	if c.PerCandidate <= 0 {
+		c.PerCandidate = 150 * sim.Microsecond
+	}
+	if c.PerSearch <= 0 {
+		c.PerSearch = 500 * sim.Microsecond
+	}
+	if c.PollPerTick <= 0 {
+		c.PollPerTick = 2 * sim.Microsecond
+	}
+	return c
+}
+
+func (c Config) params() core.SearchParams {
+	if c.Version == MPHARSI {
+		return core.SearchParams{M: 1, N: 1, D: 1}
+	}
+	return core.SearchParams{M: 4, N: 4, D: 7}
+}
+
+// TracePoint is one heartbeat-indexed sample of an application's state, the
+// raw data of the behaviour graphs (Figures 5.5–5.7).
+type TracePoint struct {
+	Time        sim.Time
+	HBIndex     int64
+	HPS         float64 // window heartbeat rate
+	BigCores    int
+	LittleCores int
+	BigGHz      float64
+	LittleGHz   float64
+}
+
+// appNode is the per-application data structure of Table 4.1, kept in the
+// manager's linked list.
+type appNode struct {
+	next *appNode
+
+	proc   *sim.Process
+	target heartbeat.Target
+	est    core.Estimators
+
+	nprocsB, nprocsL int    // number of assigned big / little cores
+	useBCore         []bool // assigned big core indices
+	useLCore         []bool // assigned little core indices
+
+	adaptationIndex int64 // heartbeat index of the last adaptation
+	lastSeen        int64 // heartbeats observed so far
+	lastRate        float64
+
+	freezingCntB int // heartbeats to wait until big frequency is controllable
+	freezingCntL int
+
+	decBigCoreCnt    int // cores to free at the next allocation pass
+	decLittleCoreCnt int
+
+	trace []TracePoint
+}
+
+// clusterData is the per-cluster data structure of Table 4.2.
+type clusterData struct {
+	frozen   bool
+	freeCore []bool // freeCore[i]: core i of the cluster is unallocated
+	nfreq    int    // current frequency level
+}
+
+// Manager is the MP-HARS runtime manager: a machine daemon multiplexing one
+// HARS adaptation loop per registered application over partitioned cores and
+// shared cluster frequencies.
+type Manager struct {
+	cfg      Config
+	plat     *hmp.Platform
+	model    *power.LinearModel
+	head     *appNode
+	tail     *appNode
+	clusters [hmp.NumClusters]*clusterData
+
+	searches      int
+	exploredTotal int
+}
+
+// New creates an MP-HARS manager for the machine, with both clusters at
+// their maximum frequency and all cores free.
+func New(m *sim.Machine, model *power.LinearModel, cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	plat := m.Platform()
+	mgr := &Manager{cfg: cfg, plat: plat, model: model}
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		free := make([]bool, plat.Clusters[k].Cores)
+		for i := range free {
+			free[i] = true
+		}
+		mgr.clusters[k] = &clusterData{freeCore: free, nfreq: plat.Clusters[k].MaxLevel()}
+		m.SetLevel(k, plat.Clusters[k].MaxLevel())
+	}
+	return mgr
+}
+
+// Register adds an application with its performance target and an initial
+// allocation of initBig big and initLittle little cores (clamped to what is
+// free). The threads are scheduled onto the allocation immediately.
+func (mgr *Manager) Register(m *sim.Machine, proc *sim.Process, target heartbeat.Target, initBig, initLittle int) *appNode {
+	n := &appNode{
+		proc:     proc,
+		target:   target,
+		est:      core.NewEstimators(mgr.plat, len(proc.Threads), mgr.model),
+		useBCore: make([]bool, mgr.plat.Clusters[hmp.Big].Cores),
+		useLCore: make([]bool, mgr.plat.Clusters[hmp.Little].Cores),
+	}
+	proc.HB.SetTarget(target)
+	n.nprocsB = minInt(initBig, mgr.freeCount(hmp.Big))
+	n.nprocsL = minInt(initLittle, mgr.freeCount(hmp.Little))
+	if n.nprocsB+n.nprocsL == 0 {
+		panic(fmt.Sprintf("mphars: no free cores to register %s", proc.Name))
+	}
+	if mgr.head == nil {
+		mgr.head = n
+	} else {
+		mgr.tail.next = n
+	}
+	mgr.tail = n
+	mgr.scheduleThreads(m, n)
+	return n
+}
+
+func (mgr *Manager) freeCount(k hmp.ClusterKind) int {
+	c := 0
+	for _, f := range mgr.clusters[k].freeCore {
+		if f {
+			c++
+		}
+	}
+	return c
+}
+
+// Apps returns the registered processes in registration order.
+func (mgr *Manager) Apps() []*sim.Process {
+	var out []*sim.Process
+	for n := mgr.head; n != nil; n = n.next {
+		out = append(out, n.proc)
+	}
+	return out
+}
+
+// Trace returns the behaviour trace of the given process.
+func (mgr *Manager) Trace(proc *sim.Process) []TracePoint {
+	for n := mgr.head; n != nil; n = n.next {
+		if n.proc == proc {
+			return n.trace
+		}
+	}
+	return nil
+}
+
+// Allocation returns the current (big, little) core counts of a process.
+func (mgr *Manager) Allocation(proc *sim.Process) (big, little int) {
+	for n := mgr.head; n != nil; n = n.next {
+		if n.proc == proc {
+			return n.nprocsB, n.nprocsL
+		}
+	}
+	return 0, 0
+}
+
+// Frozen reports the frozen flag of cluster k.
+func (mgr *Manager) Frozen(k hmp.ClusterKind) bool { return mgr.clusters[k].frozen }
+
+// Searches returns the total number of search invocations.
+func (mgr *Manager) Searches() int { return mgr.searches }
+
+// Tick implements sim.Daemon: the iterate function of Algorithm 3.
+func (mgr *Manager) Tick(m *sim.Machine) {
+	m.ChargeOverhead(mgr.cfg.OverheadCPU, mgr.cfg.PollPerTick)
+
+	// Lines 6–11: consume new heartbeats, decrement freezing counts, and
+	// record trace points.
+	for n := mgr.head; n != nil; n = n.next {
+		count := n.proc.HB.Count()
+		for n.lastSeen < count {
+			n.lastSeen++
+			if n.freezingCntB > 0 {
+				n.freezingCntB--
+			}
+			if n.freezingCntL > 0 {
+				n.freezingCntL--
+			}
+		}
+		if rec, ok := n.proc.HB.Latest(); ok {
+			n.lastRate = rec.WindowRate
+			if len(n.trace) == 0 || n.trace[len(n.trace)-1].HBIndex != rec.Index {
+				n.trace = append(n.trace, TracePoint{
+					Time:        m.Now(),
+					HBIndex:     rec.Index,
+					HPS:         rec.WindowRate,
+					BigCores:    n.nprocsB,
+					LittleCores: n.nprocsL,
+					BigGHz:      float64(mgr.plat.Clusters[hmp.Big].KHz(mgr.clusters[hmp.Big].nfreq)) / 1e6,
+					LittleGHz:   float64(mgr.plat.Clusters[hmp.Little].KHz(mgr.clusters[hmp.Little].nfreq)) / 1e6,
+				})
+			}
+		}
+	}
+
+	// Lines 12–15: recompute frozen flags from the freezing counts.
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		frozen := false
+		for n := mgr.head; n != nil; n = n.next {
+			if n.freezing(k) > 0 {
+				frozen = true
+				break
+			}
+		}
+		mgr.clusters[k].frozen = frozen
+	}
+
+	// Lines 16–26: per-application adaptation.
+	for n := mgr.head; n != nil; n = n.next {
+		mgr.adaptOne(m, n)
+	}
+}
+
+func (n *appNode) freezing(k hmp.ClusterKind) int {
+	if k == hmp.Big {
+		return n.freezingCntB
+	}
+	return n.freezingCntL
+}
+
+func (n *appNode) setFreezing(k hmp.ClusterKind, v int) {
+	if k == hmp.Big {
+		n.freezingCntB = v
+	} else {
+		n.freezingCntL = v
+	}
+}
+
+func (n *appNode) usesCluster(k hmp.ClusterKind) bool {
+	if k == hmp.Big {
+		return n.nprocsB > 0
+	}
+	return n.nprocsL > 0
+}
+
+// curState is the application's view of the system state: its own cores at
+// the shared cluster frequencies.
+func (mgr *Manager) curState(n *appNode) hmp.State {
+	return hmp.State{
+		BigCores:    n.nprocsB,
+		LittleCores: n.nprocsL,
+		BigLevel:    mgr.clusters[hmp.Big].nfreq,
+		LittleLevel: mgr.clusters[hmp.Little].nfreq,
+	}
+}
+
+func (mgr *Manager) adaptOne(m *sim.Machine, n *appNode) {
+	rec, ok := n.proc.HB.Latest()
+	if !ok {
+		return
+	}
+	if rec.Index < n.adaptationIndex+mgr.cfg.AdaptEvery {
+		return
+	}
+	rate := rec.WindowRate
+	if !heartbeat.OutsideBand(n.target, rate) {
+		return
+	}
+	n.adaptationIndex = rec.Index
+
+	// Line 18: free cores bound the core-count sweep.
+	bounds := core.Bounds{
+		MaxBigCores:    n.nprocsB + mgr.freeCount(hmp.Big),
+		MaxLittleCores: n.nprocsL + mgr.freeCount(hmp.Little),
+	}
+	// Line 19: cluster frequency controllability.
+	bounds.BigFreq = mgr.freqConstraint(n, hmp.Big, rate)
+	bounds.LittleFreq = mgr.freqConstraint(n, hmp.Little, rate)
+
+	cs := mgr.curState(n)
+	res := core.Search(n.est, cs, rate, n.target, mgr.cfg.params(), bounds)
+	mgr.searches++
+	mgr.exploredTotal += res.Explored
+	m.ChargeOverhead(mgr.cfg.OverheadCPU,
+		mgr.cfg.PerSearch+sim.Time(res.Explored)*mgr.cfg.PerCandidate)
+
+	if res.State == cs {
+		return
+	}
+	// Lines 21–22: core allocation (Algorithm 4) and thread scheduling.
+	n.decBigCoreCnt = maxInt(0, n.nprocsB-res.State.BigCores)
+	n.decLittleCoreCnt = maxInt(0, n.nprocsL-res.State.LittleCores)
+	n.nprocsB = res.State.BigCores
+	n.nprocsL = res.State.LittleCores
+	mgr.scheduleThreads(m, n)
+
+	// Lines 23–26: apply frequency changes; decreases install freezing
+	// counts on every application using the cluster.
+	mgr.applyFreq(m, hmp.Big, res.State.BigLevel)
+	mgr.applyFreq(m, hmp.Little, res.State.LittleLevel)
+}
+
+// freqConstraint computes the per-cluster frequency bound for one
+// application's search: sole users are limited only by the frozen flag;
+// shared clusters go through Table 4.3, and an Unfreeze verdict clears the
+// freezing counts immediately.
+func (mgr *Manager) freqConstraint(n *appNode, k hmp.ClusterKind, rate float64) core.FreqConstraint {
+	shared := false
+	var others []heartbeat.Satisfaction
+	for o := mgr.head; o != nil; o = o.next {
+		if o == n || !o.usesCluster(k) {
+			continue
+		}
+		shared = true
+		if o.proc.HB.Count() > 0 {
+			others = append(others, heartbeat.Classify(o.target, o.lastRate))
+		}
+	}
+	frozen := mgr.clusters[k].frozen
+	if !shared {
+		if frozen {
+			return core.FreqIncOnly
+		}
+		return core.FreqFree
+	}
+	own := heartbeat.Classify(n.target, rate)
+	state, freeze := Decide(own, AggregateOthers(others), frozen)
+	if freeze == Unfreeze {
+		for o := mgr.head; o != nil; o = o.next {
+			o.setFreezing(k, 0)
+		}
+		mgr.clusters[k].frozen = false
+	}
+	switch state {
+	case IncState:
+		return core.FreqIncOnly
+	case DecState:
+		return core.FreqDecOnly
+	default:
+		return core.FreqFixed
+	}
+}
+
+// applyFreq sets a cluster's shared frequency; a decrease freezes the
+// cluster by installing freezing counts on every application using it
+// (Algorithm 3 lines 23–26).
+func (mgr *Manager) applyFreq(m *sim.Machine, k hmp.ClusterKind, level int) {
+	c := mgr.clusters[k]
+	if level == c.nfreq {
+		return
+	}
+	decreased := level < c.nfreq
+	c.nfreq = level
+	m.SetLevel(k, level)
+	if decreased {
+		for o := mgr.head; o != nil; o = o.next {
+			if o.usesCluster(k) {
+				o.setFreezing(k, mgr.cfg.FreezeBeats)
+			}
+		}
+		c.frozen = true
+	}
+}
+
+// scheduleThreads runs Algorithm 4 to (re)allocate the application's cores,
+// then applies the per-application HARS thread schedule.
+func (mgr *Manager) scheduleThreads(m *sim.Machine, n *appNode) {
+	bigCores, littleCores := mgr.allocateCores(n)
+	st := mgr.curState(n)
+	ev := n.est.Perf.Evaluate(st)
+	core.ApplySchedule(n.proc, ev.Assignment, mgr.cfg.Scheduler, bigCores, littleCores)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,45 @@
+package power
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/hmp"
+)
+
+// WriteJSON serializes a fitted linear model so the offline calibration can
+// be cached and shared between runs (the paper's profiling pass takes
+// minutes on real hardware).
+func (lm *LinearModel) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(lm); err != nil {
+		return fmt.Errorf("power: encode model: %w", err)
+	}
+	return nil
+}
+
+// ReadModel parses a fitted linear model and validates its shape against
+// the platform it will estimate for.
+func ReadModel(r io.Reader, plat *hmp.Platform) (*LinearModel, error) {
+	var lm LinearModel
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&lm); err != nil {
+		return nil, fmt.Errorf("power: decode model: %w", err)
+	}
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		want := plat.Clusters[k].Levels()
+		if len(lm.Alpha[k]) != want || len(lm.Beta[k]) != want {
+			return nil, fmt.Errorf("power: model has %d/%d levels for %s, platform has %d",
+				len(lm.Alpha[k]), len(lm.Beta[k]), k, want)
+		}
+		for lv := 0; lv < want; lv++ {
+			if lm.Alpha[k][lv] <= 0 {
+				return nil, fmt.Errorf("power: model alpha[%s][%d] = %v, want > 0", k, lv, lm.Alpha[k][lv])
+			}
+		}
+	}
+	return &lm, nil
+}

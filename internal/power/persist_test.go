@@ -1,0 +1,66 @@
+package power
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/hmp"
+	"repro/internal/sim"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	plat := hmp.Default()
+	gt := DefaultGroundTruth(plat)
+	lm, err := ProfileAndFit(plat, gt, ProfileConfig{
+		Utils:  []float64{0.5, 1.0},
+		RunPer: 600 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lm.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadModel(&buf, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		for lv := range lm.Alpha[k] {
+			if got.Alpha[k][lv] != lm.Alpha[k][lv] || got.Beta[k][lv] != lm.Beta[k][lv] {
+				t.Fatalf("round trip changed coefficients at %s/%d", k, lv)
+			}
+		}
+	}
+	if got.Estimate(hmp.Big, 4, 2, 0.7) != lm.Estimate(hmp.Big, 4, 2, 0.7) {
+		t.Fatal("round-trip model estimates differently")
+	}
+}
+
+func TestReadModelRejectsBadShape(t *testing.T) {
+	plat := hmp.Default()
+	if _, err := ReadModel(strings.NewReader("{"), plat); err == nil {
+		t.Error("garbage should fail")
+	}
+	// Wrong level counts.
+	if _, err := ReadModel(strings.NewReader(`{"Alpha":[[1],[1]],"Beta":[[0],[0]],"R2":[[1],[1]]}`), plat); err == nil {
+		t.Error("wrong level count should fail")
+	}
+	// Non-positive alpha.
+	bad := &LinearModel{}
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		n := plat.Clusters[k].Levels()
+		bad.Alpha[k] = make([]float64, n)
+		bad.Beta[k] = make([]float64, n)
+		bad.R2[k] = make([]float64, n)
+	}
+	var buf bytes.Buffer
+	if err := bad.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadModel(&buf, plat); err == nil {
+		t.Error("zero alphas should fail validation")
+	}
+}

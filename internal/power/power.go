@@ -1,0 +1,201 @@
+// Package power provides the power side of the HARS reproduction:
+//
+//   - GroundTruth: a CMOS-style per-cluster power model (dynamic power
+//     ∝ C·V²·f·utilization, plus voltage-dependent leakage and an uncore
+//     term) that stands in for the physical Exynos 5422. It implements
+//     sim.PowerModel and is deliberately *richer* than what HARS assumes, so
+//     that fitting the paper's linear model is a genuine approximation step,
+//     exactly as on the real board.
+//   - Sensor: a sampled power meter with the ODROID-XU3's 263,808 µs
+//     sampling period.
+//   - Microbench: the paper's profiling microbenchmark — a configurable
+//     duty-cycled load over (cores × frequency × utilization).
+//   - LinearModel: the paper's estimator form P = α·(C_U·U_U) + β per
+//     cluster and frequency level, fitted from profiled sensor data with
+//     least squares (Equations 3.1 and 3.2).
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/hmp"
+	"repro/internal/sim"
+)
+
+// SensorPeriod is the power-sensor sampling period of the ODROID-XU3 board
+// used in the paper (263,808 µs).
+const SensorPeriod sim.Time = 263_808
+
+// ClusterParams are the ground-truth power parameters of one cluster.
+type ClusterParams struct {
+	// DynCoeff is dynamic power in W per V² per GHz for one fully busy core.
+	DynCoeff float64
+	// LeakPerVolt is leakage in W per volt for one powered core.
+	LeakPerVolt float64
+	// Uncore is the cluster-shared power (interconnect, L2) drawn while the
+	// cluster has any busy core; an idle cluster draws UncoreIdleFrac of it.
+	Uncore         float64
+	UncoreIdleFrac float64
+}
+
+// GroundTruth is the "real hardware" power model of the simulated board.
+type GroundTruth struct {
+	Plat   *hmp.Platform
+	Params [hmp.NumClusters]ClusterParams
+}
+
+// DefaultGroundTruth returns Exynos-5422-flavoured parameters: a big cluster
+// drawing ≈6–7 W fully loaded at 1.6 GHz and a little cluster drawing
+// ≈1.5 W at 1.3 GHz.
+func DefaultGroundTruth(p *hmp.Platform) *GroundTruth {
+	return &GroundTruth{
+		Plat: p,
+		Params: [hmp.NumClusters]ClusterParams{
+			hmp.Little: {DynCoeff: 0.20, LeakPerVolt: 0.030, Uncore: 0.10, UncoreIdleFrac: 0.25},
+			hmp.Big:    {DynCoeff: 0.85, LeakPerVolt: 0.180, Uncore: 0.35, UncoreIdleFrac: 0.25},
+		},
+	}
+}
+
+// effUtil is the mild non-linearity of dynamic power in utilization
+// (pipeline and memory effects); it keeps the paper's linear model an
+// approximation rather than an identity.
+func effUtil(u float64) float64 { return 0.85*u + 0.15*u*u }
+
+// ClusterPower implements sim.PowerModel.
+func (g *GroundTruth) ClusterPower(k hmp.ClusterKind, level int, coreBusy []float64) float64 {
+	c := &g.Plat.Clusters[k]
+	prm := &g.Params[k]
+	v := float64(c.MilliVolt(level)) / 1000
+	fGHz := float64(c.KHz(level)) / 1e6
+	dyn := 0.0
+	anyBusy := false
+	for _, u := range coreBusy {
+		if u > 0 {
+			anyBusy = true
+		}
+		dyn += prm.DynCoeff * v * v * fGHz * effUtil(u)
+	}
+	leak := prm.LeakPerVolt * v * float64(c.Cores)
+	uncore := prm.Uncore * prm.UncoreIdleFrac
+	if anyBusy {
+		uncore = prm.Uncore
+	}
+	return dyn + leak + uncore
+}
+
+// Sample is one power-sensor reading: average cluster watts over one
+// sampling window ending at T.
+type Sample struct {
+	T       sim.Time
+	WattsBy [hmp.NumClusters]float64
+}
+
+// TotalWatts returns the sum over clusters.
+func (s Sample) TotalWatts() float64 {
+	t := 0.0
+	for _, w := range s.WattsBy {
+		t += w
+	}
+	return t
+}
+
+// Sensor periodically samples per-cluster average power from the machine's
+// energy counters, as the board's INA231 sensors do. It is a sim.Daemon.
+type Sensor struct {
+	Period sim.Time
+
+	samples    []Sample
+	lastEnergy [hmp.NumClusters]float64
+	lastT      sim.Time
+	started    bool
+}
+
+// NewSensor returns a sensor with the board's sampling period.
+func NewSensor() *Sensor { return &Sensor{Period: SensorPeriod} }
+
+// Tick implements sim.Daemon.
+func (s *Sensor) Tick(m *sim.Machine) {
+	now := m.Now()
+	if !s.started {
+		s.started = true
+		s.lastT = now
+		for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+			s.lastEnergy[k] = m.ClusterEnergyJ(k)
+		}
+		return
+	}
+	if now-s.lastT < s.Period {
+		return
+	}
+	dt := sim.Seconds(now - s.lastT)
+	var smp Sample
+	smp.T = now
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		e := m.ClusterEnergyJ(k)
+		smp.WattsBy[k] = (e - s.lastEnergy[k]) / dt
+		s.lastEnergy[k] = e
+	}
+	s.lastT = now
+	s.samples = append(s.samples, smp)
+}
+
+// Samples returns the collected readings.
+func (s *Sensor) Samples() []Sample { return s.samples }
+
+// MeanWatts averages the collected readings for cluster k.
+func (s *Sensor) MeanWatts(k hmp.ClusterKind) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, smp := range s.samples {
+		t += smp.WattsBy[k]
+	}
+	return t / float64(len(s.samples))
+}
+
+// LinearModel is the paper's power-estimator form, one (α, β) pair per
+// cluster per frequency level:
+//
+//	P_k = α_{k,f} · C_U · U_U + β_{k,f}            (Equations 3.1, 3.2)
+type LinearModel struct {
+	Alpha [hmp.NumClusters][]float64
+	Beta  [hmp.NumClusters][]float64
+	// R2 is the per-cluster, per-level goodness of fit of the regression.
+	R2 [hmp.NumClusters][]float64
+}
+
+// Estimate returns the estimated cluster power for coresUsed cores at
+// average utilization util. Zero used cores estimate zero watts: the
+// estimator treats an unused cluster as power-gated, matching the paper's
+// application-attributed accounting.
+func (lm *LinearModel) Estimate(k hmp.ClusterKind, level int, coresUsed int, util float64) float64 {
+	if coresUsed <= 0 {
+		return 0
+	}
+	if level < 0 {
+		level = 0
+	}
+	if level >= len(lm.Alpha[k]) {
+		level = len(lm.Alpha[k]) - 1
+	}
+	p := lm.Alpha[k][level]*float64(coresUsed)*util + lm.Beta[k][level]
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// EstimateState sums the two cluster estimates for a full system state with
+// the given used core counts and utilizations.
+func (lm *LinearModel) EstimateState(st hmp.State, bigUsed, littleUsed int, bigUtil, littleUtil float64) float64 {
+	return lm.Estimate(hmp.Big, st.BigLevel, bigUsed, bigUtil) +
+		lm.Estimate(hmp.Little, st.LittleLevel, littleUsed, littleUtil)
+}
+
+// String summarizes the model.
+func (lm *LinearModel) String() string {
+	return fmt.Sprintf("power.LinearModel{big levels: %d, little levels: %d}",
+		len(lm.Alpha[hmp.Big]), len(lm.Alpha[hmp.Little]))
+}

@@ -1,0 +1,74 @@
+package sim
+
+// MaskBalancer is the placement policy used underneath HARS: every runnable
+// thread is kept on a CPU inside its affinity mask, spread to the
+// least-loaded permitted core. It models a work-conserving OS scheduler
+// operating under the cpuset constraints HARS's chunk-based and interleaving
+// schedulers install; all cross-cluster policy lives in those masks.
+type MaskBalancer struct {
+	counts []int // scratch: runnable threads per core
+}
+
+// NewMaskBalancer returns a MaskBalancer.
+func NewMaskBalancer() *MaskBalancer { return &MaskBalancer{} }
+
+// Place implements Placer.
+func (b *MaskBalancer) Place(m *Machine) {
+	nc := len(m.cores)
+	if cap(b.counts) < nc {
+		b.counts = make([]int, nc)
+	}
+	counts := b.counts[:nc]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, t := range m.threads {
+		if !t.blocked && t.core >= 0 && t.affinity.Has(t.core) {
+			counts[t.core]++
+		}
+	}
+	// First pass: repair threads placed outside their mask (or nowhere).
+	for _, t := range m.threads {
+		if t.blocked {
+			continue
+		}
+		if t.core >= 0 && t.affinity.Has(t.core) {
+			continue
+		}
+		best := -1
+		for cpu := 0; cpu < nc; cpu++ {
+			if !t.affinity.Has(cpu) {
+				continue
+			}
+			if best < 0 || counts[cpu] < counts[best] {
+				best = cpu
+			}
+		}
+		if best >= 0 {
+			m.Migrate(t, best)
+			counts[best]++
+		}
+	}
+	// Second pass: one balancing sweep with hysteresis — move a thread only
+	// if a permitted core is at least two threads lighter than its own.
+	for _, t := range m.threads {
+		if t.blocked || t.core < 0 {
+			continue
+		}
+		cur := t.core
+		best := cur
+		for cpu := 0; cpu < nc; cpu++ {
+			if cpu == cur || !t.affinity.Has(cpu) {
+				continue
+			}
+			if counts[cpu] < counts[best]-1 {
+				best = cpu
+			}
+		}
+		if best != cur {
+			counts[cur]--
+			counts[best]++
+			m.Migrate(t, best)
+		}
+	}
+}

@@ -1,0 +1,459 @@
+// Package sim is a deterministic discrete-time simulator of a big.LITTLE
+// HMP machine. It substitutes for the paper's ODROID-XU3 testbed: it exposes
+// exactly the observation and actuation surface HARS uses on real hardware —
+// per-application heartbeats, per-thread CPU affinity (sched_setaffinity),
+// per-cluster DVFS, and cluster power draw — while running entirely in
+// process with no OS-thread control.
+//
+// The machine advances in fixed ticks (default 1 ms). Each tick the placer
+// (an OS scheduler model: the mask balancer for HARS runs, the GTS model for
+// baselines) places runnable threads on cores; each core divides its tick
+// capacity equally among the threads on it; threads retire abstract work
+// units at a rate of FreqScale × application-specific IPC factor per second;
+// completed units invoke the owning program's callback, which hands out more
+// work, blocks the thread, moves pipeline tokens, and emits heartbeats. A
+// pluggable power model integrates per-cluster energy every tick, and
+// daemons (runtime managers, sensors, schedulers) run at the end of each
+// tick.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/heartbeat"
+	"repro/internal/hmp"
+)
+
+// Time is simulated time in microseconds.
+type Time = int64
+
+// Convenient durations in simulated time.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a simulated duration to floating-point seconds.
+func Seconds(d Time) float64 { return float64(d) / float64(Second) }
+
+// PowerModel computes the power drawn by one cluster during a tick.
+// Implementations live in internal/power; the interface lives here so the
+// simulator does not depend on any particular model.
+type PowerModel interface {
+	// ClusterPower returns the watts drawn by cluster k while running at
+	// frequency level `level` with the given per-core busy fractions
+	// (one entry per core of the cluster, each in [0, 1]).
+	ClusterPower(k hmp.ClusterKind, level int, coreBusy []float64) float64
+}
+
+// Placer is the OS scheduler model: every tick it may migrate threads
+// between cores (respecting affinity masks is the placer's job).
+type Placer interface {
+	Place(m *Machine)
+}
+
+// Daemon is a per-tick hook that runs after execution and power accounting:
+// runtime managers, sensors, and load trackers are daemons.
+type Daemon interface {
+	Tick(m *Machine)
+}
+
+// Config carries machine construction parameters. The zero value selects
+// sensible defaults.
+type Config struct {
+	TickLen Time // simulation tick, default 1 ms
+
+	// MigrationPenaltySame and MigrationPenaltyCross are the stall a thread
+	// pays after migrating within a cluster / across clusters (cold caches).
+	// Defaults: 50 µs and 300 µs.
+	MigrationPenaltySame  Time
+	MigrationPenaltyCross Time
+
+	// Power is the machine's power model; nil disables energy accounting.
+	Power PowerModel
+
+	// MaxUnitsPerTick bounds how many work units one thread may complete in
+	// a single tick, a guard against zero-work programs. Default 10000.
+	MaxUnitsPerTick int
+}
+
+type coreState struct {
+	id      int
+	cluster hmp.ClusterKind
+	run     []*Thread // runnable threads placed here this tick (scratch)
+	busy    float64   // cumulative busy µs (including charged overhead)
+	stolen  Time      // pending manager overhead to steal from capacity
+	tickUse float64   // µs of this tick spent busy (scratch for power model)
+}
+
+// Machine is the simulated HMP system.
+type Machine struct {
+	plat *hmp.Platform
+	cfg  Config
+
+	now     Time
+	cores   []*coreState
+	procs   []*Process
+	threads []*Thread
+	levels  [hmp.NumClusters]int
+
+	placer  Placer
+	daemons []Daemon
+	timers  timerHeap
+
+	energyJ        float64
+	clusterEnergyJ [hmp.NumClusters]float64
+	overhead       Time
+
+	busyScratch [hmp.NumClusters][]float64
+	ticks       int64
+	tracer      *Tracer
+}
+
+// New creates a machine over the platform with both clusters at their
+// maximum frequency level and the default mask-balancing placer.
+func New(plat *hmp.Platform, cfg Config) *Machine {
+	if cfg.TickLen <= 0 {
+		cfg.TickLen = Millisecond
+	}
+	if cfg.MigrationPenaltySame <= 0 {
+		cfg.MigrationPenaltySame = 50 * Microsecond
+	}
+	if cfg.MigrationPenaltyCross <= 0 {
+		cfg.MigrationPenaltyCross = 300 * Microsecond
+	}
+	if cfg.MaxUnitsPerTick <= 0 {
+		cfg.MaxUnitsPerTick = 10000
+	}
+	m := &Machine{plat: plat, cfg: cfg, placer: NewMaskBalancer()}
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		m.levels[k] = plat.Clusters[k].MaxLevel()
+		m.busyScratch[k] = make([]float64, plat.Clusters[k].Cores)
+	}
+	for cpu := 0; cpu < plat.TotalCores(); cpu++ {
+		m.cores = append(m.cores, &coreState{id: cpu, cluster: plat.ClusterOf(cpu)})
+	}
+	return m
+}
+
+// Platform returns the machine's platform description.
+func (m *Machine) Platform() *hmp.Platform { return m.plat }
+
+// Now returns the current simulated time.
+func (m *Machine) Now() Time { return m.now }
+
+// TickLen returns the machine's tick length.
+func (m *Machine) TickLen() Time { return m.cfg.TickLen }
+
+// SetPlacer installs the OS scheduler model.
+func (m *Machine) SetPlacer(p Placer) { m.placer = p }
+
+// AddDaemon registers a per-tick hook. Daemons run in registration order.
+func (m *Machine) AddDaemon(d Daemon) { m.daemons = append(m.daemons, d) }
+
+// SetLevel sets the DVFS frequency level of cluster k (clamped to the grid).
+// This is the simulated cpufreq actuation knob; per-cluster DVFS means every
+// core of the cluster changes together, exactly the constraint MP-HARS's
+// interference-aware adaptation exists to manage.
+func (m *Machine) SetLevel(k hmp.ClusterKind, level int) {
+	level = m.plat.Clusters[k].ClampLevel(level)
+	if m.tracer != nil && level != m.levels[k] {
+		m.tracer.add(Event{
+			T: m.now, Kind: EvDVFS, Cluster: k, Level: level,
+			KHz: m.plat.Clusters[k].KHz(level),
+		})
+	}
+	m.levels[k] = level
+}
+
+// Level returns the current DVFS level of cluster k.
+func (m *Machine) Level(k hmp.ClusterKind) int { return m.levels[k] }
+
+// Procs returns the processes spawned on the machine.
+func (m *Machine) Procs() []*Process { return m.procs }
+
+// Threads returns every thread on the machine in spawn order.
+func (m *Machine) Threads() []*Thread { return m.threads }
+
+// Spawn creates a process running the program, with all threads initially
+// blocked and affine to every CPU, then calls the program's Start hook (which
+// typically hands out the first units of work).
+func (m *Machine) Spawn(name string, prog Program, hbWindow int) *Process {
+	p := &Process{
+		ID:   len(m.procs),
+		Name: name,
+		m:    m,
+		prog: prog,
+		HB:   heartbeat.NewMonitor(name, hbWindow),
+	}
+	n := prog.NumThreads()
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: program %q declares %d threads", name, n))
+	}
+	all := hmp.AllCPUs(m.plat)
+	for i := 0; i < n; i++ {
+		t := &Thread{
+			Global:   len(m.threads),
+			Local:    i,
+			Proc:     p,
+			affinity: all,
+			core:     -1,
+			blocked:  true,
+		}
+		p.Threads = append(p.Threads, t)
+		m.threads = append(m.threads, t)
+	}
+	m.procs = append(m.procs, p)
+	prog.Start(p)
+	return p
+}
+
+// Run advances the simulation by d simulated time.
+func (m *Machine) Run(d Time) { m.RunUntil(m.now + d) }
+
+// RunUntil advances the simulation until the clock reaches t.
+func (m *Machine) RunUntil(t Time) {
+	for m.now < t {
+		m.Step()
+	}
+}
+
+// Step advances the simulation by one tick.
+func (m *Machine) Step() {
+	m.fireTimers()
+	if m.placer != nil {
+		m.placer.Place(m)
+	}
+	m.execute()
+	m.integratePower()
+	for _, d := range m.daemons {
+		d.Tick(m)
+	}
+	m.now += m.cfg.TickLen
+	m.ticks++
+}
+
+func (m *Machine) execute() {
+	tick := m.cfg.TickLen
+	for _, c := range m.cores {
+		c.run = c.run[:0]
+		c.tickUse = 0
+	}
+	for _, t := range m.threads {
+		t.ranLastTick = false
+		if !t.blocked && t.core >= 0 {
+			c := m.cores[t.core]
+			c.run = append(c.run, t)
+		}
+	}
+	for _, c := range m.cores {
+		avail := float64(tick)
+		// Manager overhead charged to this core steals capacity first.
+		if c.stolen > 0 {
+			steal := c.stolen
+			if steal > tick {
+				steal = tick
+			}
+			c.stolen -= steal
+			avail -= float64(steal)
+			c.tickUse += float64(steal)
+			c.busy += float64(steal)
+		}
+		n := len(c.run)
+		if n == 0 || avail <= 0 {
+			continue
+		}
+		share := avail / float64(n)
+		speedBase := m.plat.FreqScale(c.cluster, m.levels[c.cluster])
+		for _, t := range c.run {
+			used := m.runThread(t, c, share, speedBase)
+			c.tickUse += used
+			c.busy += used
+			if used > 0 {
+				t.ranLastTick = true
+			}
+		}
+	}
+}
+
+// runThread gives thread t a budget of µs on core c and returns how much of
+// it the thread actually consumed.
+func (m *Machine) runThread(t *Thread, c *coreState, budget, speedBase float64) float64 {
+	used := 0.0
+	// Pay any pending migration penalty (stall burns CPU time).
+	if t.penalty > 0 {
+		pay := float64(t.penalty)
+		if pay > budget {
+			pay = budget
+		}
+		t.penalty -= Time(pay)
+		budget -= pay
+		used += pay
+	}
+	speed := speedBase * t.Proc.prog.SpeedFactor(t.Local, c.cluster) * m.cacheFactor(t, c.cluster)
+	if speed <= 0 {
+		return used
+	}
+	for completions := 0; budget > 0 && !t.blocked; {
+		needUS := t.remaining / speed * 1e6
+		if needUS > budget {
+			done := speed * budget / 1e6
+			t.remaining -= done
+			t.workDone += done
+			used += budget
+			return used
+		}
+		// Unit completes within the budget.
+		budget -= needUS
+		used += needUS
+		t.workDone += t.remaining
+		t.remaining = 0
+		completions++
+		if completions > m.cfg.MaxUnitsPerTick {
+			panic(fmt.Sprintf("sim: thread %s/%d completed >%d units in one tick; zero-size work units?",
+				t.Proc.Name, t.Local, m.cfg.MaxUnitsPerTick))
+		}
+		t.blocked = true // program must hand out work to keep running
+		t.Proc.prog.UnitDone(t.Proc, t.Local)
+	}
+	return used
+}
+
+// cacheFactor returns the constructive cache-sharing multiplier for thread t
+// running on cluster k: programs that declare a cache bonus run faster when
+// an adjacent sibling thread (ID ± 1) is placed on the same cluster. This is
+// the effect the paper's chunk-based scheduler exploits.
+func (m *Machine) cacheFactor(t *Thread, k hmp.ClusterKind) float64 {
+	cs, ok := t.Proc.prog.(CacheSensitive)
+	if !ok {
+		return 1
+	}
+	bonus := cs.CacheBonus()
+	if bonus == 0 {
+		return 1
+	}
+	for _, d := range [2]int{-1, 1} {
+		n := t.Local + d
+		if n < 0 || n >= len(t.Proc.Threads) {
+			continue
+		}
+		nb := t.Proc.Threads[n]
+		if nb.core >= 0 && m.plat.ClusterOf(nb.core) == k {
+			return 1 + bonus
+		}
+	}
+	return 1
+}
+
+func (m *Machine) integratePower() {
+	if m.cfg.Power == nil {
+		return
+	}
+	tickSec := Seconds(m.cfg.TickLen)
+	tickUS := float64(m.cfg.TickLen)
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		busy := m.busyScratch[k]
+		for i := range busy {
+			busy[i] = 0
+		}
+		first := m.plat.FirstCPU(k)
+		for i := 0; i < m.plat.Clusters[k].Cores; i++ {
+			busy[i] = m.cores[first+i].tickUse / tickUS
+		}
+		p := m.cfg.Power.ClusterPower(k, m.levels[k], busy)
+		e := p * tickSec
+		m.clusterEnergyJ[k] += e
+		m.energyJ += e
+	}
+}
+
+// Migrate places thread t on the given CPU, applying a migration stall if
+// the core actually changes. Placers and runtime managers call this.
+func (m *Machine) Migrate(t *Thread, cpu int) {
+	if cpu == t.core {
+		return
+	}
+	if cpu < 0 || cpu >= len(m.cores) {
+		panic(fmt.Sprintf("sim: migrate to invalid cpu %d", cpu))
+	}
+	if t.core >= 0 {
+		if m.plat.ClusterOf(t.core) != m.plat.ClusterOf(cpu) {
+			t.penalty += m.cfg.MigrationPenaltyCross
+		} else {
+			t.penalty += m.cfg.MigrationPenaltySame
+		}
+		t.migrations++
+	}
+	if m.tracer != nil {
+		m.tracer.add(Event{
+			T: m.now, Kind: EvMigrate, Proc: t.Proc.Name, Thread: t.Local,
+			From: t.core, To: cpu,
+		})
+	}
+	t.core = cpu
+}
+
+// ChargeOverhead accounts d µs of runtime-manager CPU time against the given
+// CPU: the time is stolen from the core's capacity over the following ticks
+// and added to the machine-wide overhead counter (the paper's Figure 5.3(b)
+// "CPU utilization" of HARS).
+func (m *Machine) ChargeOverhead(cpu int, d Time) {
+	if d <= 0 {
+		return
+	}
+	if cpu < 0 || cpu >= len(m.cores) {
+		cpu = 0
+	}
+	m.cores[cpu].stolen += d
+	m.overhead += d
+}
+
+// Overhead returns the total manager CPU time charged so far.
+func (m *Machine) Overhead() Time { return m.overhead }
+
+// OverheadUtil returns charged manager CPU time as a fraction of elapsed
+// time on one core — the paper's runtime-overhead metric.
+func (m *Machine) OverheadUtil() float64 {
+	if m.now == 0 {
+		return 0
+	}
+	return float64(m.overhead) / float64(m.now)
+}
+
+// EnergyJ returns total energy drawn since construction, in joules.
+func (m *Machine) EnergyJ() float64 { return m.energyJ }
+
+// ClusterEnergyJ returns the energy drawn by cluster k, in joules.
+func (m *Machine) ClusterEnergyJ(k hmp.ClusterKind) float64 { return m.clusterEnergyJ[k] }
+
+// AvgPowerW returns average power since t=0 in watts.
+func (m *Machine) AvgPowerW() float64 {
+	if m.now == 0 {
+		return 0
+	}
+	return m.energyJ / Seconds(m.now)
+}
+
+// BusyTime returns the cumulative busy time of the given CPU.
+func (m *Machine) BusyTime(cpu int) Time { return Time(m.cores[cpu].busy) }
+
+// Util returns the lifetime utilization of the given CPU in [0, 1].
+func (m *Machine) Util(cpu int) float64 {
+	if m.now == 0 {
+		return 0
+	}
+	return m.cores[cpu].busy / float64(m.now)
+}
+
+// RunQueueLen returns how many runnable threads are currently placed on cpu.
+// (Recomputed on demand; placers use it for balancing decisions.)
+func (m *Machine) RunQueueLen(cpu int) int {
+	n := 0
+	for _, t := range m.threads {
+		if !t.blocked && t.core == cpu {
+			n++
+		}
+	}
+	return n
+}

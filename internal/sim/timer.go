@@ -1,0 +1,49 @@
+package sim
+
+import "container/heap"
+
+// timerEntry is a scheduled wakeup: at time `at`, thread (proc, local)
+// receives `units` of work.
+type timerEntry struct {
+	at    Time
+	proc  *Process
+	local int
+	units float64
+	seq   int64 // tie-break for determinism
+}
+
+type timerHeap struct {
+	entries []timerEntry
+	nextSeq int64
+}
+
+func (h *timerHeap) Len() int { return len(h.entries) }
+func (h *timerHeap) Less(i, j int) bool {
+	if h.entries[i].at != h.entries[j].at {
+		return h.entries[i].at < h.entries[j].at
+	}
+	return h.entries[i].seq < h.entries[j].seq
+}
+func (h *timerHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *timerHeap) Push(x any)    { h.entries = append(h.entries, x.(timerEntry)) }
+func (h *timerHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	h.entries = old[:n-1]
+	return e
+}
+
+func (h *timerHeap) push(e timerEntry) {
+	e.seq = h.nextSeq
+	h.nextSeq++
+	heap.Push(h, e)
+}
+
+// fireTimers delivers every wakeup due at or before the current tick start.
+func (m *Machine) fireTimers() {
+	for m.timers.Len() > 0 && m.timers.entries[0].at <= m.now {
+		e := heap.Pop(&m.timers).(timerEntry)
+		e.proc.SetWork(e.local, e.units)
+	}
+}

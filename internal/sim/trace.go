@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/hmp"
+)
+
+// EventKind classifies tracer events.
+type EventKind uint8
+
+// The traced event kinds.
+const (
+	// EvMigrate is a thread moving between CPUs.
+	EvMigrate EventKind = iota
+	// EvDVFS is a cluster frequency-level change.
+	EvDVFS
+	// EvBeat is an application heartbeat.
+	EvBeat
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvMigrate:
+		return "migrate"
+	case EvDVFS:
+		return "dvfs"
+	case EvBeat:
+		return "beat"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one traced occurrence on the machine.
+type Event struct {
+	T      Time
+	Kind   EventKind
+	Proc   string // owning process (migrate, beat)
+	Thread int    // local thread ID (migrate)
+	From   int    // source CPU (migrate)
+	To     int    // destination CPU (migrate)
+	// Cluster and Level describe DVFS events.
+	Cluster hmp.ClusterKind
+	Level   int
+	KHz     int
+}
+
+// Tracer records machine events up to a bounded capacity; beyond it, events
+// are counted but dropped (long experiments generate millions of beats).
+// Attach with Machine.SetTracer.
+type Tracer struct {
+	// Max bounds retained events; 0 selects 1,000,000.
+	Max int
+
+	events  []Event
+	dropped int64
+}
+
+// Events returns the retained events in order.
+func (tr *Tracer) Events() []Event { return tr.events }
+
+// Dropped returns how many events exceeded the retention cap.
+func (tr *Tracer) Dropped() int64 { return tr.dropped }
+
+func (tr *Tracer) add(e Event) {
+	max := tr.Max
+	if max <= 0 {
+		max = 1_000_000
+	}
+	if len(tr.events) >= max {
+		tr.dropped++
+		return
+	}
+	tr.events = append(tr.events, e)
+}
+
+// WriteCSV renders the trace as CSV (time_us,kind,proc,thread,from,to,
+// cluster,khz).
+func (tr *Tracer) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_us,kind,proc,thread,from,to,cluster,khz"); err != nil {
+		return err
+	}
+	for _, e := range tr.events {
+		var err error
+		switch e.Kind {
+		case EvMigrate:
+			_, err = fmt.Fprintf(w, "%d,%s,%s,%d,%d,%d,,\n", e.T, e.Kind, e.Proc, e.Thread, e.From, e.To)
+		case EvDVFS:
+			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,%d\n", e.T, e.Kind, e.Cluster, e.KHz)
+		case EvBeat:
+			_, err = fmt.Fprintf(w, "%d,%s,%s,,,,,\n", e.T, e.Kind, e.Proc)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is the Trace Event Format record (chrome://tracing,
+// https://ui.perfetto.dev).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the trace in Chrome Trace Event Format:
+// heartbeats and migrations as instant events, cluster frequencies as
+// counter tracks. Load the output in chrome://tracing or Perfetto.
+func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
+	out := make([]chromeEvent, 0, len(tr.events))
+	for _, e := range tr.events {
+		switch e.Kind {
+		case EvMigrate:
+			out = append(out, chromeEvent{
+				Name: "migrate " + e.Proc, Phase: "i", TS: e.T, PID: 1, TID: e.To,
+				Args: map[string]any{"thread": e.Thread, "from": e.From, "to": e.To},
+			})
+		case EvDVFS:
+			out = append(out, chromeEvent{
+				Name: e.Cluster.String() + "-freq", Phase: "C", TS: e.T, PID: 1,
+				Args: map[string]any{"khz": e.KHz},
+			})
+		case EvBeat:
+			out = append(out, chromeEvent{
+				Name: "beat " + e.Proc, Phase: "i", TS: e.T, PID: 2,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}
+
+// SetTracer attaches an event tracer to the machine (nil detaches).
+func (m *Machine) SetTracer(tr *Tracer) { m.tracer = tr }
+
+// Tracer returns the attached tracer, if any.
+func (m *Machine) Tracer() *Tracer { return m.tracer }

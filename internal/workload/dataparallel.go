@@ -1,0 +1,97 @@
+// Package workload provides the synthetic multithreaded applications the
+// evaluation runs on: models of the six PARSEC benchmarks the paper uses
+// (blackscholes, bodytrack, facesim, ferret, fluidanimate, swaptions) built
+// from two reusable templates — a barrier-synchronized data-parallel program
+// and a bounded-queue pipeline program.
+//
+// The models capture the characteristics the paper's results hinge on:
+//
+//   - blackscholes runs equally fast on big and little cores (true big/little
+//     ratio r = 1.0 against HARS's assumed r0 = 1.5) and has an initial
+//     input-reading phase that emits no heartbeats;
+//   - ferret is a 6-stage pipeline whose stages are contiguous in thread-ID
+//     order, so the chunk-based scheduler can starve whole stages on little
+//     cores while the interleaving scheduler cannot;
+//   - fluidanimate and facesim reward constructive cache sharing between
+//     adjacent threads (the chunk-based scheduler's advantage);
+//   - bodytrack's per-frame work varies, exercising dynamic adaptation.
+package workload
+
+import (
+	"repro/internal/hmp"
+	"repro/internal/sim"
+)
+
+// DataParallel is a barrier-synchronized data-parallel program: every
+// iteration the total work is split equally across all threads (the paper's
+// §3.1.1 assumption), the threads meet at a barrier, and the application
+// emits one heartbeat per completed iteration.
+type DataParallel struct {
+	AppName    string
+	Threads    int
+	BigFactor  float64                  // per-clock speed on big vs little (app-true r)
+	Bonus      float64                  // constructive cache-sharing bonus
+	Unit       func(iter int64) float64 // per-thread work units for an iteration
+	StartDelay sim.Time                 // heartbeat-less startup phase (blackscholes)
+
+	iter    int64
+	pending int
+}
+
+var _ sim.Program = (*DataParallel)(nil)
+var _ sim.CacheSensitive = (*DataParallel)(nil)
+
+// Name implements sim.Program.
+func (d *DataParallel) Name() string { return d.AppName }
+
+// NumThreads implements sim.Program.
+func (d *DataParallel) NumThreads() int { return d.Threads }
+
+// CacheBonus implements sim.CacheSensitive.
+func (d *DataParallel) CacheBonus() float64 { return d.Bonus }
+
+// SpeedFactor implements sim.Program.
+func (d *DataParallel) SpeedFactor(local int, k hmp.ClusterKind) float64 {
+	if k == hmp.Big {
+		return d.BigFactor
+	}
+	return 1
+}
+
+// Start implements sim.Program.
+func (d *DataParallel) Start(p *sim.Process) {
+	d.iter = 0
+	d.pending = d.Threads
+	w := d.Unit(0)
+	for i := 0; i < d.Threads; i++ {
+		if d.StartDelay > 0 {
+			p.WakeAt(i, p.Now()+d.StartDelay, w)
+		} else {
+			p.SetWork(i, w)
+		}
+	}
+}
+
+// UnitDone implements sim.Program: threads that finish early wait at the
+// barrier; the last one releases the next iteration and emits the heartbeat.
+func (d *DataParallel) UnitDone(p *sim.Process, local int) {
+	d.pending--
+	if d.pending > 0 {
+		return // barrier wait
+	}
+	p.Beat()
+	d.iter++
+	d.pending = d.Threads
+	w := d.Unit(d.iter)
+	for i := 0; i < d.Threads; i++ {
+		p.SetWork(i, w)
+	}
+}
+
+// Iteration returns the number of completed iterations.
+func (d *DataParallel) Iteration() int64 { return d.iter }
+
+// ConstUnit returns a Unit function with constant per-thread work.
+func ConstUnit(w float64) func(int64) float64 {
+	return func(int64) float64 { return w }
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/hmp"
+	"repro/internal/sim"
+)
+
+// Pipeline is a bounded-queue pipeline program in the style of PARSEC's
+// ferret: StageThreads[s] worker threads per stage, items flowing from an
+// unlimited source at stage 0 through bounded queues to the final stage,
+// which emits one heartbeat per finished item. Thread IDs are assigned
+// stage-contiguously (stage 0 first), matching how PARSEC spawns pipeline
+// workers — this is why the chunk-based scheduler can place entire stages on
+// one cluster.
+type Pipeline struct {
+	AppName      string
+	StageThreads []int     // threads per stage
+	StageWork    []float64 // work units per item at each stage
+	QueueCap     int       // bounded queue capacity between stages
+	BigFactor    float64
+	Bonus        float64
+
+	stageOf     []int   // thread local ID → stage
+	queued      []int   // queued[s]: items buffered at the input of stage s (s ≥ 1)
+	waiting     [][]int // waiting[s]: stage-s threads blocked on an empty input
+	blockedPush [][]int // blockedPush[s]: stage-(s−1) threads blocked pushing into s
+	items       int64   // items completed by the final stage
+}
+
+var _ sim.Program = (*Pipeline)(nil)
+var _ sim.CacheSensitive = (*Pipeline)(nil)
+var _ sim.ThreadGrouper = (*Pipeline)(nil)
+
+// Name implements sim.Program.
+func (pl *Pipeline) Name() string { return pl.AppName }
+
+// NumThreads implements sim.Program.
+func (pl *Pipeline) NumThreads() int {
+	n := 0
+	for _, s := range pl.StageThreads {
+		n += s
+	}
+	return n
+}
+
+// CacheBonus implements sim.CacheSensitive.
+func (pl *Pipeline) CacheBonus() float64 { return pl.Bonus }
+
+// SpeedFactor implements sim.Program.
+func (pl *Pipeline) SpeedFactor(local int, k hmp.ClusterKind) float64 {
+	if k == hmp.Big {
+		return pl.BigFactor
+	}
+	return 1
+}
+
+// Stages returns the number of pipeline stages.
+func (pl *Pipeline) Stages() int { return len(pl.StageThreads) }
+
+// ThreadGroups implements sim.ThreadGrouper: one group per pipeline stage.
+func (pl *Pipeline) ThreadGroups() []int {
+	return append([]int(nil), pl.StageThreads...)
+}
+
+// StageOf returns the stage that thread `local` works in.
+func (pl *Pipeline) StageOf(local int) int { return pl.stageOf[local] }
+
+// Items returns the number of items retired by the final stage.
+func (pl *Pipeline) Items() int64 { return pl.items }
+
+// Start implements sim.Program: stage-0 threads pull from the unlimited
+// source immediately; all other threads wait for input.
+func (pl *Pipeline) Start(p *sim.Process) {
+	ns := len(pl.StageThreads)
+	if ns == 0 || len(pl.StageWork) != ns {
+		panic(fmt.Sprintf("workload: pipeline %q has %d stages and %d work entries",
+			pl.AppName, ns, len(pl.StageWork)))
+	}
+	if pl.QueueCap <= 0 {
+		pl.QueueCap = 8
+	}
+	pl.items = 0
+	pl.stageOf = make([]int, 0, pl.NumThreads())
+	pl.queued = make([]int, ns)
+	pl.waiting = make([][]int, ns)
+	pl.blockedPush = make([][]int, ns)
+	local := 0
+	for s, n := range pl.StageThreads {
+		for i := 0; i < n; i++ {
+			pl.stageOf = append(pl.stageOf, s)
+			if s == 0 {
+				p.SetWork(local, pl.StageWork[0])
+			} else {
+				pl.waiting[s] = append(pl.waiting[s], local)
+			}
+			local++
+		}
+	}
+}
+
+// UnitDone implements sim.Program: the finished item is delivered
+// downstream (blocking the producer if the queue is full), then the thread
+// pulls its next input.
+func (pl *Pipeline) UnitDone(p *sim.Process, local int) {
+	s := pl.stageOf[local]
+	if s == len(pl.StageThreads)-1 {
+		pl.items++
+		p.Beat()
+	} else if !pl.push(p, s+1) {
+		// Output queue full: the producer parks until a consumer frees a
+		// slot, then both the push and this thread's next input resume in
+		// drainBlockedPush.
+		pl.blockedPush[s+1] = append(pl.blockedPush[s+1], local)
+		return
+	}
+	pl.fetchInput(p, local, s)
+}
+
+// push delivers one item into the input of stage s. It prefers handing the
+// item directly to a waiting consumer; otherwise it buffers it, and reports
+// false if the bounded queue is full.
+func (pl *Pipeline) push(p *sim.Process, s int) bool {
+	if n := len(pl.waiting[s]); n > 0 {
+		w := pl.waiting[s][0]
+		pl.waiting[s] = pl.waiting[s][1:]
+		p.SetWork(w, pl.StageWork[s])
+		return true
+	}
+	if pl.queued[s] < pl.QueueCap {
+		pl.queued[s]++
+		return true
+	}
+	return false
+}
+
+// fetchInput gives thread `local` of stage s its next item, or parks it.
+func (pl *Pipeline) fetchInput(p *sim.Process, local, s int) {
+	if s == 0 {
+		p.SetWork(local, pl.StageWork[0]) // unlimited source
+		return
+	}
+	if pl.queued[s] > 0 {
+		pl.queued[s]--
+		p.SetWork(local, pl.StageWork[s])
+		pl.drainBlockedPush(p, s)
+		return
+	}
+	pl.waiting[s] = append(pl.waiting[s], local)
+}
+
+// drainBlockedPush resumes producers that were blocked pushing into stage s
+// after a queue slot freed up.
+func (pl *Pipeline) drainBlockedPush(p *sim.Process, s int) {
+	for len(pl.blockedPush[s]) > 0 {
+		producer := pl.blockedPush[s][0]
+		if !pl.push(p, s) {
+			return
+		}
+		pl.blockedPush[s] = pl.blockedPush[s][1:]
+		pl.fetchInput(p, producer, s-1)
+	}
+}
