@@ -4,13 +4,10 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/core"
+	"repro/internal/bench"
 	"repro/internal/experiments"
-	"repro/internal/heartbeat"
 	"repro/internal/hmp"
 	"repro/internal/power"
-	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // The figure benchmarks regenerate the paper's experiments at the Quick
@@ -36,6 +33,7 @@ func env(b *testing.B) *experiments.Env {
 // BenchmarkTable31 regenerates the thread-assignment table (Table 3.1).
 func BenchmarkTable31(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if rep := experiments.Table31(e); len(rep.Table.Rows) == 0 {
 			b.Fatal("empty table")
@@ -45,6 +43,7 @@ func BenchmarkTable31(b *testing.B) {
 
 // BenchmarkTable43 regenerates the state & freeze decision table (Table 4.3).
 func BenchmarkTable43(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if rep := experiments.Table43(nil); len(rep.Table.Rows) != 18 {
 			b.Fatal("bad table")
@@ -57,6 +56,7 @@ func BenchmarkPowerProfile(b *testing.B) {
 	plat := hmp.Default()
 	gt := power.DefaultGroundTruth(plat)
 	cfg := experiments.Quick().Profile
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := power.ProfileAndFit(plat, gt, cfg); err != nil {
 			b.Fatal(err)
@@ -67,6 +67,7 @@ func BenchmarkPowerProfile(b *testing.B) {
 // BenchmarkFig51 regenerates Figure 5.1 (perf/watt, default target).
 func BenchmarkFig51(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if rep := experiments.Fig51(e); len(rep.Table.Rows) != 7 {
 			b.Fatalf("rows = %d", len(rep.Table.Rows))
@@ -77,6 +78,7 @@ func BenchmarkFig51(b *testing.B) {
 // BenchmarkFig52 regenerates Figure 5.2 (perf/watt, high target).
 func BenchmarkFig52(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if rep := experiments.Fig52(e); len(rep.Table.Rows) != 7 {
 			b.Fatalf("rows = %d", len(rep.Table.Rows))
@@ -87,6 +89,7 @@ func BenchmarkFig52(b *testing.B) {
 // BenchmarkFig53 regenerates Figure 5.3 (efficiency & overhead vs d).
 func BenchmarkFig53(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if rep := experiments.Fig53(e); len(rep.Series) != 4 {
 			b.Fatal("bad series")
@@ -97,6 +100,7 @@ func BenchmarkFig53(b *testing.B) {
 // BenchmarkFig54 regenerates Figure 5.4 (multi-application perf/watt).
 func BenchmarkFig54(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if rep := experiments.Fig54(e); len(rep.Table.Rows) != 7 {
 			b.Fatalf("rows = %d", len(rep.Table.Rows))
@@ -107,6 +111,7 @@ func BenchmarkFig54(b *testing.B) {
 // BenchmarkFig55 regenerates Figure 5.5 (case 4 behaviour, CONS-I).
 func BenchmarkFig55(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if rep := experiments.Fig55(e); len(rep.Series) == 0 {
 			b.Fatal("no series")
@@ -117,6 +122,7 @@ func BenchmarkFig55(b *testing.B) {
 // BenchmarkFig56 regenerates Figure 5.6 (case 4 behaviour, MP-HARS-I).
 func BenchmarkFig56(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if rep := experiments.Fig56(e); len(rep.Series) == 0 {
 			b.Fatal("no series")
@@ -127,6 +133,7 @@ func BenchmarkFig56(b *testing.B) {
 // BenchmarkFig57 regenerates Figure 5.7 (case 4 behaviour, MP-HARS-E).
 func BenchmarkFig57(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if rep := experiments.Fig57(e); len(rep.Series) == 0 {
 			b.Fatal("no series")
@@ -137,6 +144,7 @@ func BenchmarkFig57(b *testing.B) {
 // BenchmarkAblations regenerates the §3.1.4 extension ablation study.
 func BenchmarkAblations(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if rep := experiments.Ablations(e); len(rep.Table.Rows) != 9 {
 			b.Fatalf("rows = %d", len(rep.Table.Rows))
@@ -147,6 +155,7 @@ func BenchmarkAblations(b *testing.B) {
 // BenchmarkExtendedSuite runs the beyond-paper ten-benchmark suite.
 func BenchmarkExtendedSuite(b *testing.B) {
 	e := env(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if rep := experiments.ExtendedSuite(e); len(rep.Table.Rows) != 11 {
 			b.Fatalf("rows = %d", len(rep.Table.Rows))
@@ -156,52 +165,15 @@ func BenchmarkExtendedSuite(b *testing.B) {
 
 // BenchmarkSearchExhaustive measures one exhaustive GetNextSysState sweep
 // (m = n = 4, d = 7), the per-adaptation cost of HARS-E.
-func BenchmarkSearchExhaustive(b *testing.B) {
-	plat := hmp.Default()
-	lm := &power.LinearModel{}
-	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
-		n := plat.Clusters[k].Levels()
-		lm.Alpha[k] = make([]float64, n)
-		lm.Beta[k] = make([]float64, n)
-		for lv := 0; lv < n; lv++ {
-			lm.Alpha[k][lv] = 0.5 * plat.FreqScale(k, lv)
-			lm.Beta[k][lv] = 0.2
-		}
-	}
-	est := core.NewEstimators(plat, 8, lm)
-	cs := hmp.State{BigCores: 2, LittleCores: 2, BigLevel: 4, LittleLevel: 3}
-	tgt := heartbeat.Target{Min: 1.8, Avg: 2.0, Max: 2.2}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		res := core.Search(est, cs, 3.0, tgt, core.SearchParams{M: 4, N: 4, D: 7}, core.Unbounded(plat))
-		if res.Explored == 0 {
-			b.Fatal("no candidates")
-		}
-	}
-}
+func BenchmarkSearchExhaustive(b *testing.B) { bench.SearchExhaustive(b) }
 
 // BenchmarkAssign measures the Table 3.1 assignment computation.
-func BenchmarkAssign(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		a := core.Assign(8+i%8, 4, 4, 1.5)
-		if a.TB+a.TL == 0 {
-			b.Fatal("empty assignment")
-		}
-	}
-}
+func BenchmarkAssign(b *testing.B) { bench.Assign(b) }
 
 // BenchmarkSimSecond measures simulating one second (1000 ticks) of an
 // 8-thread data-parallel workload on the default machine.
-func BenchmarkSimSecond(b *testing.B) {
-	plat := hmp.Default()
-	gt := power.DefaultGroundTruth(plat)
-	m := sim.New(plat, sim.Config{Power: gt})
-	bench, _ := workload.ByShort("SW")
-	m.Spawn("sw", bench.New(8), 10)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m.Run(1 * sim.Second)
-	}
-}
+func BenchmarkSimSecond(b *testing.B) { bench.SimSecond(b) }
+
+// BenchmarkSimSecondPipeline is the pipeline-workload variant: heavy
+// block/unblock churn, the incremental run queues' worst case.
+func BenchmarkSimSecondPipeline(b *testing.B) { bench.SimSecondPipeline(b) }

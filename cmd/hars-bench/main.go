@@ -1,0 +1,95 @@
+// Command hars-bench runs the repository's tracked hot-path benchmarks
+// (internal/bench) in-process via testing.Benchmark and writes the results
+// as a JSON trajectory file (BENCH_<n>.json at the repository root, one per
+// PR). Compare files across revisions to see the perf trend.
+//
+// Usage:
+//
+//	hars-bench [-out BENCH_1.json] [-filter regexp]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// File is the trajectory file schema.
+type File struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output JSON path (empty = stdout only)")
+	filter := flag.String("filter", "", "regexp selecting benchmark names (empty = all)")
+	flag.Parse()
+
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -filter: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	f := File{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Benchtime: "1s", // testing.Benchmark's built-in target
+	}
+	for _, c := range bench.Cases() {
+		if re != nil && !re.MatchString(c.Name) {
+			continue
+		}
+		r := testing.Benchmark(c.F)
+		res := Result{
+			Name:        c.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		f.Results = append(f.Results, res)
+		fmt.Printf("%-20s %12d iters %14.1f ns/op %8d B/op %6d allocs/op\n",
+			res.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	} else {
+		os.Stdout.Write(data)
+	}
+}

@@ -3,7 +3,13 @@
 //
 // Usage:
 //
-//	hars-experiments [-exp all|fig5.1|fig5.2|fig5.3|fig5.4|fig5.5|fig5.6|fig5.7|table3.1|table4.3|power] [-scale quick|full]
+//	hars-experiments [-exp all|fig5.1|fig5.2|fig5.3|fig5.4|fig5.5|fig5.6|fig5.7|table3.1|table4.3|power|ablation|extended]
+//	                 [-scale quick|full] [-parallel N]
+//
+// With -parallel N the independent experiments run through an N-wide worker
+// pool (N = 0 means one worker per CPU); every experiment owns its simulated
+// machines, so the reports are identical to a serial run — only the wall
+// clock changes. Reports are printed in registry order as they complete.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to regenerate (all, fig5.1, fig5.2, fig5.3, fig5.4, fig5.5, fig5.6, fig5.7, table3.1, table4.3, power, ablation, extended)")
 	scale := flag.String("scale", "full", "experiment scale: quick or full")
+	parallel := flag.Int("parallel", 1, "experiment-level worker pool width (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -31,6 +38,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	drivers, err := experiments.SelectDrivers(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	start := time.Now()
 	fmt.Printf("building environment (power profiling & model fit, scale=%s)...\n", *scale)
 	env, err := experiments.NewEnv(sc)
@@ -39,38 +52,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	drivers := []struct {
-		name string
-		run  func(*experiments.Env) *experiments.Report
-	}{
-		{"table3.1", experiments.Table31},
-		{"table4.3", experiments.Table43},
-		{"power", experiments.PowerProfile},
-		{"fig5.1", experiments.Fig51},
-		{"fig5.2", experiments.Fig52},
-		{"fig5.3", experiments.Fig53},
-		{"fig5.4", experiments.Fig54},
-		{"fig5.5", experiments.Fig55},
-		{"fig5.6", experiments.Fig56},
-		{"fig5.7", experiments.Fig57},
-		{"ablation", experiments.Ablations},
-		{"extended", experiments.ExtendedSuite},
-	}
-	ran := 0
-	for _, d := range drivers {
-		if *exp != "all" && *exp != d.name {
-			continue
-		}
-		t0 := time.Now()
-		rep := d.run(env)
+	experiments.RunDrivers(env, drivers, *parallel, func(o experiments.Outcome) {
 		fmt.Println()
-		fmt.Print(rep.String())
-		fmt.Printf("(%s regenerated in %.1fs)\n", d.name, time.Since(t0).Seconds())
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
-	}
+		fmt.Print(o.Report.String())
+		fmt.Printf("(%s regenerated in %.1fs)\n", o.Name, o.Elapsed.Seconds())
+	})
 	fmt.Printf("\ntotal wall time: %.1fs\n", time.Since(start).Seconds())
 }

@@ -20,4 +20,39 @@
 // record. The benchmarks in bench_test.go regenerate each experiment:
 //
 //	go test -bench=Fig51 -benchmem
+//
+// # Performance & benchmarking
+//
+// The runtime manager's whole value proposition is being cheap enough to
+// invoke every adaptation period, so the simulator and search hot paths are
+// engineered and continuously measured:
+//
+//   - internal/sim maintains per-core run queues incrementally on
+//     block/unblock/migrate transitions instead of rescanning every thread
+//     every tick; RunQueueLen is O(1), per-thread speed factors and the
+//     cache-sharing bonus are resolved once at Spawn, and per-tick energy
+//     integration is memoized while a cluster's level and busy times are
+//     unchanged. All of it is tick-for-tick bit-identical to the historical
+//     full-scan implementation — equivalence_test.go pins golden digests
+//     (energy, heartbeats, work, migrations, busy time) captured from the
+//     pre-refactor simulator.
+//   - internal/core memoizes the performance estimator in a dense table
+//     over the 4-D system-state space, shared by Search, the tabu search,
+//     and MP-HARS's per-application sweeps; a warm exhaustive
+//     GetNextSysState sweep performs zero allocations
+//     (TestSearchZeroAllocs).
+//   - internal/experiments runs independent figure rows and whole
+//     experiments through worker pools (hars-experiments -parallel N);
+//     reports are identical whatever the pool width.
+//
+// The tracked hot-path benchmarks live in internal/bench and run two ways:
+//
+//	go test -run '^$' -bench 'SimSecond|SearchExhaustive' -benchmem .
+//	go run ./cmd/hars-bench -out BENCH_N.json
+//
+// cmd/hars-bench writes the measurements as BENCH_<n>.json at the
+// repository root (one file per PR, n = PR number) so the performance
+// trajectory is reviewable alongside the code: compare ns_per_op across
+// files to see the trend, and treat a regression in SimSecond or
+// SearchExhaustive as a bug.
 package repro

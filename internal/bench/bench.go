@@ -1,0 +1,103 @@
+// Package bench defines the repository's tracked micro-benchmarks as plain
+// functions so they can run both under `go test -bench` (bench_test.go at
+// the repository root delegates here) and under cmd/hars-bench, which
+// executes them with testing.Benchmark and records the results as
+// BENCH_<n>.json — the perf trajectory the ROADMAP's "fast as the hardware
+// allows" north-star is measured against.
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/heartbeat"
+	"repro/internal/hmp"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Case is one tracked benchmark.
+type Case struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// Cases returns the tracked hot-path benchmarks in reporting order.
+func Cases() []Case {
+	return []Case{
+		{"SimSecond", SimSecond},
+		{"SimSecondPipeline", SimSecondPipeline},
+		{"SearchExhaustive", SearchExhaustive},
+		{"Assign", Assign},
+	}
+}
+
+// simSecond measures simulating one second (1000 ticks) of an 8-thread
+// workload on the default machine with ground-truth power accounting.
+func simSecond(b *testing.B, short string) {
+	plat := hmp.Default()
+	gt := power.DefaultGroundTruth(plat)
+	m := sim.New(plat, sim.Config{Power: gt})
+	bench, ok := workload.ByShort(short)
+	if !ok {
+		b.Fatalf("unknown benchmark %q", short)
+	}
+	m.Spawn(bench.Name, bench.New(8), 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(1 * sim.Second)
+	}
+}
+
+// SimSecond is the data-parallel (SW) simulator hot-path benchmark.
+func SimSecond(b *testing.B) { simSecond(b, "SW") }
+
+// SimSecondPipeline is the pipeline (FE) variant: heavy block/unblock churn
+// and migration traffic, the worst case for the incremental run queues.
+func SimSecondPipeline(b *testing.B) { simSecond(b, "FE") }
+
+// SearchEstimators builds the estimator fixture SearchExhaustive uses (a
+// synthetic linear power model over the default platform).
+func SearchEstimators() core.Estimators {
+	plat := hmp.Default()
+	lm := &power.LinearModel{}
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		n := plat.Clusters[k].Levels()
+		lm.Alpha[k] = make([]float64, n)
+		lm.Beta[k] = make([]float64, n)
+		for lv := 0; lv < n; lv++ {
+			lm.Alpha[k][lv] = 0.5 * plat.FreqScale(k, lv)
+			lm.Beta[k][lv] = 0.2
+		}
+	}
+	return core.NewEstimators(plat, 8, lm)
+}
+
+// SearchExhaustive measures one exhaustive GetNextSysState sweep
+// (m = n = 4, d = 7), the per-adaptation cost of HARS-E.
+func SearchExhaustive(b *testing.B) {
+	est := SearchEstimators()
+	plat := est.Perf.Plat
+	cs := hmp.State{BigCores: 2, LittleCores: 2, BigLevel: 4, LittleLevel: 3}
+	tgt := heartbeat.Target{Min: 1.8, Avg: 2.0, Max: 2.2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := core.Search(est, cs, 3.0, tgt, core.SearchParams{M: 4, N: 4, D: 7}, core.Unbounded(plat))
+		if res.Explored == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+// Assign measures the Table 3.1 assignment computation.
+func Assign(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := core.Assign(8+i%8, 4, 4, 1.5)
+		if a.TB+a.TL == 0 {
+			b.Fatal("empty assignment")
+		}
+	}
+}

@@ -29,6 +29,21 @@ type PerfEstimator struct {
 	// when positive. The online ratio learner (ratio.go) installs its
 	// estimate here; zero keeps the paper's fixed r0.
 	R0 float64
+
+	// Dense memo table over the small 4-D state space (core counts ×
+	// frequency levels), shared by Search, the tabu search, and MP-HARS's
+	// per-application sweeps. Entries are validated against memoEpoch,
+	// which bumps whenever the effective ratio or thread count changes, so
+	// invalidation is O(1). Evaluate is a pure function of (state, ratio,
+	// T): memoized results are bit-for-bit identical to recomputed ones.
+	memo          []PerfEval
+	memoStamp     []uint32
+	memoEpoch     uint32
+	memoR0        float64 // effective ratio the current epoch is valid for
+	memoT         int
+	nCL, nFB, nFL int // index strides (little cores + 1, big levels, little levels)
+	memoStates    int
+	scratch       PerfEval // fallback slot for out-of-grid states
 }
 
 // Ratio returns the big/little performance ratio in effect.
@@ -37,6 +52,57 @@ func (e *PerfEstimator) Ratio() float64 {
 		return e.R0
 	}
 	return e.Plat.R0()
+}
+
+// initMemo sizes the memo table for the estimator's platform.
+func (e *PerfEstimator) initMemo() {
+	nCB := e.Plat.Clusters[hmp.Big].Cores + 1
+	e.nCL = e.Plat.Clusters[hmp.Little].Cores + 1
+	e.nFB = e.Plat.Clusters[hmp.Big].Levels()
+	e.nFL = e.Plat.Clusters[hmp.Little].Levels()
+	e.memoStates = nCB * e.nCL * e.nFB * e.nFL
+	e.memo = make([]PerfEval, e.memoStates)
+	e.memoStamp = make([]uint32, e.memoStates)
+	e.memoEpoch = 1
+	e.memoR0 = e.Ratio()
+	e.memoT = e.T
+}
+
+// EvaluateCached is Evaluate through the estimator's memo table. Results are
+// identical to Evaluate; states outside the platform grid fall through to a
+// direct computation.
+func (e *PerfEstimator) EvaluateCached(st hmp.State) PerfEval {
+	return *e.evalCachedPtr(st)
+}
+
+// evalCachedPtr is EvaluateCached without the struct copy: the pointer is
+// into the memo table (or a scratch slot for out-of-grid states) and is
+// valid until the next out-of-grid evaluation or epoch change.
+func (e *PerfEstimator) evalCachedPtr(st hmp.State) *PerfEval {
+	if e.memo == nil {
+		e.initMemo()
+	}
+	if r := e.Ratio(); r != e.memoR0 || e.T != e.memoT {
+		e.memoEpoch++
+		e.memoR0 = r
+		e.memoT = e.T
+	}
+	if st.BigCores < 0 || st.LittleCores < 0 || st.LittleCores >= e.nCL ||
+		st.BigLevel < 0 || st.BigLevel >= e.nFB ||
+		st.LittleLevel < 0 || st.LittleLevel >= e.nFL {
+		e.scratch = e.Evaluate(st)
+		return &e.scratch
+	}
+	idx := ((st.BigCores*e.nCL+st.LittleCores)*e.nFB+st.BigLevel)*e.nFL + st.LittleLevel
+	if idx >= e.memoStates {
+		e.scratch = e.Evaluate(st)
+		return &e.scratch
+	}
+	if e.memoStamp[idx] != e.memoEpoch {
+		e.memo[idx] = e.Evaluate(st)
+		e.memoStamp[idx] = e.memoEpoch
+	}
+	return &e.memo[idx]
 }
 
 // Evaluate computes the Table 3.1 assignment and timing for a state.
@@ -61,8 +127,8 @@ func (e *PerfEstimator) Evaluate(st hmp.State) PerfEval {
 // model: the amount of work per heartbeat stays what it was in the last
 // period, so the rate scales with estimated throughput.
 func (e *PerfEstimator) EstimateRate(cur hmp.State, curRate float64, cand hmp.State) float64 {
-	curEv := e.Evaluate(cur)
-	candEv := e.Evaluate(cand)
+	curEv := e.EvaluateCached(cur)
+	candEv := e.EvaluateCached(cand)
 	if curEv.Throughput <= 0 {
 		return 0
 	}
@@ -78,6 +144,12 @@ type PowerEstimator struct {
 // Estimate returns the estimated watts for a state whose performance
 // evaluation is ev.
 func (pe *PowerEstimator) Estimate(st hmp.State, ev PerfEval) float64 {
+	return pe.estimateEval(st, &ev)
+}
+
+// estimateEval is Estimate without the PerfEval copy (hot in the search
+// sweeps); the two-cluster formula lives only here.
+func (pe *PowerEstimator) estimateEval(st hmp.State, ev *PerfEval) float64 {
 	return pe.Model.Estimate(hmp.Big, st.BigLevel, ev.CBU, ev.UB) +
 		pe.Model.Estimate(hmp.Little, st.LittleLevel, ev.CLU, ev.UL)
 }
@@ -91,18 +163,30 @@ type Estimators struct {
 // NewEstimators builds estimators for an application with T threads on the
 // platform, using the fitted power model.
 func NewEstimators(plat *hmp.Platform, threads int, model *power.LinearModel) Estimators {
+	perf := &PerfEstimator{Plat: plat, T: threads}
+	perf.initMemo() // preallocate so Search sweeps are allocation-free
 	return Estimators{
-		Perf:  &PerfEstimator{Plat: plat, T: threads},
+		Perf:  perf,
 		Power: &PowerEstimator{Model: model},
 	}
 }
 
 // Score evaluates one candidate state: estimated rate, estimated power, and
-// normalized performance per watt.
+// normalized performance per watt. The current state's evaluation is a memo
+// hit after the first candidate of a sweep; ScoreEval is the variant for
+// callers that have already hoisted its throughput out of their loop.
 func (e Estimators) Score(cur hmp.State, curRate float64, cand hmp.State, tgt heartbeat.Target) (rate, watts, pp float64) {
-	rate = e.Perf.EstimateRate(cur, curRate, cand)
-	ev := e.Perf.Evaluate(cand)
-	watts = e.Power.Estimate(cand, ev)
+	return e.ScoreEval(e.Perf.evalCachedPtr(cur).Throughput, curRate, cand, tgt)
+}
+
+// ScoreEval scores a candidate against the current state's estimated
+// throughput (curTput).
+func (e Estimators) ScoreEval(curTput, curRate float64, cand hmp.State, tgt heartbeat.Target) (rate, watts, pp float64) {
+	candEv := e.Perf.evalCachedPtr(cand)
+	if curTput > 0 {
+		rate = curRate * candEv.Throughput / curTput
+	}
+	watts = e.Power.estimateEval(cand, candEv)
 	if watts <= 0 {
 		watts = 1e-9
 	}

@@ -1,0 +1,107 @@
+package core
+
+import "testing"
+
+func countBig(plan []bool) int {
+	n := 0
+	for _, b := range plan {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// TestThreadClustersHierarchyEmpty covers the degenerate group lists: no
+// groups at all, and groups that are all zero-sized.
+func TestThreadClustersHierarchyEmpty(t *testing.T) {
+	if plan := ThreadClustersHierarchy(nil, 3); plan != nil {
+		t.Errorf("nil groups: plan = %v, want nil", plan)
+	}
+	if plan := ThreadClustersHierarchy([]int{}, 0); plan != nil {
+		t.Errorf("empty groups: plan = %v, want nil", plan)
+	}
+	if plan := ThreadClustersHierarchy([]int{0, 0, 0}, 2); plan != nil {
+		t.Errorf("all-zero groups: plan = %v, want nil", plan)
+	}
+}
+
+// TestThreadClustersHierarchyZeroSizeGroupsMixed checks that zero-sized
+// groups inside a hierarchy neither receive slots nor emit plan entries.
+func TestThreadClustersHierarchyZeroSizeGroupsMixed(t *testing.T) {
+	plan := ThreadClustersHierarchy([]int{2, 0, 2}, 2)
+	if len(plan) != 4 {
+		t.Fatalf("plan length = %d, want 4", len(plan))
+	}
+	if got := countBig(plan); got != 2 {
+		t.Errorf("big slots = %d, want 2", got)
+	}
+}
+
+// TestThreadClustersHierarchyTBOverflow: tb larger than the total thread
+// count must clamp to "everything big", and negative tb to "everything
+// little".
+func TestThreadClustersHierarchyTBOverflow(t *testing.T) {
+	plan := ThreadClustersHierarchy([]int{3, 2}, 99)
+	if len(plan) != 5 {
+		t.Fatalf("plan length = %d, want 5", len(plan))
+	}
+	if got := countBig(plan); got != 5 {
+		t.Errorf("tb>t: big slots = %d, want all 5", got)
+	}
+	plan = ThreadClustersHierarchy([]int{3, 2}, -4)
+	if got := countBig(plan); got != 0 {
+		t.Errorf("tb<0: big slots = %d, want 0", got)
+	}
+}
+
+// TestThreadClustersHierarchySingleThreadGroups: with every group of size
+// one, exactly tb groups get a big slot and quotas never exceed group size.
+func TestThreadClustersHierarchySingleThreadGroups(t *testing.T) {
+	groups := []int{1, 1, 1, 1, 1, 1}
+	for tb := 0; tb <= 6; tb++ {
+		plan := ThreadClustersHierarchy(groups, tb)
+		if len(plan) != 6 {
+			t.Fatalf("tb=%d: plan length = %d, want 6", tb, len(plan))
+		}
+		if got := countBig(plan); got != tb {
+			t.Errorf("tb=%d: big slots = %d", tb, got)
+		}
+	}
+}
+
+// TestThreadClustersHierarchyExactQuota sweeps mixed hierarchies and checks
+// the largest-remainder distribution hands out exactly tb slots whenever
+// tb ≤ t, never more than a group's size, and proportionally at the exact
+// split points.
+func TestThreadClustersHierarchyExactQuota(t *testing.T) {
+	cases := [][]int{{4, 4}, {1, 7}, {2, 3, 3}, {5, 1, 1, 1}, {1, 2, 1, 2, 1, 2}}
+	for _, groups := range cases {
+		total := 0
+		for _, g := range groups {
+			total += g
+		}
+		for tb := 0; tb <= total; tb++ {
+			plan := ThreadClustersHierarchy(groups, tb)
+			if len(plan) != total {
+				t.Fatalf("groups %v tb=%d: plan length = %d, want %d", groups, tb, len(plan), total)
+			}
+			if got := countBig(plan); got != tb {
+				t.Errorf("groups %v tb=%d: big slots = %d", groups, tb, got)
+			}
+			// Per-group quota must never exceed the group size.
+			off := 0
+			for gi, g := range groups {
+				if got := countBig(plan[off : off+g]); got > g {
+					t.Errorf("groups %v tb=%d: group %d quota %d > size %d", groups, tb, gi, got, g)
+				}
+				off += g
+			}
+		}
+	}
+	// Exact proportional split: equal halves at tb=4 get two slots each.
+	plan := ThreadClustersHierarchy([]int{4, 4}, 4)
+	if a, b := countBig(plan[:4]), countBig(plan[4:]); a != 2 || b != 2 {
+		t.Errorf("equal halves: quotas %d/%d, want 2/2", a, b)
+	}
+}

@@ -223,7 +223,7 @@ func (mgr *Manager) Tick(m *sim.Machine) {
 	}
 	baseRate := rate
 	if mgr.cfg.Predictor != nil {
-		if tput := mgr.est.Perf.Evaluate(mgr.state).Throughput; tput > 0 && rate > 0 {
+		if tput := mgr.est.Perf.EvaluateCached(mgr.state).Throughput; tput > 0 && rate > 0 {
 			mgr.cfg.Predictor.Observe(tput / rate)
 			if w := mgr.cfg.Predictor.Predict(); w > 0 {
 				baseRate = tput / w
@@ -272,7 +272,7 @@ func (mgr *Manager) Tick(m *sim.Machine) {
 func (mgr *Manager) apply(m *sim.Machine, st hmp.State) {
 	m.SetLevel(hmp.Big, st.BigLevel)
 	m.SetLevel(hmp.Little, st.LittleLevel)
-	ev := mgr.est.Perf.Evaluate(st)
+	ev := mgr.est.Perf.EvaluateCached(st)
 	mgr.applied = ev.Assignment
 	plat := m.Platform()
 	ApplySchedule(mgr.proc, ev.Assignment, mgr.cfg.scheduler(),

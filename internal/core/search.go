@@ -27,6 +27,19 @@ const (
 	FreqFixed                         // must stay at the current level
 )
 
+// scoreResult builds the SearchResult for one candidate against the hoisted
+// current-state throughput.
+func scoreResult(e Estimators, curTput, curRate float64, cand hmp.State, tgt heartbeat.Target) SearchResult {
+	rate, watts, pp := e.ScoreEval(curTput, curRate, cand, tgt)
+	return SearchResult{
+		State:    cand,
+		Rate:     rate,
+		NormPerf: heartbeat.NormalizedPerf(tgt, rate),
+		Power:    watts,
+		PP:       pp,
+	}
+}
+
 // Bounds narrows the searchable space, the MP-HARS extension of the search
 // function (freeCoreCnt and controllableCluster in Algorithm 3).
 type Bounds struct {
@@ -64,23 +77,11 @@ type SearchResult struct {
 // current state competes on equal terms (getBetterState).
 func Search(e Estimators, cs hmp.State, curRate float64, tgt heartbeat.Target, prm SearchParams, b Bounds) SearchResult {
 	plat := e.Perf.Plat
+	// Hoist the current state's evaluation out of the sweep: every
+	// candidate's rate estimate divides by the same current throughput.
+	curTput := e.Perf.evalCachedPtr(cs).Throughput
 	best := SearchResult{Rate: math.Inf(-1), PP: math.Inf(-1)}
 	explored := 0
-
-	consider := func(cand hmp.State) {
-		explored++
-		rate, watts, pp := e.Score(cs, curRate, cand, tgt)
-		cr := SearchResult{
-			State:    cand,
-			Rate:     rate,
-			NormPerf: heartbeat.NormalizedPerf(tgt, rate),
-			Power:    watts,
-			PP:       pp,
-		}
-		if better(cr, best, tgt) {
-			best = cr
-		}
-	}
 
 	loB, hiB := sweepRange(cs.BigCores, prm, 0, b.MaxBigCores)
 	loL, hiL := sweepRange(cs.LittleCores, prm, 0, b.MaxLittleCores)
@@ -98,7 +99,11 @@ func Search(e Estimators, cs hmp.State, curRate float64, tgt heartbeat.Target, p
 					if hmp.Distance(cand, cs) > prm.D {
 						continue
 					}
-					consider(cand)
+					explored++
+					cr := scoreResult(e, curTput, curRate, cand, tgt)
+					if better(cr, best, tgt) {
+						best = cr
+					}
 				}
 			}
 		}
@@ -106,8 +111,12 @@ func Search(e Estimators, cs hmp.State, curRate float64, tgt heartbeat.Target, p
 	// getBetterState: make sure the current state competes even when the
 	// sweep bounds excluded it (possible under MP-HARS constraints).
 	if cs.TotalCores() > 0 {
-		consider(cs)
-		explored-- // re-checking cs is free: its metrics are already known
+		// Re-checking cs is free: its metrics are already known, so it does
+		// not count as an explored candidate.
+		cr := scoreResult(e, curTput, curRate, cs, tgt)
+		if better(cr, best, tgt) {
+			best = cr
+		}
 	}
 	best.Explored = explored
 	return best

@@ -67,6 +67,7 @@ func NewTabuSearch(memory int) SearchFunc {
 	var bestEver float64 = math.Inf(-1) // best pp seen across adaptations
 	return func(e Estimators, cs hmp.State, curRate float64, tgt heartbeat.Target, prm SearchParams, b Bounds) SearchResult {
 		plat := e.Perf.Plat
+		curTput := e.Perf.evalCachedPtr(cs).Throughput
 		best := SearchResult{Rate: math.Inf(-1), PP: math.Inf(-1)}
 		haveBest := false
 		explored := 0
@@ -88,14 +89,7 @@ func NewTabuSearch(memory int) SearchFunc {
 							continue
 						}
 						explored++
-						rate, watts, pp := e.Score(cs, curRate, cand, tgt)
-						cr := SearchResult{
-							State:    cand,
-							Rate:     rate,
-							NormPerf: heartbeat.NormalizedPerf(tgt, rate),
-							Power:    watts,
-							PP:       pp,
-						}
+						cr := scoreResult(e, curTput, curRate, cand, tgt)
 						// Tabu states are skipped unless they beat the best
 						// efficiency ever seen (aspiration).
 						if cand != cs && tl.Contains(cand) && cr.PP <= bestEver {
@@ -111,8 +105,7 @@ func NewTabuSearch(memory int) SearchFunc {
 		}
 		if !haveBest {
 			// Everything (except cs) was tabu and nothing aspirated: stay.
-			rate, watts, pp := e.Score(cs, curRate, cs, tgt)
-			best = SearchResult{State: cs, Rate: rate, NormPerf: heartbeat.NormalizedPerf(tgt, rate), Power: watts, PP: pp}
+			best = scoreResult(e, curTput, curRate, cs, tgt)
 		}
 		best.Explored = explored
 		tl.Add(cs) // leaving cs makes it tabu: the escape mechanism

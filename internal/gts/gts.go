@@ -247,9 +247,10 @@ func (g *Scheduler) balanceClusters(m *sim.Machine, threads []*sim.Thread, count
 			continue
 		}
 		cur := t.Core()
-		cluster := hmp.ClusterMask(plat, plat.ClusterOf(cur))
+		k := plat.ClusterOf(cur)
+		first := plat.FirstCPU(k)
 		best := cur
-		for _, cpu := range cluster.CPUs() {
+		for cpu := first; cpu < first+plat.Clusters[k].Cores; cpu++ {
 			if cpu == cur || !g.permitted(t, cpu) {
 				continue
 			}

@@ -193,7 +193,12 @@ func NormalizedPerf(target Target, rate float64) float64 {
 	if target.Avg <= 0 {
 		return 0
 	}
-	return math.Min(target.Avg, rate) / target.Avg
+	// Branch instead of math.Min: this sits inside the search function's
+	// per-candidate scoring loop, and the operands are never NaN.
+	if rate < target.Avg {
+		return rate / target.Avg
+	}
+	return 1
 }
 
 // Satisfaction classifies a rate against a target band, the three-way state

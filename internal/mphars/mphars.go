@@ -448,7 +448,7 @@ func (mgr *Manager) applyFreq(m *sim.Machine, k hmp.ClusterKind, level int) {
 func (mgr *Manager) scheduleThreads(m *sim.Machine, n *appNode) {
 	bigCores, littleCores := mgr.allocateCores(n)
 	st := mgr.curState(n)
-	ev := n.est.Perf.Evaluate(st)
+	ev := n.est.Perf.EvaluateCached(st)
 	core.ApplySchedule(n.proc, ev.Assignment, mgr.cfg.Scheduler, bigCores, littleCores)
 }
 

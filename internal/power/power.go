@@ -17,6 +17,7 @@ package power
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/hmp"
 	"repro/internal/sim"
@@ -42,6 +43,35 @@ type ClusterParams struct {
 type GroundTruth struct {
 	Plat   *hmp.Platform
 	Params [hmp.NumClusters]ClusterParams
+
+	// Per-level constants hoisted out of the per-tick ClusterPower call,
+	// built once on first use (tablesOnce makes the build safe under the
+	// concurrent sharing oracle.FindStatic's parallel sweep does):
+	// dynCoef[k][lv] = DynCoeff·V²·f_GHz (the multiplier of effUtil per
+	// busy core) and leakW[k][lv] = LeakPerVolt·V·cores. Plat and Params
+	// must not be mutated after the first ClusterPower call.
+	tablesOnce sync.Once
+	dynCoef    [hmp.NumClusters][]float64
+	leakW      [hmp.NumClusters][]float64
+}
+
+// buildTables precomputes the per-level constants, preserving the exact
+// multiplication order of the historical per-call computation so energy
+// accounting stays bit-for-bit identical.
+func (g *GroundTruth) buildTables() {
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		c := &g.Plat.Clusters[k]
+		prm := &g.Params[k]
+		n := c.Levels()
+		g.dynCoef[k] = make([]float64, n)
+		g.leakW[k] = make([]float64, n)
+		for lv := 0; lv < n; lv++ {
+			v := float64(c.MilliVolt(lv)) / 1000
+			fGHz := float64(c.KHz(lv)) / 1e6
+			g.dynCoef[k][lv] = prm.DynCoeff * v * v * fGHz
+			g.leakW[k][lv] = prm.LeakPerVolt * v * float64(c.Cores)
+		}
+	}
 }
 
 // DefaultGroundTruth returns Exynos-5422-flavoured parameters: a big cluster
@@ -64,24 +94,23 @@ func effUtil(u float64) float64 { return 0.85*u + 0.15*u*u }
 
 // ClusterPower implements sim.PowerModel.
 func (g *GroundTruth) ClusterPower(k hmp.ClusterKind, level int, coreBusy []float64) float64 {
-	c := &g.Plat.Clusters[k]
+	g.tablesOnce.Do(g.buildTables)
+	level = g.Plat.Clusters[k].ClampLevel(level)
+	coef := g.dynCoef[k][level]
 	prm := &g.Params[k]
-	v := float64(c.MilliVolt(level)) / 1000
-	fGHz := float64(c.KHz(level)) / 1e6
 	dyn := 0.0
 	anyBusy := false
 	for _, u := range coreBusy {
 		if u > 0 {
 			anyBusy = true
 		}
-		dyn += prm.DynCoeff * v * v * fGHz * effUtil(u)
+		dyn += coef * effUtil(u)
 	}
-	leak := prm.LeakPerVolt * v * float64(c.Cores)
 	uncore := prm.Uncore * prm.UncoreIdleFrac
 	if anyBusy {
 		uncore = prm.Uncore
 	}
-	return dyn + leak + uncore
+	return dyn + g.leakW[k][level] + uncore
 }
 
 // Sample is one power-sensor reading: average cluster watts over one

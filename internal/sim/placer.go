@@ -5,8 +5,16 @@ package sim
 // least-loaded permitted core. It models a work-conserving OS scheduler
 // operating under the cpuset constraints HARS's chunk-based and interleaving
 // schedulers install; all cross-cluster policy lives in those masks.
+//
+// The balancer works off the machine's incrementally maintained run-queue
+// state: per-core counts come from the O(1) run-queue lengths, the repair
+// pass runs only while the machine's misplaced-runnable counter is non-zero,
+// and the balancing sweep visits only runnable threads — and only when some
+// core is at least two threads heavier than the lightest. Decisions are
+// tick-for-tick identical to the historical full-scan implementation (see
+// the equivalence tests in the repository root).
 type MaskBalancer struct {
-	counts []int // scratch: runnable threads per core
+	counts []int // scratch: in-mask runnable threads per core
 }
 
 // NewMaskBalancer returns a MaskBalancer.
@@ -19,43 +27,66 @@ func (b *MaskBalancer) Place(m *Machine) {
 		b.counts = make([]int, nc)
 	}
 	counts := b.counts[:nc]
-	for i := range counts {
-		counts[i] = 0
+	// Per-core counts of in-mask runnable threads: the run-queue length
+	// minus any thread currently stranded outside its affinity mask.
+	for cpu := range counts {
+		counts[cpu] = m.cores[cpu].runLen
 	}
-	for _, t := range m.threads {
-		if !t.blocked && t.core >= 0 && t.affinity.Has(t.core) {
-			counts[t.core]++
+	if m.misplaced > 0 {
+		for _, id := range m.runnable {
+			t := m.threads[id]
+			if t.misplaced && t.core >= 0 {
+				counts[t.core]--
+			}
 		}
-	}
-	// First pass: repair threads placed outside their mask (or nowhere).
-	for _, t := range m.threads {
-		if t.blocked {
-			continue
-		}
-		if t.core >= 0 && t.affinity.Has(t.core) {
-			continue
-		}
-		best := -1
-		for cpu := 0; cpu < nc; cpu++ {
-			if !t.affinity.Has(cpu) {
+		// First pass: repair threads placed outside their mask (or nowhere).
+		for _, id := range m.runnable {
+			t := m.threads[id]
+			if !t.misplaced {
 				continue
 			}
-			if best < 0 || counts[cpu] < counts[best] {
-				best = cpu
+			best := -1
+			for cpu := 0; cpu < nc; cpu++ {
+				if !t.affinity.Has(cpu) {
+					continue
+				}
+				if best < 0 || counts[cpu] < counts[best] {
+					best = cpu
+				}
 			}
-		}
-		if best >= 0 {
-			m.Migrate(t, best)
-			counts[best]++
+			if best >= 0 {
+				m.Migrate(t, best)
+				counts[best]++
+			}
 		}
 	}
 	// Second pass: one balancing sweep with hysteresis — move a thread only
 	// if a permitted core is at least two threads lighter than its own.
-	for _, t := range m.threads {
-		if t.blocked || t.core < 0 {
+	// When every core is within one thread of the global minimum no such
+	// move exists anywhere, so the sweep is skipped outright; minC stays a
+	// valid lower bound during the sweep because a move only ever drains
+	// cores that are at least two above it.
+	minC, maxC := counts[0], counts[0]
+	for _, n := range counts[1:] {
+		if n < minC {
+			minC = n
+		}
+		if n > maxC {
+			maxC = n
+		}
+	}
+	if maxC-minC <= 1 {
+		return
+	}
+	for _, id := range m.runnable {
+		t := m.threads[id]
+		if t.core < 0 {
 			continue
 		}
 		cur := t.core
+		if counts[cur] <= minC+1 {
+			continue // no core anywhere is two lighter
+		}
 		best := cur
 		for cpu := 0; cpu < nc; cpu++ {
 			if cpu == cur || !t.affinity.Has(cpu) {

@@ -40,6 +40,11 @@ func Seconds(d Time) float64 { return float64(d) / float64(Second) }
 // PowerModel computes the power drawn by one cluster during a tick.
 // Implementations live in internal/power; the interface lives here so the
 // simulator does not depend on any particular model.
+//
+// ClusterPower must be a pure function of its arguments: the machine
+// memoizes the per-tick energy increment while a cluster's level and busy
+// fractions are unchanged, so a stateful model (e.g. thermal drift) would
+// not be re-consulted in steady state.
 type PowerModel interface {
 	// ClusterPower returns the watts drawn by cluster k while running at
 	// frequency level `level` with the given per-core busy fractions
@@ -81,10 +86,11 @@ type Config struct {
 type coreState struct {
 	id      int
 	cluster hmp.ClusterKind
-	run     []*Thread // runnable threads placed here this tick (scratch)
-	busy    float64   // cumulative busy µs (including charged overhead)
-	stolen  Time      // pending manager overhead to steal from capacity
-	tickUse float64   // µs of this tick spent busy (scratch for power model)
+	runLen  int     // runnable threads currently placed here (O(1) RunQueueLen)
+	run     []int32 // run queue: Global thread IDs placed here, ascending
+	busy    float64 // cumulative busy µs (including charged overhead)
+	stolen  Time    // pending manager overhead to steal from capacity
+	tickUse float64 // µs of this tick spent busy (scratch for power model)
 }
 
 // Machine is the simulated HMP system.
@@ -93,10 +99,45 @@ type Machine struct {
 	cfg  Config
 
 	now     Time
-	cores   []*coreState
+	cores   []coreState
 	procs   []*Process
 	threads []*Thread
 	levels  [hmp.NumClusters]int
+
+	// runnable holds the Global IDs of runnable threads in ascending order,
+	// maintained incrementally on block/unblock transitions. The per-core
+	// run queues (coreState.run) are the placed subset. Placers iterate
+	// these instead of rescanning all threads every tick.
+	runnable []int32
+	// During execute the run-queue lists are frozen: block/unblock
+	// transitions flip flags and counters eagerly but defer the list edits,
+	// recording touched threads in the journal; reconcile applies the net
+	// membership changes once at the end of the tick. A unit completion
+	// whose UnitDone callback immediately re-arms the thread — the
+	// overwhelmingly common transition — therefore moves nothing at all.
+	inExec  bool
+	journal []*Thread
+
+	// misplaced counts runnable threads placed outside their affinity mask
+	// (or nowhere); while it is zero the mask balancer's repair pass and
+	// per-thread mask checks are skipped entirely.
+	misplaced int
+
+	execTick int64 // index of the tick execute is processing (or last processed)
+
+	tickSec float64 // Seconds(cfg.TickLen), hoisted for integratePower
+	tickUS  float64 // float64(cfg.TickLen)
+	nLittle int     // plat.Clusters[Little].Cores, hoisted for cacheFactor
+
+	// Power-integration memo: while a cluster's DVFS level and every
+	// core's busy time are identical to the previous tick — the steady
+	// state — the per-tick energy increment is reused instead of recomputed
+	// (bit-for-bit identical, since the power model is a pure function of
+	// those inputs).
+	lastLevel   [hmp.NumClusters]int
+	lastTickUse [hmp.NumClusters][]float64
+	lastE       [hmp.NumClusters]float64
+	powerValid  [hmp.NumClusters]bool
 
 	placer  Placer
 	daemons []Daemon
@@ -105,6 +146,9 @@ type Machine struct {
 	energyJ        float64
 	clusterEnergyJ [hmp.NumClusters]float64
 	overhead       Time
+
+	// freqScale caches plat.FreqScale per cluster and level (hot in execute).
+	freqScale [hmp.NumClusters][]float64
 
 	busyScratch [hmp.NumClusters][]float64
 	ticks       int64
@@ -127,12 +171,21 @@ func New(plat *hmp.Platform, cfg Config) *Machine {
 		cfg.MaxUnitsPerTick = 10000
 	}
 	m := &Machine{plat: plat, cfg: cfg, placer: NewMaskBalancer()}
+	m.tickSec = Seconds(cfg.TickLen)
+	m.tickUS = float64(cfg.TickLen)
+	m.nLittle = plat.Clusters[hmp.Little].Cores
 	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
 		m.levels[k] = plat.Clusters[k].MaxLevel()
 		m.busyScratch[k] = make([]float64, plat.Clusters[k].Cores)
+		m.lastTickUse[k] = make([]float64, plat.Clusters[k].Cores)
+		m.freqScale[k] = make([]float64, plat.Clusters[k].Levels())
+		for lv := range m.freqScale[k] {
+			m.freqScale[k][lv] = plat.FreqScale(k, lv)
+		}
 	}
-	for cpu := 0; cpu < plat.TotalCores(); cpu++ {
-		m.cores = append(m.cores, &coreState{id: cpu, cluster: plat.ClusterOf(cpu)})
+	m.cores = make([]coreState, plat.TotalCores())
+	for cpu := range m.cores {
+		m.cores[cpu] = coreState{id: cpu, cluster: plat.ClusterOf(cpu)}
 	}
 	return m
 }
@@ -191,6 +244,13 @@ func (m *Machine) Spawn(name string, prog Program, hbWindow int) *Process {
 	if n <= 0 {
 		panic(fmt.Sprintf("sim: program %q declares %d threads", name, n))
 	}
+	// Resolve the per-thread speed factors and the optional cache-sharing
+	// bonus once at spawn: the hot execute path then reads plain fields
+	// instead of making an interface call and a type assertion per thread
+	// per tick.
+	if cs, ok := prog.(CacheSensitive); ok {
+		p.cacheBonus = cs.CacheBonus()
+	}
 	all := hmp.AllCPUs(m.plat)
 	for i := 0; i < n; i++ {
 		t := &Thread{
@@ -200,13 +260,139 @@ func (m *Machine) Spawn(name string, prog Program, hbWindow int) *Process {
 			affinity: all,
 			core:     -1,
 			blocked:  true,
+			lastRan:  -1,
+		}
+		for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+			t.speedFactor[k] = prog.SpeedFactor(i, k)
 		}
 		p.Threads = append(p.Threads, t)
 		m.threads = append(m.threads, t)
 	}
+	for i, t := range p.Threads {
+		if i > 0 {
+			t.sibPrev = p.Threads[i-1]
+		}
+		if i+1 < len(p.Threads) {
+			t.sibNext = p.Threads[i+1]
+		}
+	}
 	m.procs = append(m.procs, p)
 	prog.Start(p)
 	return p
+}
+
+// insertID inserts id into list keeping ascending order.
+func insertID(list []int32, id int32) []int32 {
+	i := len(list)
+	for i > 0 && list[i-1] > id {
+		i--
+	}
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = id
+	return list
+}
+
+// removeID removes id from list (which must contain it).
+func removeID(list []int32, id int32) []int32 {
+	for i, x := range list {
+		if x == id {
+			copy(list[i:], list[i+1:])
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}
+
+// makeRunnable marks a blocked thread runnable, maintaining the incremental
+// run-queue state (counters eagerly, list membership deferred mid-execute).
+func (m *Machine) makeRunnable(t *Thread) {
+	if !t.blocked {
+		return
+	}
+	t.blocked = false
+	if t.core >= 0 {
+		m.cores[t.core].runLen++
+	}
+	m.updateMisplaced(t)
+	if m.inExec {
+		if !t.journaled {
+			t.journaled = true
+			m.journal = append(m.journal, t)
+		}
+		return
+	}
+	m.reconcileThread(t)
+}
+
+// makeBlocked parks a runnable thread.
+func (m *Machine) makeBlocked(t *Thread) {
+	if t.blocked {
+		return
+	}
+	t.blocked = true
+	if t.core >= 0 {
+		m.cores[t.core].runLen--
+	}
+	if t.misplaced {
+		t.misplaced = false
+		m.misplaced--
+	}
+	if m.inExec {
+		if !t.journaled {
+			t.journaled = true
+			m.journal = append(m.journal, t)
+		}
+		return
+	}
+	m.reconcileThread(t)
+}
+
+// updateMisplaced recomputes the thread's contribution to the machine's
+// misplaced-runnable counter. Call after any change to the thread's
+// runnability, placement, or affinity.
+func (m *Machine) updateMisplaced(t *Thread) {
+	mis := !t.blocked && (t.core < 0 || !t.affinity.Has(t.core))
+	if mis != t.misplaced {
+		t.misplaced = mis
+		if mis {
+			m.misplaced++
+		} else {
+			m.misplaced--
+		}
+	}
+}
+
+// reconcileThread syncs the thread's run-queue list membership with its
+// current state.
+func (m *Machine) reconcileThread(t *Thread) {
+	runnable := !t.blocked
+	if runnable != t.inRunnable {
+		if runnable {
+			m.runnable = insertID(m.runnable, int32(t.Global))
+		} else {
+			m.runnable = removeID(m.runnable, int32(t.Global))
+		}
+		t.inRunnable = runnable
+	}
+	queued := runnable && t.core >= 0
+	if queued != t.queued {
+		if queued {
+			m.cores[t.core].run = insertID(m.cores[t.core].run, int32(t.Global))
+		} else {
+			m.cores[t.core].run = removeID(m.cores[t.core].run, int32(t.Global))
+		}
+		t.queued = queued
+	}
+}
+
+// reconcile applies the journaled membership changes at the end of a tick.
+func (m *Machine) reconcile() {
+	for _, t := range m.journal {
+		t.journaled = false
+		m.reconcileThread(t)
+	}
+	m.journal = m.journal[:0]
 }
 
 // Run advances the simulation by d simulated time.
@@ -236,18 +422,20 @@ func (m *Machine) Step() {
 
 func (m *Machine) execute() {
 	tick := m.cfg.TickLen
-	for _, c := range m.cores {
-		c.run = c.run[:0]
+	m.execTick++
+	// Freeze the run queues for the duration of the tick: threads unblocked
+	// by a UnitDone callback mid-tick must not run until the next tick, and
+	// threads blocked mid-tick still appear (and consume nothing) — exactly
+	// the semantics of the historical full-thread rescan, without building
+	// per-tick snapshots. List edits are journaled and applied at the end.
+	m.inExec = true
+	var speedByCluster [hmp.NumClusters]float64
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		speedByCluster[k] = m.freqScale[k][m.levels[k]]
+	}
+	for i := range m.cores {
+		c := &m.cores[i]
 		c.tickUse = 0
-	}
-	for _, t := range m.threads {
-		t.ranLastTick = false
-		if !t.blocked && t.core >= 0 {
-			c := m.cores[t.core]
-			c.run = append(c.run, t)
-		}
-	}
-	for _, c := range m.cores {
 		avail := float64(tick)
 		// Manager overhead charged to this core steals capacity first.
 		if c.stolen > 0 {
@@ -265,16 +453,50 @@ func (m *Machine) execute() {
 			continue
 		}
 		share := avail / float64(n)
-		speedBase := m.plat.FreqScale(c.cluster, m.levels[c.cluster])
-		for _, t := range c.run {
+		cluster := c.cluster
+		speedBase := speedByCluster[cluster]
+		for _, id := range c.run {
+			t := m.threads[id]
+			if t.penalty == 0 {
+				// Fast path: no pending stall. The arithmetic below is the
+				// first iteration of runThreadSlow's loop, verbatim, so the
+				// results are bit-for-bit those of the general path.
+				if t.blocked {
+					continue // blocked mid-tick by an earlier UnitDone
+				}
+				speed := speedBase * t.speedFactor[cluster] * m.cacheFactor(t, cluster)
+				if speed <= 0 {
+					continue
+				}
+				needUS := t.remaining / speed * 1e6
+				if needUS > share {
+					// The unit outlives the tick: partial progress only.
+					done := speed * share / 1e6
+					t.remaining -= done
+					t.workDone += done
+					c.tickUse += share
+					c.busy += share
+					t.lastRan = m.execTick
+					continue
+				}
+				used := m.runThreadSlow(t, share, speed)
+				c.tickUse += used
+				c.busy += used
+				if used > 0 {
+					t.lastRan = m.execTick
+				}
+				continue
+			}
 			used := m.runThread(t, c, share, speedBase)
 			c.tickUse += used
 			c.busy += used
 			if used > 0 {
-				t.ranLastTick = true
+				t.lastRan = m.execTick
 			}
 		}
 	}
+	m.inExec = false
+	m.reconcile()
 }
 
 // runThread gives thread t a budget of µs on core c and returns how much of
@@ -291,10 +513,17 @@ func (m *Machine) runThread(t *Thread, c *coreState, budget, speedBase float64) 
 		budget -= pay
 		used += pay
 	}
-	speed := speedBase * t.Proc.prog.SpeedFactor(t.Local, c.cluster) * m.cacheFactor(t, c.cluster)
+	speed := speedBase * t.speedFactor[c.cluster] * m.cacheFactor(t, c.cluster)
 	if speed <= 0 {
 		return used
 	}
+	return used + m.runThreadSlow(t, budget, speed)
+}
+
+// runThreadSlow runs the unit-completion loop for a thread whose effective
+// speed has been resolved.
+func (m *Machine) runThreadSlow(t *Thread, budget, speed float64) float64 {
+	used := 0.0
 	for completions := 0; budget > 0 && !t.blocked; {
 		needUS := t.remaining / speed * 1e6
 		if needUS > budget {
@@ -314,7 +543,7 @@ func (m *Machine) runThread(t *Thread, c *coreState, budget, speedBase float64) 
 			panic(fmt.Sprintf("sim: thread %s/%d completed >%d units in one tick; zero-size work units?",
 				t.Proc.Name, t.Local, m.cfg.MaxUnitsPerTick))
 		}
-		t.blocked = true // program must hand out work to keep running
+		m.makeBlocked(t) // program must hand out work to keep running
 		t.Proc.prog.UnitDone(t.Proc, t.Local)
 	}
 	return used
@@ -323,25 +552,21 @@ func (m *Machine) runThread(t *Thread, c *coreState, budget, speedBase float64) 
 // cacheFactor returns the constructive cache-sharing multiplier for thread t
 // running on cluster k: programs that declare a cache bonus run faster when
 // an adjacent sibling thread (ID ± 1) is placed on the same cluster. This is
-// the effect the paper's chunk-based scheduler exploits.
+// the effect the paper's chunk-based scheduler exploits. The bonus is
+// resolved once at Spawn (Process.cacheBonus).
 func (m *Machine) cacheFactor(t *Thread, k hmp.ClusterKind) float64 {
-	cs, ok := t.Proc.prog.(CacheSensitive)
-	if !ok {
-		return 1
-	}
-	bonus := cs.CacheBonus()
+	bonus := t.Proc.cacheBonus
 	if bonus == 0 {
 		return 1
 	}
-	for _, d := range [2]int{-1, 1} {
-		n := t.Local + d
-		if n < 0 || n >= len(t.Proc.Threads) {
-			continue
-		}
-		nb := t.Proc.Threads[n]
-		if nb.core >= 0 && m.plat.ClusterOf(nb.core) == k {
-			return 1 + bonus
-		}
+	// ClusterOf(core) == k, inlined for the two-cluster platform:
+	// (core < nLittle) == (k == Little).
+	little := k == hmp.Little
+	if nb := t.sibPrev; nb != nil && nb.core >= 0 && (nb.core < m.nLittle) == little {
+		return 1 + bonus
+	}
+	if nb := t.sibNext; nb != nil && nb.core >= 0 && (nb.core < m.nLittle) == little {
+		return 1 + bonus
 	}
 	return 1
 }
@@ -350,19 +575,26 @@ func (m *Machine) integratePower() {
 	if m.cfg.Power == nil {
 		return
 	}
-	tickSec := Seconds(m.cfg.TickLen)
-	tickUS := float64(m.cfg.TickLen)
 	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
 		busy := m.busyScratch[k]
-		for i := range busy {
-			busy[i] = 0
-		}
+		last := m.lastTickUse[k]
 		first := m.plat.FirstCPU(k)
-		for i := 0; i < m.plat.Clusters[k].Cores; i++ {
-			busy[i] = m.cores[first+i].tickUse / tickUS
+		changed := !m.powerValid[k] || m.levels[k] != m.lastLevel[k]
+		for i := range busy {
+			tu := m.cores[first+i].tickUse
+			if tu != last[i] {
+				last[i] = tu
+				busy[i] = tu / m.tickUS
+				changed = true
+			}
 		}
-		p := m.cfg.Power.ClusterPower(k, m.levels[k], busy)
-		e := p * tickSec
+		if changed {
+			p := m.cfg.Power.ClusterPower(k, m.levels[k], busy)
+			m.lastE[k] = p * m.tickSec
+			m.lastLevel[k] = m.levels[k]
+			m.powerValid[k] = true
+		}
+		e := m.lastE[k]
 		m.clusterEnergyJ[k] += e
 		m.energyJ += e
 	}
@@ -391,7 +623,21 @@ func (m *Machine) Migrate(t *Thread, cpu int) {
 			From: t.core, To: cpu,
 		})
 	}
+	if t.queued {
+		m.cores[t.core].run = removeID(m.cores[t.core].run, int32(t.Global))
+		t.queued = false
+	}
+	if !t.blocked && t.core >= 0 {
+		m.cores[t.core].runLen--
+	}
 	t.core = cpu
+	if !t.blocked {
+		c := &m.cores[cpu]
+		c.runLen++
+		c.run = insertID(c.run, int32(t.Global))
+		t.queued = true
+	}
+	m.updateMisplaced(t)
 }
 
 // ChargeOverhead accounts d µs of runtime-manager CPU time against the given
@@ -447,13 +693,8 @@ func (m *Machine) Util(cpu int) float64 {
 }
 
 // RunQueueLen returns how many runnable threads are currently placed on cpu.
-// (Recomputed on demand; placers use it for balancing decisions.)
+// The count is maintained incrementally on block, unblock, and migrate
+// transitions, so this is O(1); placers use it for balancing decisions.
 func (m *Machine) RunQueueLen(cpu int) int {
-	n := 0
-	for _, t := range m.threads {
-		if !t.blocked && t.core == cpu {
-			n++
-		}
-	}
-	return n
+	return m.cores[cpu].runLen
 }

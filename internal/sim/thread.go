@@ -13,15 +13,31 @@ type Thread struct {
 	Local  int // thread ID within its process (the paper orders threads by ID)
 	Proc   *Process
 
-	affinity  hmp.CPUMask
-	core      int // current CPU, -1 before first placement
-	blocked   bool
-	remaining float64 // work units left in the current unit
-	penalty   Time    // pending migration stall
+	affinity hmp.CPUMask
+	core     int // current CPU, -1 before first placement
+	blocked  bool
+	// queued and inRunnable track membership in the core run queue and the
+	// machine runnable list; during execute the lists are frozen and these
+	// may lag the blocked flag until the end-of-tick reconcile. journaled
+	// marks enrolment in that reconcile pass; misplaced mirrors the
+	// thread's contribution to the machine's misplaced-runnable counter.
+	queued     bool
+	inRunnable bool
+	journaled  bool
+	misplaced  bool
+	remaining  float64 // work units left in the current unit
+	penalty    Time    // pending migration stall
 
-	ranLastTick bool
-	migrations  int
-	workDone    float64
+	// speedFactor caches Program.SpeedFactor per cluster, resolved at Spawn
+	// so the per-tick execute path makes no interface calls; sibPrev and
+	// sibNext link the ID-adjacent threads of the process for the
+	// cache-sharing check.
+	speedFactor      [hmp.NumClusters]float64
+	sibPrev, sibNext *Thread
+
+	lastRan    int64 // execute-tick stamp of the last tick this thread ran
+	migrations int
+	workDone   float64
 }
 
 // Core returns the CPU the thread is currently placed on (-1 if none).
@@ -34,8 +50,9 @@ func (t *Thread) Runnable() bool { return !t.blocked }
 func (t *Thread) Affinity() hmp.CPUMask { return t.affinity }
 
 // RanLastTick reports whether the thread consumed CPU in the last executed
-// tick; the GTS load tracker feeds on this.
-func (t *Thread) RanLastTick() bool { return t.ranLastTick }
+// tick; the GTS load tracker feeds on this. (Implemented as a tick-stamp
+// comparison so execute does not reset a flag on every thread every tick.)
+func (t *Thread) RanLastTick() bool { return t.lastRan == t.Proc.m.execTick }
 
 // Migrations returns how many times the thread has changed cores.
 func (t *Thread) Migrations() int { return t.migrations }
@@ -92,9 +109,10 @@ type Process struct {
 	// HB is the process's Application Heartbeats monitor.
 	HB *heartbeat.Monitor
 
-	m       *Machine
-	prog    Program
-	Threads []*Thread
+	m          *Machine
+	prog       Program
+	cacheBonus float64 // CacheSensitive.CacheBonus resolved at Spawn (0 if none)
+	Threads    []*Thread
 }
 
 // Machine returns the machine the process runs on.
@@ -114,13 +132,13 @@ func (p *Process) SetWork(local int, units float64) {
 	}
 	t := p.Threads[local]
 	t.remaining = units
-	t.blocked = false
+	p.m.makeRunnable(t)
 }
 
 // Block parks thread `local`; it consumes no CPU until given work again.
 func (p *Process) Block(local int) {
 	t := p.Threads[local]
-	t.blocked = true
+	p.m.makeBlocked(t)
 	t.remaining = 0
 }
 
@@ -153,7 +171,9 @@ func (p *Process) SetAffinity(local int, mask hmp.CPUMask) {
 	if mask == 0 {
 		panic(fmt.Sprintf("sim: SetAffinity(%s/%d): empty mask", p.Name, local))
 	}
-	p.Threads[local].affinity = mask
+	t := p.Threads[local]
+	t.affinity = mask
+	p.m.updateMisplaced(t)
 }
 
 // AffinityAll resets every thread of the process to run anywhere.
@@ -161,6 +181,7 @@ func (p *Process) AffinityAll() {
 	all := hmp.AllCPUs(p.m.plat)
 	for i := range p.Threads {
 		p.Threads[i].affinity = all
+		p.m.updateMisplaced(p.Threads[i])
 	}
 }
 
