@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to regenerate (all, fig5.1, fig5.2, fig5.3, fig5.4, fig5.5, fig5.6, fig5.7, table3.1, table4.3, power, ablation, extended)")
+	exp := flag.String("exp", "all", "experiment to regenerate (all, fig5.1, fig5.2, fig5.3, fig5.4, fig5.5, fig5.6, fig5.7, table3.1, table4.3, power, ablation, extended, scenarios)")
 	scale := flag.String("scale", "full", "experiment scale: quick or full")
 	parallel := flag.Int("parallel", 1, "experiment-level worker pool width (0 = one per CPU, 1 = serial)")
 	flag.Parse()

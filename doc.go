@@ -15,6 +15,23 @@
 // and drivers regenerating every table and figure of the paper's evaluation
 // (internal/experiments).
 //
+// # Dynamic-event scenarios
+//
+// The paper evaluates static runs only; internal/scenario goes beyond it
+// with a declarative, deterministic timed-event engine that drives the
+// machine and its managers through dynamic conditions: application arrival
+// and departure at arbitrary ticks, heartbeat-target changes, workload
+// phase changes, core hotplug (offline cores evict and re-place threads),
+// and per-cluster DVFS ceilings (thermal capping). Scenarios are JSON
+// scripts (format reference in the scenario package comment) replayed by
+// cmd/hars-scenario into byte-identical per-sample traces; a seeded
+// random-scenario generator feeds the property tests that assert runtime
+// invariants — no thread on an offline core, levels within ceilings,
+// monotone energy, consistent manager state after every departure — across
+// HARS and MP-HARS, and scenario sweeps run on the parallel experiments
+// engine ("scenarios" driver). Event-free scenarios reproduce the golden
+// digests of the static path bit-for-bit (scenario_equivalence_test.go).
+//
 // See README.md for a guided tour, DESIGN.md for the system inventory and
 // substitution rationale, and EXPERIMENTS.md for the paper-versus-measured
 // record. The benchmarks in bench_test.go regenerate each experiment:

@@ -138,16 +138,7 @@ func TestEquivalenceHARSE(t *testing.T) {
 	m := sim.New(plat, sim.Config{Power: power.DefaultGroundTruth(plat)})
 	b, _ := workload.ByShort("SW")
 	p := m.Spawn("sw", b.New(8), 10)
-	lm := &power.LinearModel{}
-	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
-		n := plat.Clusters[k].Levels()
-		lm.Alpha[k] = make([]float64, n)
-		lm.Beta[k] = make([]float64, n)
-		for lv := 0; lv < n; lv++ {
-			lm.Alpha[k][lv] = 0.5 * plat.FreqScale(k, lv)
-			lm.Beta[k][lv] = 0.2
-		}
-	}
+	lm := power.SyntheticLinearModel(plat)
 	tgt := heartbeat.Target{Min: 5.0, Avg: 6.0, Max: 7.0}
 	mgr := core.NewManager(m, p, lm, tgt, core.Config{Version: core.HARSE, OverheadCPU: 4, AdaptEvery: 2})
 	m.AddDaemon(mgr)

@@ -58,21 +58,11 @@ func SimSecond(b *testing.B) { simSecond(b, "SW") }
 // and migration traffic, the worst case for the incremental run queues.
 func SimSecondPipeline(b *testing.B) { simSecond(b, "FE") }
 
-// SearchEstimators builds the estimator fixture SearchExhaustive uses (a
-// synthetic linear power model over the default platform).
+// SearchEstimators builds the estimator fixture SearchExhaustive uses (the
+// shared synthetic linear power model over the default platform).
 func SearchEstimators() core.Estimators {
 	plat := hmp.Default()
-	lm := &power.LinearModel{}
-	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
-		n := plat.Clusters[k].Levels()
-		lm.Alpha[k] = make([]float64, n)
-		lm.Beta[k] = make([]float64, n)
-		for lv := 0; lv < n; lv++ {
-			lm.Alpha[k][lv] = 0.5 * plat.FreqScale(k, lv)
-			lm.Beta[k][lv] = 0.2
-		}
-	}
-	return core.NewEstimators(plat, 8, lm)
+	return core.NewEstimators(plat, 8, power.SyntheticLinearModel(plat))
 }
 
 // SearchExhaustive measures one exhaustive GetNextSysState sweep

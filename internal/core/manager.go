@@ -141,7 +141,10 @@ type Manager struct {
 	target  heartbeat.Target
 	state   hmp.State
 	applied Assignment // the thread assignment currently in force
-	learner *RatioLearner
+	// appliedCores are the global CPUs the current schedule is affine to;
+	// reconcilePlatform re-applies when any of them goes offline.
+	appliedCores []int
+	learner      *RatioLearner
 
 	lastSeen      int64
 	lastAdapt     int64
@@ -184,6 +187,13 @@ func (mgr *Manager) State() hmp.State { return mgr.state }
 // Target returns the manager's performance target.
 func (mgr *Manager) Target() heartbeat.Target { return mgr.target }
 
+// SetTarget replaces the manager's performance target mid-run (a scenario
+// "target" event); the next adaptation opportunity uses the new band.
+func (mgr *Manager) SetTarget(t heartbeat.Target) {
+	mgr.target = t
+	mgr.proc.HB.SetTarget(t)
+}
+
 // Decisions returns the adaptation trace.
 func (mgr *Manager) Decisions() []Decision { return mgr.decisions }
 
@@ -204,7 +214,11 @@ func (mgr *Manager) LearnedRatio() float64 {
 
 // Tick implements sim.Daemon: the main function of Algorithm 1.
 func (mgr *Manager) Tick(m *sim.Machine) {
+	if mgr.proc.Exited() {
+		return
+	}
 	m.ChargeOverhead(mgr.cfg.OverheadCPU, mgr.cfg.PollPerTick)
+	mgr.reconcilePlatform(m)
 	count := mgr.proc.HB.Count()
 	if count == mgr.lastSeen {
 		return
@@ -244,7 +258,11 @@ func (mgr *Manager) Tick(m *sim.Machine) {
 	if searchFn == nil {
 		searchFn = Search
 	}
-	res := searchFn(mgr.est, mgr.state, baseRate, mgr.target, prm, Unbounded(m.Platform()))
+	b := MachineBounds(m)
+	if b.MaxBigCores+b.MaxLittleCores == 0 {
+		return // the whole platform is offline; nothing to adapt
+	}
+	res := searchFn(mgr.est, mgr.state, baseRate, mgr.target, prm, b)
 	mgr.searches++
 	mgr.exploredTotal += res.Explored
 	m.ChargeOverhead(mgr.cfg.OverheadCPU,
@@ -274,8 +292,73 @@ func (mgr *Manager) apply(m *sim.Machine, st hmp.State) {
 	m.SetLevel(hmp.Little, st.LittleLevel)
 	ev := mgr.est.Perf.EvaluateCached(st)
 	mgr.applied = ev.Assignment
-	plat := m.Platform()
-	ApplySchedule(mgr.proc, ev.Assignment, mgr.cfg.scheduler(),
-		DefaultCores(plat, hmp.Big, st.BigCores),
-		DefaultCores(plat, hmp.Little, st.LittleCores))
+	big := OnlineCores(m, hmp.Big, st.BigCores)
+	little := OnlineCores(m, hmp.Little, st.LittleCores)
+	mgr.appliedCores = append(mgr.appliedCores[:0], big...)
+	mgr.appliedCores = append(mgr.appliedCores, little...)
+	ApplySchedule(mgr.proc, ev.Assignment, mgr.cfg.scheduler(), big, little)
+}
+
+// MachineBounds returns the search bounds implied by the machine's current
+// platform condition: online core counts and active DVFS ceilings. With
+// every core online and no ceilings installed this equals Unbounded.
+func MachineBounds(m *sim.Machine) Bounds {
+	return Bounds{
+		MaxBigCores:    m.OnlineCount(hmp.Big),
+		MaxLittleCores: m.OnlineCount(hmp.Little),
+		BigLevelCap:    m.LevelCap(hmp.Big) + 1,
+		LittleLevelCap: m.LevelCap(hmp.Little) + 1,
+	}
+}
+
+// OnlineCores returns the first n online CPUs of cluster k — the hotplug-
+// aware variant of DefaultCores.
+func OnlineCores(m *sim.Machine, k hmp.ClusterKind, n int) []int {
+	p := m.Platform()
+	first := p.FirstCPU(k)
+	out := make([]int, 0, n)
+	for i := 0; i < p.Clusters[k].Cores && len(out) < n; i++ {
+		if m.CoreOnline(first + i) {
+			out = append(out, first+i)
+		}
+	}
+	return out
+}
+
+// reconcilePlatform clamps the manager's state to the machine's current
+// platform condition (core hotplug, DVFS ceilings) and re-applies the
+// schedule when anything shrank underneath the application. A no-op on an
+// unchanged platform.
+func (mgr *Manager) reconcilePlatform(m *sim.Machine) {
+	b := MachineBounds(m)
+	cs := mgr.state
+	if cs.BigCores > b.MaxBigCores {
+		cs.BigCores = b.MaxBigCores
+	}
+	if cs.LittleCores > b.MaxLittleCores {
+		cs.LittleCores = b.MaxLittleCores
+	}
+	if c := b.BigLevelCap - 1; cs.BigLevel > c {
+		cs.BigLevel = c
+	}
+	if c := b.LittleLevelCap - 1; cs.LittleLevel > c {
+		cs.LittleLevel = c
+	}
+	if cs == mgr.state {
+		// Counts and caps still fit — but the *specific* cores the current
+		// schedule is affine to may have gone offline (with enough siblings
+		// still online to keep the counts legal). Re-apply onto online
+		// cores so no thread stays stranded on a dead affinity mask.
+		for _, cpu := range mgr.appliedCores {
+			if !m.CoreOnline(cpu) {
+				mgr.apply(m, cs)
+				return
+			}
+		}
+		return
+	}
+	mgr.state = cs
+	if cs.TotalCores() > 0 {
+		mgr.apply(m, cs)
+	}
 }

@@ -176,3 +176,42 @@ func TestConfigParams(t *testing.T) {
 		t.Error("HARS-E must default to the chunk scheduler")
 	}
 }
+
+// TestReconcileReappliesWhenAllocatedCoreDies pins the hotplug reaction
+// path: when the specific core the schedule is affine to goes offline while
+// enough sibling cores stay online (so the state's *counts* remain legal),
+// the manager must still re-apply onto surviving cores instead of leaving
+// the threads stranded on a dead affinity mask.
+func TestReconcileReappliesWhenAllocatedCoreDies(t *testing.T) {
+	plat := hmp.Default()
+	m := sim.New(plat, sim.Config{})
+	b, _ := workload.ByShort("SW")
+	p := m.Spawn("sw", b.New(2), 10)
+	init := hmp.State{BigCores: 1, LittleCores: 0,
+		BigLevel: plat.Clusters[hmp.Big].MaxLevel(), LittleLevel: 0}
+	mgr := NewManager(m, p, testModel(plat), heartbeat.Target{Min: 1, Avg: 2, Max: 3},
+		Config{Version: HARSE, InitState: &init})
+	m.AddDaemon(mgr)
+	m.Run(100 * sim.Millisecond)
+	first := plat.FirstCPU(hmp.Big)
+	for _, th := range p.Threads {
+		if c := th.Core(); c != first {
+			t.Fatalf("thread %d on core %d, want %d (B1 allocation)", th.Local, c, first)
+		}
+	}
+	work := p.WorkDone()
+	m.SetCoreOnline(first, false) // the one allocated big core dies
+	m.Run(200 * sim.Millisecond)
+	for _, th := range p.Threads {
+		c := th.Core()
+		if c < 0 || !m.CoreOnline(c) {
+			t.Fatalf("thread %d stranded on core %d after hotplug", th.Local, c)
+		}
+	}
+	if p.WorkDone() == work {
+		t.Fatal("application made no progress after its allocated core died")
+	}
+	if st := mgr.State(); st.BigCores != 1 {
+		t.Fatalf("state = %v, want B1 preserved (3 big cores still online)", st)
+	}
+}

@@ -47,6 +47,13 @@ type Bounds struct {
 	MaxLittleCores int
 	BigFreq        FreqConstraint
 	LittleFreq     FreqConstraint
+
+	// BigLevelCap and LittleLevelCap bound the frequency sweep from above,
+	// encoded as cap level + 1 so the zero value means "uncapped" (the
+	// platform maximum). MachineBounds fills these from the machine's
+	// active DVFS ceilings (thermal capping).
+	BigLevelCap    int
+	LittleLevelCap int
 }
 
 // Unbounded returns the single-application bounds: the whole platform.
@@ -55,6 +62,15 @@ func Unbounded(p *hmp.Platform) Bounds {
 		MaxBigCores:    p.Clusters[hmp.Big].Cores,
 		MaxLittleCores: p.Clusters[hmp.Little].Cores,
 	}
+}
+
+// capLevel applies an encoded level cap (cap level + 1, 0 = uncapped) to a
+// cluster's maximum sweepable level.
+func capLevel(maxLevel, cap int) int {
+	if cap > 0 && cap-1 < maxLevel {
+		return cap - 1
+	}
+	return maxLevel
 }
 
 // SearchResult is the outcome of one GetNextSysState invocation.
@@ -85,8 +101,8 @@ func Search(e Estimators, cs hmp.State, curRate float64, tgt heartbeat.Target, p
 
 	loB, hiB := sweepRange(cs.BigCores, prm, 0, b.MaxBigCores)
 	loL, hiL := sweepRange(cs.LittleCores, prm, 0, b.MaxLittleCores)
-	loFB, hiFB := freqRange(cs.BigLevel, prm, plat.Clusters[hmp.Big].MaxLevel(), b.BigFreq)
-	loFL, hiFL := freqRange(cs.LittleLevel, prm, plat.Clusters[hmp.Little].MaxLevel(), b.LittleFreq)
+	loFB, hiFB := freqRange(cs.BigLevel, prm, capLevel(plat.Clusters[hmp.Big].MaxLevel(), b.BigLevelCap), b.BigFreq)
+	loFL, hiFL := freqRange(cs.LittleLevel, prm, capLevel(plat.Clusters[hmp.Little].MaxLevel(), b.LittleLevelCap), b.LittleFreq)
 
 	for i := loB; i <= hiB; i++ {
 		for j := loL; j <= hiL; j++ {

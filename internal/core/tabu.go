@@ -74,8 +74,8 @@ func NewTabuSearch(memory int) SearchFunc {
 
 		loB, hiB := sweepRange(cs.BigCores, prm, 0, b.MaxBigCores)
 		loL, hiL := sweepRange(cs.LittleCores, prm, 0, b.MaxLittleCores)
-		loFB, hiFB := freqRange(cs.BigLevel, prm, plat.Clusters[hmp.Big].MaxLevel(), b.BigFreq)
-		loFL, hiFL := freqRange(cs.LittleLevel, prm, plat.Clusters[hmp.Little].MaxLevel(), b.LittleFreq)
+		loFB, hiFB := freqRange(cs.BigLevel, prm, capLevel(plat.Clusters[hmp.Big].MaxLevel(), b.BigLevelCap), b.BigFreq)
+		loFL, hiFL := freqRange(cs.LittleLevel, prm, capLevel(plat.Clusters[hmp.Little].MaxLevel(), b.LittleLevelCap), b.LittleFreq)
 
 		for i := loB; i <= hiB; i++ {
 			for j := loL; j <= hiL; j++ {

@@ -30,6 +30,7 @@ func Drivers() []Driver {
 		{"fig5.7", Fig57},
 		{"ablation", Ablations},
 		{"extended", ExtendedSuite},
+		{"scenarios", ScenarioSweep},
 	}
 }
 

@@ -18,6 +18,7 @@ func TestEngineDeterminism(t *testing.T) {
 		{"fig5.1-sub", func(e *Env) *Report {
 			return singleAppReport(e, SingleAppOptions{TargetFrac: 0.50, Benchmarks: []string{"SW", "BL"}}, "sub")
 		}},
+		{"scenarios", ScenarioSweep},
 	}
 	envA, err := NewEnv(Quick())
 	if err != nil {
@@ -56,7 +57,7 @@ func TestEngineDeterminism(t *testing.T) {
 // TestSelectDrivers covers the registry filter.
 func TestSelectDrivers(t *testing.T) {
 	all, err := SelectDrivers("all")
-	if err != nil || len(all) != 12 {
+	if err != nil || len(all) != 13 {
 		t.Fatalf("all: %d drivers, err %v", len(all), err)
 	}
 	one, err := SelectDrivers("fig5.3")

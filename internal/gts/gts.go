@@ -63,6 +63,7 @@ type Scheduler struct {
 	loads  []float64
 	ticks  int
 	counts []int
+	online hmp.CPUMask // machine hotplug state, refreshed every Place
 }
 
 // New returns a GTS scheduler with kernel-flavoured defaults, allowed to use
@@ -78,6 +79,7 @@ func New(plat *hmp.Platform) *Scheduler {
 		PullThresholdLittle: 3,
 		PullThresholdBig:    2,
 		plat:                plat,
+		online:              hmp.AllCPUs(plat),
 	}
 }
 
@@ -101,6 +103,7 @@ func (g *Scheduler) Load(t *sim.Thread) float64 {
 
 // Place implements sim.Placer.
 func (g *Scheduler) Place(m *sim.Machine) {
+	g.online = m.OnlineMask()
 	threads := m.Threads()
 	for len(g.loads) < len(threads) {
 		g.loads = append(g.loads, LoadScale)
@@ -150,7 +153,7 @@ func (g *Scheduler) Place(m *sim.Machine) {
 }
 
 func (g *Scheduler) permitted(t *sim.Thread, cpu int) bool {
-	return t.Affinity().Has(cpu) && g.Allowed.Has(cpu)
+	return t.Affinity().Has(cpu) && g.Allowed.Has(cpu) && g.online.Has(cpu)
 }
 
 // leastLoaded returns the permitted CPU (further restricted by `within`)
@@ -212,7 +215,7 @@ func (g *Scheduler) migrationPass(m *sim.Machine, threads []*sim.Thread, counts 
 func (g *Scheduler) idleBalance(m *sim.Machine, threads []*sim.Thread, counts []int) {
 	plat := g.plat
 	for cpu := 0; cpu < len(counts); cpu++ {
-		if counts[cpu] != 0 || !g.Allowed.Has(cpu) {
+		if counts[cpu] != 0 || !g.Allowed.Has(cpu) || !g.online.Has(cpu) {
 			continue
 		}
 		threshold := g.PullThresholdBig

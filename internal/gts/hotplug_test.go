@@ -1,0 +1,175 @@
+package gts_test
+
+import (
+	"testing"
+
+	"repro/internal/gts"
+	"repro/internal/hmp"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// These table-driven tests pin the GTS migration-threshold machinery —
+// up/down hysteresis, UpQueueLimit gating, and the per-cluster pull
+// thresholds — under core offline/online (hotplug) transitions: the
+// scheduler must treat offline cores as nonexistent, re-place evicted
+// threads by the same threshold rules, and converge back once cores return.
+
+// hotplugCase drives `threads` busy threads (or `util` duty-cycled ones),
+// applies the hotplug script at t = 1 s, runs to 3 s, and checks the final
+// placement.
+type hotplugCase struct {
+	name    string
+	threads int   // busy CPU-bound threads (0 = use light duty-cycle threads)
+	light   int   // duty-cycled threads at 10% (load « Down)
+	offline []int // cores taken offline at t = 1 s
+	back    []int // cores brought back at t = 2 s
+	tweak   func(g *gts.Scheduler)
+
+	wantBig    int // threads on the big cluster at the end
+	wantLittle int // threads on the little cluster at the end
+}
+
+func runHotplugCase(t *testing.T, tc hotplugCase) (*sim.Machine, *sim.Process, *gts.Scheduler) {
+	t.Helper()
+	plat := hmp.Default()
+	m := sim.New(plat, sim.Config{})
+	g := gts.New(plat)
+	if tc.tweak != nil {
+		tc.tweak(g)
+	}
+	m.SetPlacer(g)
+	var p *sim.Process
+	if tc.light > 0 {
+		p = m.Spawn("light", &power.Microbench{
+			Threads: tc.light, Util: 0.1, Period: 20 * sim.Millisecond, Speed: 1,
+		}, 4)
+	} else {
+		p = m.Spawn("busy", &busy{n: tc.threads}, 4)
+	}
+	m.Run(1 * sim.Second)
+	for _, cpu := range tc.offline {
+		m.SetCoreOnline(cpu, false)
+	}
+	m.Run(1 * sim.Second)
+	for _, cpu := range tc.back {
+		m.SetCoreOnline(cpu, true)
+	}
+	m.Run(1 * sim.Second)
+
+	for _, th := range p.Threads {
+		if c := th.Core(); c >= 0 && !m.CoreOnline(c) {
+			t.Fatalf("thread %d placed on offline core %d", th.Local, c)
+		}
+	}
+	if got := countOnCluster(p, plat, hmp.Big); got != tc.wantBig {
+		t.Fatalf("threads on big = %d, want %d", got, tc.wantBig)
+	}
+	if got := countOnCluster(p, plat, hmp.Little); got != tc.wantLittle {
+		t.Fatalf("threads on little = %d, want %d", got, tc.wantLittle)
+	}
+	return m, p, g
+}
+
+func TestGTSHotplugTable(t *testing.T) {
+	cases := []hotplugCase{
+		{
+			// Up-migration with half the big cluster gone: 8 hot threads fit
+			// only 2×UpQueueLimit big slots; the rest spill onto the little
+			// cores through the reluctant pull threshold.
+			name:    "up-migration respects UpQueueLimit on shrunken big cluster",
+			threads: 8, offline: []int{6, 7},
+			wantBig: 4, wantLittle: 4,
+		},
+		{
+			// The whole big cluster offline: the up-threshold has nowhere to
+			// send hot threads; everything must run little.
+			name:    "big cluster fully offline strands nothing",
+			threads: 8, offline: []int{4, 5, 6, 7},
+			wantBig: 0, wantLittle: 8,
+		},
+		{
+			// Big cluster returns: hot threads migrate back up (load ≈ 1024 >
+			// Up) until UpQueueLimit gates the queues at two-deep.
+			name:    "big cluster returning pulls hot threads back up",
+			threads: 8, offline: []int{4, 5, 6, 7}, back: []int{4, 5, 6, 7},
+			wantBig: 8, wantLittle: 0,
+		},
+		{
+			// Light threads (load ≈ 102 « Down = 256) stay on the little
+			// cluster even when half of it is offline — down-migration
+			// hysteresis, not capacity, decides.
+			name:  "down-migration hysteresis survives little shrink",
+			light: 2, offline: []int{0, 1},
+			wantBig: 0, wantLittle: 2,
+		},
+		{
+			// The whole little cluster offline: light threads are forced up
+			// despite loads below the Up threshold (repair, not migration).
+			name:  "little cluster fully offline forces light threads up",
+			light: 2, offline: []int{0, 1, 2, 3},
+			wantBig: 2, wantLittle: 0,
+		},
+		{
+			// Raising UpQueueLimit to 8 lets every hot thread pile onto one
+			// surviving big core pair even at four-deep queues.
+			name:    "UpQueueLimit raised keeps hot threads big",
+			threads: 8, offline: []int{6, 7},
+			tweak:   func(g *gts.Scheduler) { g.UpQueueLimit = 8; g.PullThresholdLittle = 16 },
+			wantBig: 8, wantLittle: 0,
+		},
+		{
+			// An eager little-ward pull threshold drains big-queue overcommit
+			// the moment a little core idles, hotplug or not.
+			name:    "eager pull threshold spills immediately",
+			threads: 12, offline: []int{5, 6, 7},
+			tweak:   func(g *gts.Scheduler) { g.PullThresholdLittle = 2 },
+			wantBig: 2, wantLittle: 10,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { runHotplugCase(t, tc) })
+	}
+}
+
+// TestGTSHotplugConvergesBack checks a full offline/online round trip ends
+// in the same steady state as an undisturbed run: 8 hot threads two-deep on
+// the big cores, little idle.
+func TestGTSHotplugConvergesBack(t *testing.T) {
+	m, _, _ := runHotplugCase(t, hotplugCase{
+		threads: 8,
+		offline: []int{4, 5, 6, 7},
+		back:    []int{4, 5, 6, 7},
+		wantBig: 8, wantLittle: 0,
+	})
+	for cpu := 4; cpu < 8; cpu++ {
+		if n := m.RunQueueLen(cpu); n != 2 {
+			t.Errorf("big core %d run queue = %d, want 2", cpu, n)
+		}
+	}
+	for cpu := 0; cpu < 4; cpu++ {
+		if n := m.RunQueueLen(cpu); n != 0 {
+			t.Errorf("little core %d run queue = %d, want 0", cpu, n)
+		}
+	}
+}
+
+// TestGTSOfflineCoreNeverPulls pins idle balancing: an offline core is not
+// an idle core, so it must never pull work even while its run-queue count
+// reads zero.
+func TestGTSOfflineCoreNeverPulls(t *testing.T) {
+	plat := hmp.Default()
+	m := sim.New(plat, sim.Config{})
+	m.SetPlacer(gts.New(plat))
+	m.Spawn("busy", &busy{n: 16}, 4)
+	m.SetCoreOnline(2, false)
+	m.SetCoreOnline(5, false)
+	busyBefore2, busyBefore5 := m.BusyTime(2), m.BusyTime(5)
+	m.Run(2 * sim.Second)
+	if m.BusyTime(2) != busyBefore2 || m.BusyTime(5) != busyBefore5 {
+		t.Fatal("offline cores accumulated busy time")
+	}
+	if m.RunQueueLen(2) != 0 || m.RunQueueLen(5) != 0 {
+		t.Fatal("offline cores hold runnable threads")
+	}
+}

@@ -1,0 +1,42 @@
+package hmp
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadPlatform fuzzes the platform JSON decoder: arbitrary input must
+// never panic, and any platform the decoder accepts must survive a
+// write/read round trip unchanged — the guarantee custom board definitions
+// rely on.
+func FuzzReadPlatform(f *testing.F) {
+	var def bytes.Buffer
+	if err := Default().WriteJSON(&def); err == nil {
+		f.Add(def.Bytes())
+	}
+	f.Add([]byte(`{"BaseKHz":800000,"Clusters":[
+		{"Name":"A7","Cores":2,"IPC":1,"OPPs":[{"KHz":800000,"MilliVolt":900}]},
+		{"Name":"A15","Cores":2,"IPC":1.5,"OPPs":[{"KHz":800000,"MilliVolt":900},{"KHz":1600000,"MilliVolt":1200}]}]}`))
+	f.Add([]byte(`{"Clusters":[{},{}],"BaseKHz":1}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadPlatform(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := p.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted platform failed to encode: %v", err)
+		}
+		again, err := ReadPlatform(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of written platform failed: %v\n%s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(p, again) {
+			t.Fatalf("round trip changed the platform:\nfirst:  %+v\nsecond: %+v", p, again)
+		}
+	})
+}

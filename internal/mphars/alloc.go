@@ -106,12 +106,15 @@ func (mgr *Manager) CheckInvariants() error {
 		}
 		for i := 0; i < cores; i++ {
 			free := mgr.clusters[k].freeCore[i]
+			offline := mgr.clusters[k].offline[i]
 			switch {
 			case owners[i] > 1:
 				return fmt.Errorf("mphars: %s core %d owned by %d apps", k, i, owners[i])
+			case offline && (owners[i] > 0 || free):
+				return fmt.Errorf("mphars: offline %s core %d still owned or free", k, i)
 			case owners[i] == 1 && free:
 				return fmt.Errorf("mphars: %s core %d owned but marked free", k, i)
-			case owners[i] == 0 && !free:
+			case owners[i] == 0 && !free && !offline:
 				return fmt.Errorf("mphars: %s core %d unowned but not free", k, i)
 			}
 		}

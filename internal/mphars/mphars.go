@@ -144,6 +144,7 @@ type appNode struct {
 type clusterData struct {
 	frozen   bool
 	freeCore []bool // freeCore[i]: core i of the cluster is unallocated
+	offline  []bool // offline[i]: core i is hotplugged out (neither free nor owned)
 	nfreq    int    // current frequency level
 }
 
@@ -173,7 +174,11 @@ func New(m *sim.Machine, model *power.LinearModel, cfg Config) *Manager {
 		for i := range free {
 			free[i] = true
 		}
-		mgr.clusters[k] = &clusterData{freeCore: free, nfreq: plat.Clusters[k].MaxLevel()}
+		mgr.clusters[k] = &clusterData{
+			freeCore: free,
+			offline:  make([]bool, plat.Clusters[k].Cores),
+			nfreq:    plat.Clusters[k].MaxLevel(),
+		}
 		m.SetLevel(k, plat.Clusters[k].MaxLevel())
 	}
 	return mgr
@@ -248,12 +253,160 @@ func (mgr *Manager) Allocation(proc *sim.Process) (big, little int) {
 // Frozen reports the frozen flag of cluster k.
 func (mgr *Manager) Frozen(k hmp.ClusterKind) bool { return mgr.clusters[k].frozen }
 
+// FreeCores returns how many cores of cluster k are currently free (online
+// and unowned). Scenario engines consult it before registering an arrival.
+func (mgr *Manager) FreeCores(k hmp.ClusterKind) int { return mgr.freeCount(k) }
+
+// SetTarget replaces a registered application's performance target mid-run
+// (a scenario "target" event). It reports whether the process was found.
+func (mgr *Manager) SetTarget(proc *sim.Process, t heartbeat.Target) bool {
+	for n := mgr.head; n != nil; n = n.next {
+		if n.proc == proc {
+			n.target = t
+			proc.HB.SetTarget(t)
+			return true
+		}
+	}
+	return false
+}
+
+// Unregister removes an application from management (a scenario departure):
+// its online cores return to the free pool, its freezing counts disappear
+// with its node, and later arrivals can reuse the space. The caller
+// typically also calls Machine.Kill on the process. It reports whether the
+// process was registered.
+func (mgr *Manager) Unregister(m *sim.Machine, proc *sim.Process) bool {
+	var prev *appNode
+	for n := mgr.head; n != nil; prev, n = n, n.next {
+		if n.proc != proc {
+			continue
+		}
+		for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+			c := mgr.clusters[k]
+			use := n.useLCore
+			if k == hmp.Big {
+				use = n.useBCore
+			}
+			for i, u := range use {
+				if u && !c.offline[i] {
+					c.freeCore[i] = true
+				}
+				use[i] = false
+			}
+		}
+		if prev == nil {
+			mgr.head = n.next
+		} else {
+			prev.next = n.next
+		}
+		if mgr.tail == n {
+			mgr.tail = prev
+		}
+		n.next = nil
+		n.nprocsB, n.nprocsL = 0, 0
+		return true
+	}
+	return false
+}
+
 // Searches returns the total number of search invocations.
 func (mgr *Manager) Searches() int { return mgr.searches }
+
+// ReconcilePlatform folds machine hotplug and DVFS-cap changes into the
+// ownership tables of Table 4.2: a core that went offline is revoked from
+// its owner (or pulled from the free pool) and returns to the free pool when
+// it comes back online, and the shared frequency view tracks the machine's
+// actual — possibly externally capped — levels. Tick calls this every tick;
+// scenario engines may also call it directly after applying hotplug events
+// so that registrations in the same tick see a consistent free pool.
+func (mgr *Manager) ReconcilePlatform(m *sim.Machine) {
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		c := mgr.clusters[k]
+		c.nfreq = m.Level(k)
+		for i := range c.offline {
+			online := m.CoreOnline(mgr.plat.CPU(k, i))
+			switch {
+			case !online && !c.offline[i]:
+				c.offline[i] = true
+				if c.freeCore[i] {
+					c.freeCore[i] = false
+				} else {
+					mgr.revoke(m, k, i)
+				}
+			case online && c.offline[i]:
+				c.offline[i] = false
+				c.freeCore[i] = true
+			}
+		}
+	}
+}
+
+// revoke strips core i of cluster k from its owning application (the core
+// went offline) and reschedules the owner onto its remaining cores.
+func (mgr *Manager) revoke(m *sim.Machine, k hmp.ClusterKind, i int) {
+	for n := mgr.head; n != nil; n = n.next {
+		use := n.useLCore
+		if k == hmp.Big {
+			use = n.useBCore
+		}
+		if !use[i] {
+			continue
+		}
+		use[i] = false
+		if k == hmp.Big {
+			n.nprocsB--
+		} else {
+			n.nprocsL--
+		}
+		if n.nprocsB+n.nprocsL == 0 {
+			// The application lost its last core: grab any free core so its
+			// threads keep running. If none exists the threads stay affine
+			// to their departed cores and stall until the platform grows
+			// back or another application releases a core.
+			if !mgr.grabAnyFree(n) {
+				return
+			}
+		}
+		mgr.scheduleThreads(m, n)
+		return
+	}
+}
+
+// grabAnyFree claims one free core (little first: it is the cheap lifeline)
+// for an application that lost everything to hotplug.
+func (mgr *Manager) grabAnyFree(n *appNode) bool {
+	for _, k := range [...]hmp.ClusterKind{hmp.Little, hmp.Big} {
+		c := mgr.clusters[k]
+		for i, f := range c.freeCore {
+			if !f {
+				continue
+			}
+			c.freeCore[i] = false
+			if k == hmp.Big {
+				n.useBCore[i] = true
+				n.nprocsB++
+			} else {
+				n.useLCore[i] = true
+				n.nprocsL++
+			}
+			return true
+		}
+	}
+	return false
+}
 
 // Tick implements sim.Daemon: the iterate function of Algorithm 3.
 func (mgr *Manager) Tick(m *sim.Machine) {
 	m.ChargeOverhead(mgr.cfg.OverheadCPU, mgr.cfg.PollPerTick)
+	mgr.ReconcilePlatform(m)
+
+	// Rescue pass: an application stripped to zero cores by hotplug gets
+	// the first core that frees up (departure or a core coming back online).
+	for n := mgr.head; n != nil; n = n.next {
+		if n.nprocsB+n.nprocsL == 0 && !n.proc.Exited() && mgr.grabAnyFree(n) {
+			mgr.scheduleThreads(m, n)
+		}
+	}
 
 	// Lines 6–11: consume new heartbeats, decrement freezing counts, and
 	// record trace points.
@@ -336,6 +489,9 @@ func (mgr *Manager) curState(n *appNode) hmp.State {
 }
 
 func (mgr *Manager) adaptOne(m *sim.Machine, n *appNode) {
+	if n.proc.Exited() {
+		return
+	}
 	rec, ok := n.proc.HB.Latest()
 	if !ok {
 		return
@@ -349,10 +505,13 @@ func (mgr *Manager) adaptOne(m *sim.Machine, n *appNode) {
 	}
 	n.adaptationIndex = rec.Index
 
-	// Line 18: free cores bound the core-count sweep.
+	// Line 18: free cores bound the core-count sweep; external DVFS
+	// ceilings (thermal capping) bound the frequency sweep.
 	bounds := core.Bounds{
 		MaxBigCores:    n.nprocsB + mgr.freeCount(hmp.Big),
 		MaxLittleCores: n.nprocsL + mgr.freeCount(hmp.Little),
+		BigLevelCap:    m.LevelCap(hmp.Big) + 1,
+		LittleLevelCap: m.LevelCap(hmp.Little) + 1,
 	}
 	// Line 19: cluster frequency controllability.
 	bounds.BigFreq = mgr.freqConstraint(n, hmp.Big, rate)

@@ -195,6 +195,25 @@ type LinearModel struct {
 	R2 [hmp.NumClusters][]float64
 }
 
+// SyntheticLinearModel returns the repository's standard hand-written model
+// fixture: α = 0.5·f/f₀ and β = 0.2 at every level of both clusters. The
+// golden-digest equivalence tests, the tracked search benchmarks, and the
+// scenario engine's default estimator model all share this one definition,
+// so they are guaranteed to score candidates identically.
+func SyntheticLinearModel(plat *hmp.Platform) *LinearModel {
+	lm := &LinearModel{}
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		n := plat.Clusters[k].Levels()
+		lm.Alpha[k] = make([]float64, n)
+		lm.Beta[k] = make([]float64, n)
+		for lv := 0; lv < n; lv++ {
+			lm.Alpha[k][lv] = 0.5 * plat.FreqScale(k, lv)
+			lm.Beta[k][lv] = 0.2
+		}
+	}
+	return lm
+}
+
 // Estimate returns the estimated cluster power for coresUsed cores at
 // average utilization util. Zero used cores estimate zero watts: the
 // estimator treats an unused cluster as power-gated, matching the paper's

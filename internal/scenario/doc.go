@@ -1,0 +1,65 @@
+// Package scenario is a declarative, deterministic timed-event engine for
+// dynamic-condition simulations: it drives a sim.Machine and its HARS /
+// MP-HARS runtime managers through scripted runs in which applications
+// arrive and depart at arbitrary ticks, performance targets and workload
+// phases shift, cores go offline and come back (hotplug), and cluster
+// frequencies get externally capped (thermal capping).
+//
+// The paper evaluates HARS only on static runs — a fixed application set
+// started at t = 0 on a fixed machine. This package is how the repository
+// tests everything the paper does not: the managers' reaction paths when
+// the world changes mid-run.
+//
+// # Scenario format
+//
+// A scenario is a JSON document (see Decode/Encode):
+//
+//	{
+//	  "name": "example",
+//	  "seed": 7,
+//	  "manager": "mphars-i",
+//	  "duration_ms": 20000,
+//	  "sample_every_ms": 100,
+//	  "adapt_every": 10,
+//	  "apps": [
+//	    {"name": "sw0", "bench": "SW", "threads": 8, "start_ms": 0,
+//	     "stop_ms": 15000, "target_frac": 0.5, "init_big": 2, "init_little": 2},
+//	    {"name": "fe0", "bench": "FE", "threads": 4, "start_ms": 5000,
+//	     "target": {"min": 4.5, "avg": 5.0, "max": 5.5}}
+//	  ],
+//	  "events": [
+//	    {"at_ms": 4000, "kind": "hotplug", "cpu": 7, "online": false},
+//	    {"at_ms": 6000, "kind": "dvfs_cap", "cluster": "big", "max_level": 4},
+//	    {"at_ms": 8000, "kind": "target", "app": "sw0", "frac": 0.7},
+//	    {"at_ms": 9000, "kind": "phase", "app": "sw0", "scale": 1.5},
+//	    {"at_ms": 12000, "kind": "hotplug", "cpu": 7, "online": true}
+//	  ]
+//	}
+//
+// Fields:
+//
+//   - manager: "none" (unmanaged, mask-balancer placement), "gts"
+//     (unmanaged, Linux HMP GTS placement), "hars-i", "hars-e", "hars-ei"
+//     (one single-application HARS manager per application), "mphars-i" or
+//     "mphars-e" (one shared MP-HARS manager with resource partitioning).
+//   - apps: start_ms/stop_ms are arrival and departure times (stop_ms 0 =
+//     runs to the end). The performance target is either an explicit
+//     {min, avg, max} band or target_frac, a fraction of the benchmark's
+//     measured maximum rate (±5% band). init_big/init_little are the
+//     MP-HARS initial core allocation (default 1+1).
+//   - events: "hotplug" toggles one CPU (online is required); "dvfs_cap"
+//     installs a cluster frequency ceiling (max_level indexes the OPP grid;
+//     restore with the grid's top level); "target" re-targets one app
+//     (frac or explicit target); "phase" scales the app's future work units
+//     by scale (> 0), a workload phase change.
+//
+// Determinism: the engine is single-threaded over a deterministic
+// simulator, so the same scenario file always produces byte-identical
+// traces and results. Actions due at the same millisecond apply in a fixed
+// order: platform events first (hotplug, dvfs_cap, in listed order), then
+// departures, then arrivals, then application events (target, phase), ties
+// broken by position in the file.
+//
+// Validation rejects scenarios whose hotplug sequence would ever take the
+// last core offline, so a validated scenario can always make progress.
+package scenario

@@ -1,0 +1,558 @@
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/gts"
+	"repro/internal/heartbeat"
+	"repro/internal/hmp"
+	"repro/internal/mphars"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options configures a scenario run. The zero value selects the default
+// platform, the ground-truth power model, the synthetic linear estimator
+// model, engine-local max-rate calibration, and no trace output.
+type Options struct {
+	Plat  *hmp.Platform      // default hmp.Default()
+	Power sim.PowerModel     // machine power model; default power.DefaultGroundTruth
+	Model *power.LinearModel // manager estimator model; default DefaultModel
+
+	// MaxRate resolves a benchmark's maximum achievable heartbeat rate for
+	// fractional targets. Nil selects an engine-local calibration run per
+	// (bench, threads) pair (deterministic, cached for the run).
+	MaxRate func(short string, threads int) float64
+
+	// Trace, when non-nil, receives the per-sample metric trace (see the
+	// package comment). The trace is also folded into Result.TraceDigest
+	// whether or not it is written anywhere.
+	Trace io.Writer
+
+	// PerTick, when non-nil, runs as a machine daemon every tick before the
+	// managers; property tests install invariant checkers here.
+	PerTick func(*sim.Machine)
+
+	// Strict makes the engine verify runtime invariants after every applied
+	// action and every trace sample — no runnable thread on an offline
+	// core, cluster levels within their ceilings, and (for mphars-*) the
+	// partitioning invariants — returning an error on the first violation.
+	// Property tests run with Strict on.
+	Strict bool
+}
+
+// AppResult summarizes one application after the run.
+type AppResult struct {
+	Name       string
+	Beats      int64
+	Work       float64
+	Migrations int
+	Arrived    bool // the arrival fired (always true once start_ms passed)
+	Departed   bool // the departure fired
+	Skipped    bool // MP-HARS had no free core at arrival; app never spawned
+}
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	Scenario *Scenario
+	Machine  *sim.Machine
+	Apps     []AppResult
+
+	EnergyJ     float64
+	OverheadUS  sim.Time
+	Samples     int
+	TraceDigest uint64 // FNV-64a over the emitted trace bytes
+
+	// MP is the MP-HARS manager of mphars-* scenarios (nil otherwise);
+	// Managers maps app name → single-application HARS manager for hars-*
+	// scenarios. Tests use these for consistency checks.
+	MP       *mphars.Manager
+	Managers map[string]*core.Manager
+}
+
+// DefaultModel returns the synthetic linear power model handed to the
+// managers' estimators when Options.Model is nil — the same fixture the
+// repository's golden-digest tests use (power.SyntheticLinearModel), so
+// event-free scenario runs are bit-identical to the direct-run path.
+func DefaultModel(plat *hmp.Platform) *power.LinearModel {
+	return power.SyntheticLinearModel(plat)
+}
+
+// action ordering priorities at equal timestamps (see the package comment).
+const (
+	prioPlatform = iota
+	prioDepart
+	prioArrive
+	prioAppEvent
+)
+
+type action struct {
+	at   sim.Time
+	prio int
+	seq  int
+	ev   *Event  // platform and app events
+	app  *appRun // arrivals and departures
+}
+
+// appRun is the engine's per-application state.
+type appRun struct {
+	spec *AppSpec
+	prog sim.Program
+	proc *sim.Process
+	mgr  *core.Manager // hars-* scenarios
+	res  AppResult
+}
+
+type daemonFunc func(*sim.Machine)
+
+func (f daemonFunc) Tick(m *sim.Machine) { f(m) }
+
+// engine carries one run's state.
+type engine struct {
+	sc    *Scenario
+	opts  Options
+	plat  *hmp.Platform
+	model *power.LinearModel
+	m     *sim.Machine
+	mp    *mphars.Manager
+	apps  []*appRun
+
+	rates map[string]float64 // max-rate cache: "short/threads"
+	trace *bufio.Writer
+	out   io.Writer // trace sink: the digest hash, plus Options.Trace if set
+	hash  interface {
+		io.Writer
+		Sum64() uint64
+	}
+	samples int
+}
+
+// Run executes the scenario and returns its result. The run is fully
+// deterministic: the same scenario and options always produce the same
+// result and byte-identical trace output.
+func Run(sc *Scenario, opts Options) (*Result, error) {
+	plat := opts.Plat
+	if plat == nil {
+		plat = hmp.Default()
+	}
+	if err := sc.ValidateOn(plat); err != nil {
+		return nil, err
+	}
+	pm := opts.Power
+	if pm == nil {
+		pm = power.DefaultGroundTruth(plat)
+	}
+	model := opts.Model
+	if model == nil {
+		model = DefaultModel(plat)
+	}
+	e := &engine{
+		sc: sc, opts: opts, plat: plat, model: model,
+		m:     sim.New(plat, sim.Config{Power: pm}),
+		rates: make(map[string]float64),
+		hash:  fnv.New64a(),
+	}
+	out := io.Writer(e.hash)
+	if opts.Trace != nil {
+		e.trace = bufio.NewWriter(opts.Trace)
+		out = io.MultiWriter(e.hash, e.trace)
+	}
+	e.out = out
+
+	switch sc.Manager {
+	case ManagerGTS:
+		e.m.SetPlacer(gts.New(plat))
+	case ManagerMPHARSI, ManagerMPHARSE:
+		v := mphars.MPHARSI
+		if sc.Manager == ManagerMPHARSE {
+			v = mphars.MPHARSE
+		}
+		e.mp = mphars.New(e.m, model, mphars.Config{
+			Version:     v,
+			AdaptEvery:  sc.AdaptEvery,
+			OverheadCPU: sc.OverheadCPU,
+		})
+	}
+	if opts.PerTick != nil {
+		e.m.AddDaemon(daemonFunc(opts.PerTick))
+	}
+	if e.mp != nil {
+		e.m.AddDaemon(e.mp)
+	}
+
+	for i := range sc.Apps {
+		e.apps = append(e.apps, &appRun{
+			spec: &sc.Apps[i],
+			res:  AppResult{Name: sc.Apps[i].Name},
+		})
+	}
+	actions := e.buildActions()
+
+	fmt.Fprintf(out, "# scenario %s seed %d manager %s\n", sc.Name, sc.Seed, sc.Manager)
+	fmt.Fprintln(out, "# m,t_ms,online,big_level,little_level,big_cap,little_cap,energy,overhead_us")
+	fmt.Fprintln(out, "# a,t_ms,app,beats,rate,work,migrations")
+
+	end := sim.Time(sc.DurationMS) * sim.Millisecond
+	every := sim.Time(sc.SampleEveryMS) * sim.Millisecond
+	if every <= 0 {
+		every = 100 * sim.Millisecond
+	}
+	nextSample := sim.Time(0)
+	ai := 0
+	for {
+		for ai < len(actions) && actions[ai].at <= e.m.Now() {
+			e.apply(actions[ai])
+			if opts.Strict {
+				if err := e.checkStrict(); err != nil {
+					return nil, err
+				}
+			}
+			ai++
+		}
+		if e.m.Now() >= nextSample {
+			e.sample()
+			nextSample += every
+			if opts.Strict {
+				if err := e.checkStrict(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if e.m.Now() >= end {
+			break
+		}
+		next := end
+		if ai < len(actions) && actions[ai].at < next {
+			next = actions[ai].at
+		}
+		if nextSample < next {
+			next = nextSample
+		}
+		e.m.RunUntil(next)
+	}
+	if e.trace != nil {
+		if err := e.trace.Flush(); err != nil {
+			return nil, fmt.Errorf("scenario: trace: %w", err)
+		}
+	}
+
+	res := &Result{
+		Scenario:    sc,
+		Machine:     e.m,
+		EnergyJ:     e.m.EnergyJ(),
+		OverheadUS:  e.m.Overhead(),
+		Samples:     e.samples,
+		TraceDigest: e.hash.Sum64(),
+		MP:          e.mp,
+	}
+	for _, a := range e.apps {
+		if a.proc != nil {
+			a.res.Beats = a.proc.HB.Count()
+			a.res.Work = a.proc.WorkDone()
+			for _, t := range a.proc.Threads {
+				a.res.Migrations += t.Migrations()
+			}
+		}
+		res.Apps = append(res.Apps, a.res)
+	}
+	if res.Managers == nil && isHARS(sc.Manager) {
+		res.Managers = make(map[string]*core.Manager)
+		for _, a := range e.apps {
+			if a.mgr != nil {
+				res.Managers[a.res.Name] = a.mgr
+			}
+		}
+	}
+	return res, nil
+}
+
+func isHARS(mgr string) bool {
+	return mgr == ManagerHARSI || mgr == ManagerHARSE || mgr == ManagerHARSEI
+}
+
+// buildActions folds arrivals, departures, and events into one ordered
+// timeline.
+func (e *engine) buildActions() []action {
+	var out []action
+	seq := 0
+	for _, a := range e.apps {
+		out = append(out, action{
+			at: sim.Time(a.spec.StartMS) * sim.Millisecond, prio: prioArrive, seq: seq, app: a,
+		})
+		seq++
+		if a.spec.StopMS > 0 {
+			out = append(out, action{
+				at: sim.Time(a.spec.StopMS) * sim.Millisecond, prio: prioDepart, seq: seq, app: a,
+			})
+			seq++
+		}
+	}
+	for i := range e.sc.Events {
+		ev := &e.sc.Events[i]
+		prio := prioAppEvent
+		if ev.Kind == KindHotplug || ev.Kind == KindDVFSCap {
+			prio = prioPlatform
+		}
+		out = append(out, action{
+			at: sim.Time(ev.AtMS) * sim.Millisecond, prio: prio, seq: seq, ev: ev,
+		})
+		seq++
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].at != out[j].at {
+			return out[i].at < out[j].at
+		}
+		if out[i].prio != out[j].prio {
+			return out[i].prio < out[j].prio
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
+
+// apply executes one due action.
+func (e *engine) apply(act action) {
+	switch {
+	case act.app != nil && act.prio == prioArrive:
+		e.arrive(act.app)
+	case act.app != nil && act.prio == prioDepart:
+		e.depart(act.app)
+	default:
+		e.event(act.ev)
+	}
+}
+
+func (e *engine) arrive(a *appRun) {
+	a.res.Arrived = true
+	b, _ := workload.ByShort(a.spec.Bench)
+	threads := a.spec.Threads
+	if threads <= 0 {
+		threads = 8
+	}
+	window := a.spec.HBWindow
+	if window <= 0 {
+		window = 10
+	}
+	tgt := e.target(a.spec.Target, a.spec.TargetFrac, a.spec.Bench, threads)
+
+	if e.mp != nil {
+		// MP-HARS owns the core partition: an arrival with no free core
+		// anywhere is skipped (never spawned) instead of trampling other
+		// applications' partitions.
+		e.mp.ReconcilePlatform(e.m)
+		freeB, freeL := e.mp.FreeCores(hmp.Big), e.mp.FreeCores(hmp.Little)
+		if freeB+freeL == 0 {
+			a.res.Skipped = true
+			return
+		}
+		initB := minInt(intOr(a.spec.InitBig, 1), freeB)
+		initL := minInt(intOr(a.spec.InitLittle, 1), freeL)
+		if initB+initL == 0 {
+			if freeL > 0 {
+				initL = 1
+			} else {
+				initB = 1
+			}
+		}
+		a.prog = b.New(threads)
+		a.proc = e.m.Spawn(a.spec.Name, a.prog, window)
+		e.mp.Register(e.m, a.proc, tgt, initB, initL)
+		return
+	}
+
+	a.prog = b.New(threads)
+	a.proc = e.m.Spawn(a.spec.Name, a.prog, window)
+	switch e.sc.Manager {
+	case ManagerHARSI, ManagerHARSE, ManagerHARSEI:
+		v := core.HARSI
+		switch e.sc.Manager {
+		case ManagerHARSE:
+			v = core.HARSE
+		case ManagerHARSEI:
+			v = core.HARSEI
+		}
+		// Start from the maximum state the *current* platform supports, so
+		// an arrival after hotplug or capping begins inside bounds.
+		st := hmp.MaxState(e.plat)
+		bd := core.MachineBounds(e.m)
+		st.BigCores = minInt(st.BigCores, bd.MaxBigCores)
+		st.LittleCores = minInt(st.LittleCores, bd.MaxLittleCores)
+		st.BigLevel = minInt(st.BigLevel, bd.BigLevelCap-1)
+		st.LittleLevel = minInt(st.LittleLevel, bd.LittleLevelCap-1)
+		a.mgr = core.NewManager(e.m, a.proc, e.model, tgt, core.Config{
+			Version:     v,
+			AdaptEvery:  e.sc.AdaptEvery,
+			OverheadCPU: e.sc.OverheadCPU,
+			InitState:   &st,
+		})
+		e.m.AddDaemon(a.mgr)
+	default:
+		a.proc.HB.SetTarget(tgt)
+	}
+}
+
+func (e *engine) depart(a *appRun) {
+	if a.proc == nil || a.res.Departed {
+		return
+	}
+	a.res.Departed = true
+	if e.mp != nil {
+		e.mp.Unregister(e.m, a.proc)
+	}
+	if a.mgr != nil {
+		e.m.RemoveDaemon(a.mgr)
+	}
+	e.m.Kill(a.proc)
+}
+
+func (e *engine) event(ev *Event) {
+	switch ev.Kind {
+	case KindHotplug:
+		e.m.SetCoreOnline(ev.CPU, *ev.Online)
+		if e.mp != nil {
+			e.mp.ReconcilePlatform(e.m)
+		}
+	case KindDVFSCap:
+		k, _ := parseCluster(ev.Cluster)
+		e.m.SetLevelCap(k, ev.MaxLevel)
+		if e.mp != nil {
+			e.mp.ReconcilePlatform(e.m)
+		}
+	case KindTarget:
+		a := e.appByName(ev.App)
+		if a == nil || a.proc == nil || a.res.Departed {
+			return
+		}
+		tgt := e.target(ev.Target, ev.Frac, a.spec.Bench, threadsOf(a))
+		switch {
+		case a.mgr != nil:
+			a.mgr.SetTarget(tgt)
+		case e.mp != nil:
+			e.mp.SetTarget(a.proc, tgt)
+		default:
+			a.proc.HB.SetTarget(tgt)
+		}
+	case KindPhase:
+		a := e.appByName(ev.App)
+		if a == nil || a.prog == nil || a.res.Departed {
+			return
+		}
+		if ps, ok := a.prog.(workload.PhaseScalable); ok {
+			ps.SetPhaseScale(ev.Scale)
+		}
+	}
+}
+
+func (e *engine) appByName(name string) *appRun {
+	for _, a := range e.apps {
+		if a.spec.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+func threadsOf(a *appRun) int {
+	if a.spec.Threads > 0 {
+		return a.spec.Threads
+	}
+	return 8
+}
+
+// target resolves a target spec: explicit band, or frac of the benchmark's
+// maximum rate with the paper's ±5% band.
+func (e *engine) target(explicit *TargetSpec, frac float64, bench string, threads int) heartbeat.Target {
+	if explicit != nil {
+		return heartbeat.Target{Min: explicit.Min, Avg: explicit.Avg, Max: explicit.Max}
+	}
+	if frac <= 0 {
+		frac = 0.5
+	}
+	return heartbeat.TargetAround(e.maxRate(bench, threads), frac, 0.05)
+}
+
+// maxRate measures (and caches) a benchmark's maximum achievable heartbeat
+// rate: a short unmanaged run under the GTS scheduler at the platform
+// maximum, mirroring the experiments environment's calibration.
+func (e *engine) maxRate(bench string, threads int) float64 {
+	key := fmt.Sprintf("%s/%d", bench, threads)
+	if r, ok := e.rates[key]; ok {
+		return r
+	}
+	var r float64
+	if e.opts.MaxRate != nil {
+		r = e.opts.MaxRate(bench, threads)
+	} else {
+		b, _ := workload.ByShort(bench)
+		cm := sim.New(e.plat, sim.Config{})
+		cm.SetPlacer(gts.New(e.plat))
+		p := cm.Spawn(b.Name, b.New(threads), 10)
+		cm.Run(20 * sim.Second)
+		r = p.HB.RateOver(8*sim.Second, cm.Now())
+	}
+	e.rates[key] = r
+	return r
+}
+
+// sample emits one trace sample: a machine line plus one line per spawned
+// application. Floats are rendered with %x so the trace is exact and
+// byte-stable.
+func (e *engine) sample() {
+	e.samples++
+	tms := e.m.Now() / sim.Millisecond
+	fmt.Fprintf(e.out, "m,%d,%x,%d,%d,%d,%d,%x,%d\n",
+		tms, uint64(e.m.OnlineMask()),
+		e.m.Level(hmp.Big), e.m.Level(hmp.Little),
+		e.m.LevelCap(hmp.Big), e.m.LevelCap(hmp.Little),
+		e.m.EnergyJ(), e.m.Overhead())
+	for _, a := range e.apps {
+		if a.proc == nil {
+			continue
+		}
+		rate := 0.0
+		if rec, ok := a.proc.HB.Latest(); ok {
+			rate = rec.WindowRate
+		}
+		mig := 0
+		for _, t := range a.proc.Threads {
+			mig += t.Migrations()
+		}
+		fmt.Fprintf(e.out, "a,%d,%s,%d,%x,%x,%d\n",
+			tms, a.spec.Name, a.proc.HB.Count(), rate, a.proc.WorkDone(), mig)
+	}
+}
+
+// checkStrict verifies the run-time invariants Strict mode promises.
+func (e *engine) checkStrict() error {
+	for _, t := range e.m.Threads() {
+		if t.Runnable() && t.Core() >= 0 && !e.m.CoreOnline(t.Core()) {
+			return fmt.Errorf("scenario: t=%d: runnable thread %s/%d on offline cpu %d",
+				e.m.Now(), t.Proc.Name, t.Local, t.Core())
+		}
+	}
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		if e.m.Level(k) > e.m.LevelCap(k) {
+			return fmt.Errorf("scenario: t=%d: cluster %s at level %d above ceiling %d",
+				e.m.Now(), k, e.m.Level(k), e.m.LevelCap(k))
+		}
+	}
+	if e.mp != nil {
+		if err := e.mp.CheckInvariants(); err != nil {
+			return fmt.Errorf("scenario: t=%d: %w", e.m.Now(), err)
+		}
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

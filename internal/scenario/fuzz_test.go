@@ -1,0 +1,43 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode fuzzes the scenario JSON decoder: arbitrary input must never
+// panic, and any input the decoder accepts must survive an encode/decode
+// round trip unchanged (so replaying a saved scenario is always faithful).
+func FuzzDecode(f *testing.F) {
+	if data, err := os.ReadFile("testdata/dynamic.json"); err == nil {
+		f.Add(data)
+	}
+	var gen bytes.Buffer
+	if err := Generate(5, GenConfig{Manager: ManagerHARSE}).Encode(&gen); err == nil {
+		f.Add(gen.Bytes())
+	}
+	f.Add([]byte(`{"manager":"none","duration_ms":100,"apps":[{"name":"a","bench":"SW"}]}`))
+	f.Add([]byte(`{"manager":"mphars-e","duration_ms":50,"apps":[{"name":"a","bench":"FE","target":{"min":1,"avg":2,"max":3}}],"events":[{"at_ms":1,"kind":"hotplug","cpu":3,"online":false}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := sc.Encode(&buf); err != nil {
+			t.Fatalf("accepted scenario failed to encode: %v", err)
+		}
+		again, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of encoded scenario failed: %v\n%s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(sc, again) {
+			t.Fatalf("round trip changed the scenario:\nfirst:  %+v\nsecond: %+v", sc, again)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hmp"
+	"repro/internal/workload"
+)
+
+// GenConfig tunes the random-scenario generator. The zero value selects an
+// MP-HARS-I scenario with up to 3 applications, 20 s of simulated time, and
+// 6 dynamic events.
+type GenConfig struct {
+	Manager    string // default "mphars-i"
+	MaxApps    int    // default 3 (at least 1)
+	DurationMS int64  // default 20000
+	Events     int    // dynamic events besides arrivals/departures; default 6
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Manager == "" {
+		c.Manager = ManagerMPHARSI
+	}
+	if c.MaxApps <= 0 {
+		c.MaxApps = 3
+	}
+	if c.DurationMS <= 0 {
+		c.DurationMS = 20000
+	}
+	if c.Events < 0 {
+		c.Events = 0
+	} else if c.Events == 0 {
+		c.Events = 6
+	}
+	return c
+}
+
+// Generate builds a pseudo-random but fully deterministic scenario from a
+// seed: the same seed and config always produce the same scenario, and the
+// result always passes Validate. Property tests sweep seeds through it.
+func Generate(seed int64, cfg GenConfig) *Scenario {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	plat := hmp.Default()
+	shorts := workload.Shorts()
+
+	sc := &Scenario{
+		Name:          fmt.Sprintf("gen-%d", seed),
+		Seed:          seed,
+		Manager:       cfg.Manager,
+		DurationMS:    cfg.DurationMS,
+		SampleEveryMS: 250,
+	}
+
+	nApps := 1 + rng.Intn(cfg.MaxApps)
+	for i := 0; i < nApps; i++ {
+		a := AppSpec{
+			Name:       fmt.Sprintf("app%d", i),
+			Bench:      shorts[rng.Intn(len(shorts))],
+			Threads:    4 + 4*rng.Intn(2), // 4 or 8
+			TargetFrac: 0.3 + 0.5*rng.Float64(),
+			InitBig:    IntPtr(1),
+			InitLittle: IntPtr(1),
+		}
+		if i > 0 {
+			a.StartMS = rng.Int63n(cfg.DurationMS / 2)
+		}
+		// Half the later apps depart before the end.
+		if i > 0 && rng.Intn(2) == 0 {
+			lo := a.StartMS + cfg.DurationMS/4
+			if lo < cfg.DurationMS {
+				a.StopMS = lo + rng.Int63n(cfg.DurationMS-lo)
+				if a.StopMS <= a.StartMS {
+					a.StopMS = 0
+				}
+			}
+		}
+		sc.Apps = append(sc.Apps, a)
+	}
+
+	// Event times first (sorted), then kinds chosen chronologically while
+	// tracking the online set so hotplug never strands the machine.
+	times := make([]int64, cfg.Events)
+	for i := range times {
+		times[i] = 1 + rng.Int63n(cfg.DurationMS-1)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	online := hmp.AllCPUs(plat)
+	for _, at := range times {
+		ev := Event{AtMS: at}
+		switch rng.Intn(4) {
+		case 0: // hotplug: prefer taking a core down, bring one back when thin
+			cpu := rng.Intn(plat.TotalCores())
+			if online.Has(cpu) && online.Count() > 2 {
+				on := false
+				ev.Kind, ev.CPU, ev.Online = KindHotplug, cpu, &on
+				online = online.Clear(cpu)
+			} else if !online.Has(cpu) {
+				on := true
+				ev.Kind, ev.CPU, ev.Online = KindHotplug, cpu, &on
+				online = online.Set(cpu)
+			} else {
+				// Too few cores to take another down: cap instead.
+				ev = capEvent(rng, plat, at)
+			}
+		case 1:
+			ev = capEvent(rng, plat, at)
+		case 2:
+			a := &sc.Apps[rng.Intn(len(sc.Apps))]
+			ev.Kind, ev.App = KindTarget, a.Name
+			ev.Frac = 0.3 + 0.5*rng.Float64()
+		default:
+			a := &sc.Apps[rng.Intn(len(sc.Apps))]
+			ev.Kind, ev.App = KindPhase, a.Name
+			ev.Scale = 0.5 + 1.5*rng.Float64()
+		}
+		sc.Events = append(sc.Events, ev)
+	}
+	return sc
+}
+
+func capEvent(rng *rand.Rand, plat *hmp.Platform, at int64) Event {
+	k := hmp.ClusterKind(rng.Intn(int(hmp.NumClusters)))
+	name := "little"
+	if k == hmp.Big {
+		name = "big"
+	}
+	max := plat.Clusters[k].MaxLevel()
+	lvl := 1 + rng.Intn(max) // [1, max]: sometimes a real cap, sometimes a restore
+	return Event{AtMS: at, Kind: KindDVFSCap, Cluster: name, MaxLevel: lvl}
+}

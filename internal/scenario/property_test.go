@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hmp"
+	"repro/internal/sim"
+)
+
+// machineInvariants is the per-tick property checked on every seeded random
+// scenario: no runnable thread placed on an offline core, cluster levels
+// never above the active ceiling, and energy and busy time monotonically
+// non-decreasing.
+type machineInvariants struct {
+	lastEnergy float64
+	lastBusy   sim.Time
+	err        error
+}
+
+func (c *machineInvariants) tick(m *sim.Machine) {
+	if c.err != nil {
+		return
+	}
+	for _, t := range m.Threads() {
+		if t.Runnable() && t.Core() >= 0 && !m.CoreOnline(t.Core()) {
+			c.err = fmt.Errorf("t=%d: runnable %s/%d on offline cpu %d", m.Now(), t.Proc.Name, t.Local, t.Core())
+			return
+		}
+	}
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		if m.Level(k) > m.LevelCap(k) {
+			c.err = fmt.Errorf("t=%d: %s level %d above cap %d", m.Now(), k, m.Level(k), m.LevelCap(k))
+			return
+		}
+	}
+	if e := m.EnergyJ(); e < c.lastEnergy {
+		c.err = fmt.Errorf("t=%d: energy decreased %v -> %v", m.Now(), c.lastEnergy, e)
+		return
+	} else {
+		c.lastEnergy = e
+	}
+	busy := sim.Time(0)
+	for cpu := 0; cpu < m.Platform().TotalCores(); cpu++ {
+		busy += m.BusyTime(cpu)
+	}
+	if busy < c.lastBusy {
+		c.err = fmt.Errorf("t=%d: busy time decreased %d -> %d", m.Now(), c.lastBusy, busy)
+		return
+	}
+	c.lastBusy = busy
+}
+
+// runSeeds drives seeded random scenarios through one manager kind with the
+// per-tick machine invariants and the engine's strict checks (which add the
+// MP-HARS partitioning invariants after every action and sample).
+func runSeeds(t *testing.T, manager string, seeds int) {
+	t.Helper()
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		sc := Generate(seed, GenConfig{Manager: manager, DurationMS: 12000, Events: 8})
+		chk := &machineInvariants{}
+		res, err := Run(sc, Options{Strict: true, PerTick: chk.tick})
+		if err != nil {
+			t.Fatalf("%s seed %d: %v", manager, seed, err)
+		}
+		if chk.err != nil {
+			t.Fatalf("%s seed %d: %v", manager, seed, chk.err)
+		}
+		// Post-run consistency: departed apps are dead with no runnable
+		// threads; apps that arrived (and were not skipped) made progress.
+		for i, a := range res.Apps {
+			proc := procByName(res, a.Name)
+			if a.Skipped {
+				if proc != nil {
+					t.Fatalf("%s seed %d: skipped app %s was spawned", manager, seed, a.Name)
+				}
+				continue
+			}
+			if !a.Arrived || proc == nil {
+				t.Fatalf("%s seed %d: app %d never arrived", manager, seed, i)
+			}
+			if a.Departed {
+				if !proc.Exited() {
+					t.Fatalf("%s seed %d: departed app %s still alive", manager, seed, a.Name)
+				}
+				for _, th := range proc.Threads {
+					if th.Runnable() {
+						t.Fatalf("%s seed %d: departed app %s has runnable thread %d",
+							manager, seed, a.Name, th.Local)
+					}
+				}
+			}
+		}
+		// Manager-specific consistency after all departures and hotplug.
+		if res.MP != nil {
+			if err := res.MP.CheckInvariants(); err != nil {
+				t.Fatalf("%s seed %d: %v", manager, seed, err)
+			}
+		}
+		departed := make(map[string]bool)
+		for _, a := range res.Apps {
+			departed[a.Name] = a.Departed
+		}
+		for name, mgr := range res.Managers {
+			st := mgr.State()
+			if st.TotalCores() > 0 && !st.Valid(res.Machine.Platform()) {
+				t.Fatalf("%s seed %d: app %s settled in invalid state %v", manager, seed, name, st)
+			}
+			// A departed app's manager is detached and freezes its last
+			// state, so only live managers must track the online platform.
+			if departed[name] {
+				continue
+			}
+			if st.BigCores > res.Machine.OnlineCount(hmp.Big) ||
+				st.LittleCores > res.Machine.OnlineCount(hmp.Little) {
+				t.Fatalf("%s seed %d: app %s state %v exceeds the online platform",
+					manager, seed, name, st)
+			}
+		}
+	}
+}
+
+func procByName(res *Result, name string) *sim.Process {
+	for _, p := range res.Machine.Procs() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+func TestPropertyHARSI(t *testing.T)  { runSeeds(t, ManagerHARSI, 8) }
+func TestPropertyHARSE(t *testing.T)  { runSeeds(t, ManagerHARSE, 8) }
+func TestPropertyMPHARS(t *testing.T) { runSeeds(t, ManagerMPHARSI, 8) }
+func TestPropertyMPHARSE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runSeeds(t, ManagerMPHARSE, 6)
+}
+func TestPropertyUnmanaged(t *testing.T) { runSeeds(t, ManagerGTS, 6) }

@@ -1,0 +1,281 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/hmp"
+	"repro/internal/workload"
+)
+
+// Manager kinds accepted by Scenario.Manager.
+const (
+	ManagerNone    = "none"
+	ManagerGTS     = "gts"
+	ManagerHARSI   = "hars-i"
+	ManagerHARSE   = "hars-e"
+	ManagerHARSEI  = "hars-ei"
+	ManagerMPHARSI = "mphars-i"
+	ManagerMPHARSE = "mphars-e"
+)
+
+// Event kinds accepted by Event.Kind.
+const (
+	KindHotplug = "hotplug"
+	KindDVFSCap = "dvfs_cap"
+	KindTarget  = "target"
+	KindPhase   = "phase"
+)
+
+// TargetSpec is an explicit heartbeat-rate band.
+type TargetSpec struct {
+	Min float64 `json:"min"`
+	Avg float64 `json:"avg"`
+	Max float64 `json:"max"`
+}
+
+// AppSpec describes one application of a scenario.
+type AppSpec struct {
+	Name       string      `json:"name"`
+	Bench      string      `json:"bench"`                 // workload two-letter tag (BL, BO, FA, FE, FL, SW)
+	Threads    int         `json:"threads,omitempty"`     // default 8
+	StartMS    int64       `json:"start_ms,omitempty"`    // arrival time
+	StopMS     int64       `json:"stop_ms,omitempty"`     // departure time; 0 = end of run
+	TargetFrac float64     `json:"target_frac,omitempty"` // fraction of max rate; default 0.5
+	Target     *TargetSpec `json:"target,omitempty"`      // explicit band (overrides frac)
+	HBWindow   int         `json:"hb_window,omitempty"`   // heartbeat window; default 10
+	// InitBig and InitLittle are the MP-HARS initial core allocation.
+	// Pointers so an explicit 0 ("no big cores, please") is distinguishable
+	// from unset (default 1+1).
+	InitBig    *int `json:"init_big,omitempty"`
+	InitLittle *int `json:"init_little,omitempty"`
+}
+
+// Event is one timed dynamic event.
+type Event struct {
+	AtMS int64  `json:"at_ms"`
+	Kind string `json:"kind"`
+
+	// hotplug
+	CPU    int   `json:"cpu,omitempty"`
+	Online *bool `json:"online,omitempty"`
+
+	// dvfs_cap
+	Cluster  string `json:"cluster,omitempty"` // "big" or "little"
+	MaxLevel int    `json:"max_level,omitempty"`
+
+	// target / phase
+	App    string      `json:"app,omitempty"`
+	Frac   float64     `json:"frac,omitempty"`
+	Target *TargetSpec `json:"target,omitempty"`
+	Scale  float64     `json:"scale,omitempty"`
+}
+
+// Scenario is one declarative dynamic-event run.
+type Scenario struct {
+	Name          string    `json:"name"`
+	Seed          int64     `json:"seed,omitempty"` // generator seed, informational
+	Manager       string    `json:"manager"`
+	DurationMS    int64     `json:"duration_ms"`
+	SampleEveryMS int64     `json:"sample_every_ms,omitempty"` // trace cadence, default 100
+	AdaptEvery    int64     `json:"adapt_every,omitempty"`     // manager adaptation period (beats)
+	OverheadCPU   int       `json:"overhead_cpu,omitempty"`    // CPU charged with manager overhead
+	Apps          []AppSpec `json:"apps"`
+	Events        []Event   `json:"events,omitempty"`
+}
+
+// Decode parses and validates a scenario document. Unknown fields are
+// rejected so typos surface instead of silently doing nothing.
+func Decode(r io.Reader) (*Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: decode: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// Encode writes the scenario as indented JSON.
+func (sc *Scenario) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sc); err != nil {
+		return fmt.Errorf("scenario: encode: %w", err)
+	}
+	return nil
+}
+
+// validManagers lists the accepted manager kinds.
+var validManagers = map[string]bool{
+	ManagerNone: true, ManagerGTS: true,
+	ManagerHARSI: true, ManagerHARSE: true, ManagerHARSEI: true,
+	ManagerMPHARSI: true, ManagerMPHARSE: true,
+}
+
+// Validate checks the scenario against the default platform: well-formed
+// specs, known references, and a hotplug sequence that never takes the last
+// core offline.
+func (sc *Scenario) Validate() error { return sc.ValidateOn(hmp.Default()) }
+
+// ValidateOn validates against an explicit platform description.
+func (sc *Scenario) ValidateOn(plat *hmp.Platform) error {
+	if sc.DurationMS <= 0 {
+		return fmt.Errorf("scenario: duration_ms must be positive, got %d", sc.DurationMS)
+	}
+	if !validManagers[sc.Manager] {
+		return fmt.Errorf("scenario: unknown manager %q", sc.Manager)
+	}
+	if sc.SampleEveryMS < 0 || sc.AdaptEvery < 0 {
+		return fmt.Errorf("scenario: negative sample_every_ms or adapt_every")
+	}
+	if len(sc.Apps) == 0 {
+		return fmt.Errorf("scenario: no apps")
+	}
+	names := make(map[string]bool, len(sc.Apps))
+	for i := range sc.Apps {
+		a := &sc.Apps[i]
+		if a.Name == "" {
+			return fmt.Errorf("scenario: app %d has no name", i)
+		}
+		if names[a.Name] {
+			return fmt.Errorf("scenario: duplicate app name %q", a.Name)
+		}
+		names[a.Name] = true
+		if _, ok := workload.ByShort(a.Bench); !ok {
+			return fmt.Errorf("scenario: app %q: unknown bench %q", a.Name, a.Bench)
+		}
+		if a.Threads < 0 {
+			return fmt.Errorf("scenario: app %q: negative threads", a.Name)
+		}
+		if a.StartMS < 0 || a.StartMS >= sc.DurationMS {
+			return fmt.Errorf("scenario: app %q: start_ms %d outside [0, %d)", a.Name, a.StartMS, sc.DurationMS)
+		}
+		if a.StopMS != 0 && (a.StopMS <= a.StartMS || a.StopMS > sc.DurationMS) {
+			return fmt.Errorf("scenario: app %q: stop_ms %d outside (start, duration]", a.Name, a.StopMS)
+		}
+		if a.Target != nil {
+			if !(a.Target.Min > 0 && a.Target.Min <= a.Target.Avg && a.Target.Avg <= a.Target.Max) {
+				return fmt.Errorf("scenario: app %q: malformed target band", a.Name)
+			}
+		} else if a.TargetFrac < 0 || a.TargetFrac > 1 {
+			return fmt.Errorf("scenario: app %q: target_frac %v outside [0, 1]", a.Name, a.TargetFrac)
+		}
+		initB := intOr(a.InitBig, 1)
+		initL := intOr(a.InitLittle, 1)
+		if initB < 0 || initB > plat.Clusters[hmp.Big].Cores ||
+			initL < 0 || initL > plat.Clusters[hmp.Little].Cores {
+			return fmt.Errorf("scenario: app %q: initial allocation outside the platform", a.Name)
+		}
+		if initB+initL == 0 {
+			return fmt.Errorf("scenario: app %q: initial allocation is empty", a.Name)
+		}
+	}
+	total := plat.TotalCores()
+	for i := range sc.Events {
+		ev := &sc.Events[i]
+		if ev.AtMS < 0 || ev.AtMS > sc.DurationMS {
+			return fmt.Errorf("scenario: event %d: at_ms %d outside [0, %d]", i, ev.AtMS, sc.DurationMS)
+		}
+		switch ev.Kind {
+		case KindHotplug:
+			if ev.CPU < 0 || ev.CPU >= total {
+				return fmt.Errorf("scenario: event %d: cpu %d outside the platform", i, ev.CPU)
+			}
+			if ev.Online == nil {
+				return fmt.Errorf("scenario: event %d: hotplug needs explicit \"online\"", i)
+			}
+		case KindDVFSCap:
+			k, err := parseCluster(ev.Cluster)
+			if err != nil {
+				return fmt.Errorf("scenario: event %d: %w", i, err)
+			}
+			if ev.MaxLevel < 0 || ev.MaxLevel > plat.Clusters[k].MaxLevel() {
+				return fmt.Errorf("scenario: event %d: max_level %d outside the %s grid", i, ev.MaxLevel, ev.Cluster)
+			}
+		case KindTarget:
+			if !names[ev.App] {
+				return fmt.Errorf("scenario: event %d: unknown app %q", i, ev.App)
+			}
+			if ev.Target != nil {
+				if !(ev.Target.Min > 0 && ev.Target.Min <= ev.Target.Avg && ev.Target.Avg <= ev.Target.Max) {
+					return fmt.Errorf("scenario: event %d: malformed target band", i)
+				}
+			} else if ev.Frac <= 0 || ev.Frac > 1 {
+				return fmt.Errorf("scenario: event %d: frac %v outside (0, 1]", i, ev.Frac)
+			}
+		case KindPhase:
+			if !names[ev.App] {
+				return fmt.Errorf("scenario: event %d: unknown app %q", i, ev.App)
+			}
+			if ev.Scale <= 0 {
+				return fmt.Errorf("scenario: event %d: scale %v must be positive", i, ev.Scale)
+			}
+		default:
+			return fmt.Errorf("scenario: event %d: unknown kind %q", i, ev.Kind)
+		}
+	}
+	return sc.checkHotplug(plat)
+}
+
+// checkHotplug replays the hotplug sequence in application order and
+// rejects a scenario that ever takes the last core offline.
+func (sc *Scenario) checkHotplug(plat *hmp.Platform) error {
+	type hp struct {
+		at  int64
+		seq int
+		cpu int
+		on  bool
+	}
+	var seq []hp
+	for i := range sc.Events {
+		ev := &sc.Events[i]
+		if ev.Kind == KindHotplug {
+			seq = append(seq, hp{at: ev.AtMS, seq: i, cpu: ev.CPU, on: *ev.Online})
+		}
+	}
+	sort.Slice(seq, func(i, j int) bool {
+		if seq[i].at != seq[j].at {
+			return seq[i].at < seq[j].at
+		}
+		return seq[i].seq < seq[j].seq
+	})
+	online := hmp.AllCPUs(plat)
+	for _, h := range seq {
+		if h.on {
+			online = online.Set(h.cpu)
+		} else {
+			online = online.Clear(h.cpu)
+		}
+		if online == 0 {
+			return fmt.Errorf("scenario: hotplug at t=%dms takes the last core offline", h.at)
+		}
+	}
+	return nil
+}
+
+// IntPtr returns a pointer to v, for building AppSpec literals.
+func IntPtr(v int) *int { return &v }
+
+// intOr dereferences an optional int field, substituting def when unset.
+func intOr(p *int, def int) int {
+	if p == nil {
+		return def
+	}
+	return *p
+}
+
+func parseCluster(s string) (hmp.ClusterKind, error) {
+	switch s {
+	case "big":
+		return hmp.Big, nil
+	case "little":
+		return hmp.Little, nil
+	}
+	return 0, fmt.Errorf("unknown cluster %q", s)
+}

@@ -1,0 +1,241 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/hmp"
+	"repro/internal/sim"
+)
+
+// loadTestdata decodes the checked-in showcase scenario.
+func loadTestdata(t *testing.T) *Scenario {
+	t.Helper()
+	f, err := os.Open("testdata/dynamic.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc, err := Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        `{nope`,
+		"unknown field":  `{"manager":"none","duration_ms":1000,"bogus":1,"apps":[{"name":"a","bench":"SW"}]}`,
+		"no apps":        `{"manager":"none","duration_ms":1000}`,
+		"bad manager":    `{"manager":"hal9000","duration_ms":1000,"apps":[{"name":"a","bench":"SW"}]}`,
+		"bad bench":      `{"manager":"none","duration_ms":1000,"apps":[{"name":"a","bench":"ZZ"}]}`,
+		"dup app":        `{"manager":"none","duration_ms":1000,"apps":[{"name":"a","bench":"SW"},{"name":"a","bench":"FE"}]}`,
+		"stop before":    `{"manager":"none","duration_ms":1000,"apps":[{"name":"a","bench":"SW","start_ms":500,"stop_ms":200}]}`,
+		"late start":     `{"manager":"none","duration_ms":1000,"apps":[{"name":"a","bench":"SW","start_ms":1000}]}`,
+		"bad event kind": `{"manager":"none","duration_ms":1000,"apps":[{"name":"a","bench":"SW"}],"events":[{"at_ms":1,"kind":"explode"}]}`,
+		"hotplug no online": `{"manager":"none","duration_ms":1000,"apps":[{"name":"a","bench":"SW"}],
+			"events":[{"at_ms":1,"kind":"hotplug","cpu":1}]}`,
+		"hotplug bad cpu": `{"manager":"none","duration_ms":1000,"apps":[{"name":"a","bench":"SW"}],
+			"events":[{"at_ms":1,"kind":"hotplug","cpu":64,"online":false}]}`,
+		"cap bad cluster": `{"manager":"none","duration_ms":1000,"apps":[{"name":"a","bench":"SW"}],
+			"events":[{"at_ms":1,"kind":"dvfs_cap","cluster":"medium","max_level":1}]}`,
+		"cap bad level": `{"manager":"none","duration_ms":1000,"apps":[{"name":"a","bench":"SW"}],
+			"events":[{"at_ms":1,"kind":"dvfs_cap","cluster":"big","max_level":99}]}`,
+		"target unknown app": `{"manager":"none","duration_ms":1000,"apps":[{"name":"a","bench":"SW"}],
+			"events":[{"at_ms":1,"kind":"target","app":"b","frac":0.5}]}`,
+		"phase bad scale": `{"manager":"none","duration_ms":1000,"apps":[{"name":"a","bench":"SW"}],
+			"events":[{"at_ms":1,"kind":"phase","app":"a","scale":0}]}`,
+	}
+	for name, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestValidateRejectsStrandedMachine covers the chronological hotplug check:
+// a sequence that takes the last core offline is rejected even though every
+// individual event is well formed.
+func TestValidateRejectsStrandedMachine(t *testing.T) {
+	sc := &Scenario{
+		Manager:    ManagerNone,
+		DurationMS: 1000,
+		Apps:       []AppSpec{{Name: "a", Bench: "SW"}},
+	}
+	off := false
+	for cpu := 0; cpu < hmp.Default().TotalCores(); cpu++ {
+		sc.Events = append(sc.Events, Event{
+			AtMS: int64(cpu + 1), Kind: KindHotplug, CPU: cpu, Online: &off,
+		})
+	}
+	if err := sc.Validate(); err == nil {
+		t.Fatal("scenario stranding the machine accepted")
+	}
+	// Bringing one back in between makes it legal again.
+	on := true
+	sc.Events = append(sc.Events[:len(sc.Events)-1], Event{
+		AtMS: 7, Kind: KindHotplug, CPU: 0, Online: &on,
+	})
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("legal hotplug sequence rejected: %v", err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, sc := range []*Scenario{
+		loadTestdata(t),
+		Generate(11, GenConfig{}),
+		Generate(12, GenConfig{Manager: ManagerHARSE, MaxApps: 2}),
+	} {
+		var buf bytes.Buffer
+		if err := sc.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if !reflect.DeepEqual(got, sc) {
+			t.Fatalf("%s: round trip changed the scenario:\n%+v\n%+v", sc.Name, got, sc)
+		}
+	}
+}
+
+// TestGenerateAlwaysValid sweeps seeds and managers: every generated
+// scenario validates, and generation is deterministic per seed.
+func TestGenerateAlwaysValid(t *testing.T) {
+	managers := []string{ManagerNone, ManagerGTS, ManagerHARSI, ManagerHARSE, ManagerMPHARSI, ManagerMPHARSE}
+	for seed := int64(1); seed <= 40; seed++ {
+		cfg := GenConfig{Manager: managers[seed%int64(len(managers))], Events: 8}
+		sc := Generate(seed, cfg)
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		again := Generate(seed, cfg)
+		if !reflect.DeepEqual(sc, again) {
+			t.Fatalf("seed %d: generation is not deterministic", seed)
+		}
+	}
+}
+
+// TestRunDeterminism is the acceptance gate: replaying the showcase
+// scenario (arrival, departure, hotplug, DVFS cap, target, phase — six
+// distinct event types) twice produces byte-identical traces and equal
+// digests.
+func TestRunDeterminism(t *testing.T) {
+	sc := loadTestdata(t)
+	var a, b bytes.Buffer
+	ra, err := Run(sc, Options{Trace: &a, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(sc, Options{Trace: &b, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("trace output differs between two replays of the same scenario")
+	}
+	if ra.TraceDigest != rb.TraceDigest {
+		t.Fatalf("trace digests differ: %x vs %x", ra.TraceDigest, rb.TraceDigest)
+	}
+	if a.Len() == 0 || ra.Samples == 0 {
+		t.Fatal("empty trace")
+	}
+	// The digest also matches a traceless run, so the digest alone is a
+	// sufficient determinism witness for sweeps.
+	rc, err := Run(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.TraceDigest != ra.TraceDigest {
+		t.Fatal("digest depends on whether a trace writer is attached")
+	}
+}
+
+// TestDynamicEventsTakeEffect checks each event kind leaves its observable
+// footprint on the run.
+func TestDynamicEventsTakeEffect(t *testing.T) {
+	sc := loadTestdata(t)
+	res, err := Run(sc, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Machine
+
+	// Arrival and departure: both apps ran, fe0 departed and its process is
+	// dead, sw0 ran to the end.
+	if len(res.Apps) != 2 {
+		t.Fatalf("apps = %d", len(res.Apps))
+	}
+	sw, fe := res.Apps[0], res.Apps[1]
+	if !sw.Arrived || sw.Departed || sw.Beats == 0 {
+		t.Fatalf("sw0: %+v", sw)
+	}
+	if !fe.Arrived || !fe.Departed || fe.Beats == 0 {
+		t.Fatalf("fe0: %+v", fe)
+	}
+	var feProc, swProc = m.Procs()[1], m.Procs()[0]
+	if !feProc.Exited() || swProc.Exited() {
+		t.Fatal("departure did not kill fe0 (or killed sw0)")
+	}
+	for _, th := range feProc.Threads {
+		if th.Runnable() {
+			t.Fatal("departed process still has runnable threads")
+		}
+	}
+
+	// Hotplug: cpu 7 went offline at 4 s and returned at 12 s.
+	if !m.CoreOnline(7) || m.OnlineMask() != hmp.AllCPUs(m.Platform()) {
+		t.Fatal("cpu 7 should be back online at the end")
+	}
+	// DVFS cap: big cluster was capped at level 4 then restored to 8.
+	if m.LevelCap(hmp.Big) != 8 {
+		t.Fatalf("big cap = %d, want 8 (restored)", m.LevelCap(hmp.Big))
+	}
+	// MP-HARS partition stayed consistent through all of it.
+	if err := res.MP.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyJ <= 0 || res.OverheadUS <= 0 {
+		t.Fatalf("energy %v overhead %v", res.EnergyJ, res.OverheadUS)
+	}
+}
+
+// TestHotplugCapBiteDuringRun pins the mid-run effect of hotplug and caps
+// with a per-tick probe: the offline window and the cap window are actually
+// observed, and during them cpu 7 holds no runnable thread and the big
+// cluster stays at or below the ceiling.
+func TestHotplugCapBiteDuringRun(t *testing.T) {
+	sc := loadTestdata(t)
+	sawOffline, sawCapped := false, false
+	_, err := Run(sc, Options{
+		Strict: true,
+		PerTick: func(m *sim.Machine) {
+			if !m.CoreOnline(7) {
+				sawOffline = true
+				for _, th := range m.Threads() {
+					if th.Runnable() && th.Core() == 7 {
+						t.Fatalf("t=%d: runnable thread on offline cpu 7", m.Now())
+					}
+				}
+			}
+			if m.LevelCap(hmp.Big) == 4 {
+				sawCapped = true
+				if m.Level(hmp.Big) > 4 {
+					t.Fatalf("t=%d: big level %d above cap 4", m.Now(), m.Level(hmp.Big))
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawOffline || !sawCapped {
+		t.Fatalf("offline window seen: %t, cap window seen: %t", sawOffline, sawCapped)
+	}
+}

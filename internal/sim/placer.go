@@ -23,6 +23,11 @@ func NewMaskBalancer() *MaskBalancer { return &MaskBalancer{} }
 // Place implements Placer.
 func (b *MaskBalancer) Place(m *Machine) {
 	nc := len(m.cores)
+	online := m.online
+	// The all-online fast paths below skip the per-core hotplug tests in
+	// the hot loops; they are exact because online.Has(cpu) is then true
+	// for every cpu.
+	all := online == m.allMask
 	if cap(b.counts) < nc {
 		b.counts = make([]int, nc)
 	}
@@ -39,7 +44,9 @@ func (b *MaskBalancer) Place(m *Machine) {
 				counts[t.core]--
 			}
 		}
-		// First pass: repair threads placed outside their mask (or nowhere).
+		// First pass: repair threads placed outside their mask (or nowhere,
+		// e.g. after an offline eviction). A thread whose mask intersects no
+		// online core stays unplaced until the platform grows back.
 		for _, id := range m.runnable {
 			t := m.threads[id]
 			if !t.misplaced {
@@ -47,7 +54,7 @@ func (b *MaskBalancer) Place(m *Machine) {
 			}
 			best := -1
 			for cpu := 0; cpu < nc; cpu++ {
-				if !t.affinity.Has(cpu) {
+				if !t.affinity.Has(cpu) || (!all && !online.Has(cpu)) {
 					continue
 				}
 				if best < 0 || counts[cpu] < counts[best] {
@@ -61,18 +68,38 @@ func (b *MaskBalancer) Place(m *Machine) {
 		}
 	}
 	// Second pass: one balancing sweep with hysteresis — move a thread only
-	// if a permitted core is at least two threads lighter than its own.
-	// When every core is within one thread of the global minimum no such
-	// move exists anywhere, so the sweep is skipped outright; minC stays a
-	// valid lower bound during the sweep because a move only ever drains
-	// cores that are at least two above it.
-	minC, maxC := counts[0], counts[0]
-	for _, n := range counts[1:] {
-		if n < minC {
-			minC = n
+	// if a permitted online core is at least two threads lighter than its
+	// own. When every online core is within one thread of the online minimum
+	// no such move exists anywhere, so the sweep is skipped outright; minC
+	// stays a valid lower bound during the sweep because a move only ever
+	// drains cores that are at least two above it.
+	var minC, maxC int
+	if all {
+		minC, maxC = counts[0], counts[0]
+		for _, n := range counts[1:] {
+			if n < minC {
+				minC = n
+			}
+			if n > maxC {
+				maxC = n
+			}
 		}
-		if n > maxC {
-			maxC = n
+	} else {
+		seen := false
+		for cpu, n := range counts {
+			if !online.Has(cpu) {
+				continue
+			}
+			if !seen || n < minC {
+				minC = n
+			}
+			if !seen || n > maxC {
+				maxC = n
+			}
+			seen = true
+		}
+		if !seen {
+			return
 		}
 	}
 	if maxC-minC <= 1 {
@@ -89,7 +116,7 @@ func (b *MaskBalancer) Place(m *Machine) {
 		}
 		best := cur
 		for cpu := 0; cpu < nc; cpu++ {
-			if cpu == cur || !t.affinity.Has(cpu) {
+			if cpu == cur || !t.affinity.Has(cpu) || (!all && !online.Has(cpu)) {
 				continue
 			}
 			if counts[cpu] < counts[best]-1 {

@@ -104,6 +104,15 @@ type Machine struct {
 	threads []*Thread
 	levels  [hmp.NumClusters]int
 
+	// online is the hotplug state: offline cores hold no threads, execute
+	// nothing, and are invisible to placers. caps are per-cluster DVFS
+	// ceilings (thermal capping): SetLevel clamps to them. clusterMask
+	// caches the per-cluster CPU masks for OnlineCount.
+	online      hmp.CPUMask
+	allMask     hmp.CPUMask // mask of every core: online == allMask ⇒ no hotplug active
+	caps        [hmp.NumClusters]int
+	clusterMask [hmp.NumClusters]hmp.CPUMask
+
 	// runnable holds the Global IDs of runnable threads in ascending order,
 	// maintained incrementally on block/unblock transitions. The per-core
 	// run queues (coreState.run) are the placed subset. Placers iterate
@@ -174,8 +183,12 @@ func New(plat *hmp.Platform, cfg Config) *Machine {
 	m.tickSec = Seconds(cfg.TickLen)
 	m.tickUS = float64(cfg.TickLen)
 	m.nLittle = plat.Clusters[hmp.Little].Cores
+	m.online = hmp.AllCPUs(plat)
+	m.allMask = m.online
 	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
 		m.levels[k] = plat.Clusters[k].MaxLevel()
+		m.caps[k] = plat.Clusters[k].MaxLevel()
+		m.clusterMask[k] = hmp.ClusterMask(plat, k)
 		m.busyScratch[k] = make([]float64, plat.Clusters[k].Cores)
 		m.lastTickUse[k] = make([]float64, plat.Clusters[k].Cores)
 		m.freqScale[k] = make([]float64, plat.Clusters[k].Levels())
@@ -205,12 +218,27 @@ func (m *Machine) SetPlacer(p Placer) { m.placer = p }
 // AddDaemon registers a per-tick hook. Daemons run in registration order.
 func (m *Machine) AddDaemon(d Daemon) { m.daemons = append(m.daemons, d) }
 
-// SetLevel sets the DVFS frequency level of cluster k (clamped to the grid).
-// This is the simulated cpufreq actuation knob; per-cluster DVFS means every
-// core of the cluster changes together, exactly the constraint MP-HARS's
+// RemoveDaemon unregisters a previously added daemon (no-op if absent).
+// Scenario engines use this to detach the manager of a departed application.
+func (m *Machine) RemoveDaemon(d Daemon) {
+	for i, x := range m.daemons {
+		if x == d {
+			m.daemons = append(m.daemons[:i], m.daemons[i+1:]...)
+			return
+		}
+	}
+}
+
+// SetLevel sets the DVFS frequency level of cluster k (clamped to the grid
+// and to the cluster's active frequency ceiling, see SetLevelCap). This is
+// the simulated cpufreq actuation knob; per-cluster DVFS means every core of
+// the cluster changes together, exactly the constraint MP-HARS's
 // interference-aware adaptation exists to manage.
 func (m *Machine) SetLevel(k hmp.ClusterKind, level int) {
 	level = m.plat.Clusters[k].ClampLevel(level)
+	if level > m.caps[k] {
+		level = m.caps[k]
+	}
 	if m.tracer != nil && level != m.levels[k] {
 		m.tracer.add(Event{
 			T: m.now, Kind: EvDVFS, Cluster: k, Level: level,
@@ -222,6 +250,101 @@ func (m *Machine) SetLevel(k hmp.ClusterKind, level int) {
 
 // Level returns the current DVFS level of cluster k.
 func (m *Machine) Level(k hmp.ClusterKind) int { return m.levels[k] }
+
+// SetLevelCap installs a DVFS frequency ceiling on cluster k (clamped to the
+// grid) — the simulated thermal-capping knob. The current level is lowered
+// immediately if it exceeds the new ceiling, and SetLevel clamps to the
+// ceiling until it is raised again (restore with the cluster's MaxLevel).
+func (m *Machine) SetLevelCap(k hmp.ClusterKind, cap int) {
+	cap = m.plat.Clusters[k].ClampLevel(cap)
+	if m.tracer != nil && cap != m.caps[k] {
+		m.tracer.add(Event{
+			T: m.now, Kind: EvCap, Cluster: k, Level: cap,
+			KHz: m.plat.Clusters[k].KHz(cap),
+		})
+	}
+	m.caps[k] = cap
+	if m.levels[k] > cap {
+		m.SetLevel(k, cap)
+	}
+}
+
+// LevelCap returns the active DVFS ceiling of cluster k.
+func (m *Machine) LevelCap(k hmp.ClusterKind) int { return m.caps[k] }
+
+// CoreOnline reports whether the given CPU is online.
+func (m *Machine) CoreOnline(cpu int) bool { return m.online.Has(cpu) }
+
+// OnlineMask returns the mask of currently online CPUs.
+func (m *Machine) OnlineMask() hmp.CPUMask { return m.online }
+
+// OnlineCount returns how many cores of cluster k are online.
+func (m *Machine) OnlineCount(k hmp.ClusterKind) int {
+	return m.online.Intersect(m.clusterMask[k]).Count()
+}
+
+// SetCoreOnline changes the hotplug state of one CPU. Taking a core offline
+// evicts every thread placed on it (runnable evictees become misplaced and
+// are re-placed by the placer on the next tick; threads whose affinity
+// intersects no online core stay unplaced and consume nothing); offline
+// cores execute nothing and are invisible to placers. Bringing a core back
+// online makes it placeable again. Must not be called from mid-execute
+// program callbacks; call it between ticks or from a daemon.
+func (m *Machine) SetCoreOnline(cpu int, online bool) {
+	if cpu < 0 || cpu >= len(m.cores) {
+		panic(fmt.Sprintf("sim: SetCoreOnline(%d): invalid cpu", cpu))
+	}
+	if m.inExec {
+		panic("sim: SetCoreOnline called during execute")
+	}
+	if m.online.Has(cpu) == online {
+		return
+	}
+	if m.tracer != nil {
+		m.tracer.add(Event{T: m.now, Kind: EvHotplug, CPU: cpu, Online: online})
+	}
+	if online {
+		m.online = m.online.Set(cpu)
+		return
+	}
+	m.online = m.online.Clear(cpu)
+	for _, t := range m.threads {
+		if t.core == cpu {
+			m.evict(t)
+		}
+	}
+}
+
+// evict removes a thread from its current core (which must be valid),
+// leaving it unplaced; the mask balancer's repair pass re-places runnable
+// evictees.
+func (m *Machine) evict(t *Thread) {
+	if t.queued {
+		m.cores[t.core].run = removeID(m.cores[t.core].run, int32(t.Global))
+		t.queued = false
+	}
+	if !t.blocked {
+		m.cores[t.core].runLen--
+	}
+	t.core = -1
+	m.updateMisplaced(t)
+}
+
+// Kill terminates a process: every thread is parked permanently, pending
+// wakeups are discarded on delivery, and SetWork becomes a no-op. The
+// process keeps its thread IDs and accumulated statistics, so digests and
+// traces of the completed portion remain valid. Scenario engines use this
+// for application departure.
+func (m *Machine) Kill(p *Process) {
+	if p.exited {
+		return
+	}
+	p.exited = true
+	for _, t := range p.Threads {
+		m.makeBlocked(t)
+		t.remaining = 0
+	}
+}
 
 // Procs returns the processes spawned on the machine.
 func (m *Machine) Procs() []*Process { return m.procs }
@@ -609,6 +732,9 @@ func (m *Machine) Migrate(t *Thread, cpu int) {
 	if cpu < 0 || cpu >= len(m.cores) {
 		panic(fmt.Sprintf("sim: migrate to invalid cpu %d", cpu))
 	}
+	if !m.online.Has(cpu) {
+		panic(fmt.Sprintf("sim: migrate to offline cpu %d", cpu))
+	}
 	if t.core >= 0 {
 		if m.plat.ClusterOf(t.core) != m.plat.ClusterOf(cpu) {
 			t.penalty += m.cfg.MigrationPenaltyCross
@@ -648,11 +774,22 @@ func (m *Machine) ChargeOverhead(cpu int, d Time) {
 	if d <= 0 {
 		return
 	}
-	if cpu < 0 || cpu >= len(m.cores) {
-		cpu = 0
+	if cpu < 0 || cpu >= len(m.cores) || !m.online.Has(cpu) {
+		cpu = m.firstOnline()
 	}
 	m.cores[cpu].stolen += d
 	m.overhead += d
+}
+
+// firstOnline returns the lowest-numbered online CPU (CPU 0 if none is
+// online, so overhead accounting never loses time).
+func (m *Machine) firstOnline() int {
+	for cpu := range m.cores {
+		if m.online.Has(cpu) {
+			return cpu
+		}
+	}
+	return 0
 }
 
 // Overhead returns the total manager CPU time charged so far.

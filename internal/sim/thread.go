@@ -112,8 +112,12 @@ type Process struct {
 	m          *Machine
 	prog       Program
 	cacheBonus float64 // CacheSensitive.CacheBonus resolved at Spawn (0 if none)
+	exited     bool    // set by Machine.Kill: the process has departed
 	Threads    []*Thread
 }
+
+// Exited reports whether the process has been terminated by Machine.Kill.
+func (p *Process) Exited() bool { return p.exited }
 
 // Machine returns the machine the process runs on.
 func (p *Process) Machine() *Machine { return p.m }
@@ -127,6 +131,9 @@ func (p *Process) Now() Time { return p.m.Now() }
 // SetWork gives thread `local` a fresh unit of `units` work and makes it
 // runnable. Units must be positive.
 func (p *Process) SetWork(local int, units float64) {
+	if p.exited {
+		return // late wakeups and callbacks of a departed process are dropped
+	}
 	if units <= 0 {
 		panic(fmt.Sprintf("sim: SetWork(%s/%d, %v): units must be positive", p.Name, local, units))
 	}
@@ -158,6 +165,9 @@ func (p *Process) Beat() heartbeat.Record {
 // profiling microbenchmark uses this for duty-cycled load, and workloads use
 // it for heartbeat-less startup phases.
 func (p *Process) WakeAt(local int, at Time, units float64) {
+	if p.exited {
+		return
+	}
 	if units <= 0 {
 		panic(fmt.Sprintf("sim: WakeAt(%s/%d, %v): units must be positive", p.Name, local, units))
 	}

@@ -19,6 +19,10 @@ const (
 	EvDVFS
 	// EvBeat is an application heartbeat.
 	EvBeat
+	// EvHotplug is a core going offline or coming back online.
+	EvHotplug
+	// EvCap is a cluster DVFS-ceiling change (thermal capping).
+	EvCap
 )
 
 // String names the event kind.
@@ -30,6 +34,10 @@ func (k EventKind) String() string {
 		return "dvfs"
 	case EvBeat:
 		return "beat"
+	case EvHotplug:
+		return "hotplug"
+	case EvCap:
+		return "cap"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
@@ -42,10 +50,13 @@ type Event struct {
 	Thread int    // local thread ID (migrate)
 	From   int    // source CPU (migrate)
 	To     int    // destination CPU (migrate)
-	// Cluster and Level describe DVFS events.
+	// Cluster and Level describe DVFS and cap events.
 	Cluster hmp.ClusterKind
 	Level   int
 	KHz     int
+	// CPU and Online describe hotplug events.
+	CPU    int
+	Online bool
 }
 
 // Tracer records machine events up to a bounded capacity; beyond it, events
@@ -92,6 +103,10 @@ func (tr *Tracer) WriteCSV(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,%d\n", e.T, e.Kind, e.Cluster, e.KHz)
 		case EvBeat:
 			_, err = fmt.Fprintf(w, "%d,%s,%s,,,,,\n", e.T, e.Kind, e.Proc)
+		case EvHotplug:
+			_, err = fmt.Fprintf(w, "%d,%s,,,%d,,,%t\n", e.T, e.Kind, e.CPU, e.Online)
+		case EvCap:
+			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,%d\n", e.T, e.Kind, e.Cluster, e.KHz)
 		}
 		if err != nil {
 			return err
@@ -131,6 +146,16 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 		case EvBeat:
 			out = append(out, chromeEvent{
 				Name: "beat " + e.Proc, Phase: "i", TS: e.T, PID: 2,
+			})
+		case EvHotplug:
+			out = append(out, chromeEvent{
+				Name: "hotplug", Phase: "i", TS: e.T, PID: 1, TID: e.CPU,
+				Args: map[string]any{"cpu": e.CPU, "online": e.Online},
+			})
+		case EvCap:
+			out = append(out, chromeEvent{
+				Name: e.Cluster.String() + "-cap", Phase: "C", TS: e.T, PID: 1,
+				Args: map[string]any{"khz": e.KHz},
 			})
 		}
 	}

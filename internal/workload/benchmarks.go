@@ -7,6 +7,16 @@ import (
 	"repro/internal/sim"
 )
 
+// PhaseScalable is the optional program extension scenario "phase" events
+// actuate: implementations scale the work of future iterations/items by the
+// given positive factor. Both workload templates implement it.
+type PhaseScalable interface {
+	SetPhaseScale(scale float64)
+}
+
+var _ PhaseScalable = (*DataParallel)(nil)
+var _ PhaseScalable = (*Pipeline)(nil)
+
 // Benchmark is a named factory for one of the evaluation's applications.
 // Programs carry per-run state, so each run must construct a fresh one.
 type Benchmark struct {

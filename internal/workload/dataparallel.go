@@ -36,6 +36,7 @@ type DataParallel struct {
 
 	iter    int64
 	pending int
+	scale   float64 // workload-phase multiplier on Unit (0 = 1.0)
 }
 
 var _ sim.Program = (*DataParallel)(nil)
@@ -50,6 +51,24 @@ func (d *DataParallel) NumThreads() int { return d.Threads }
 // CacheBonus implements sim.CacheSensitive.
 func (d *DataParallel) CacheBonus() float64 { return d.Bonus }
 
+// SetPhaseScale implements PhaseScalable: iterations handed out from now on
+// carry scale× the nominal work (a workload phase change). Scale must be
+// positive.
+func (d *DataParallel) SetPhaseScale(scale float64) {
+	if scale <= 0 {
+		panic("workload: non-positive phase scale")
+	}
+	d.scale = scale
+}
+
+func (d *DataParallel) unit(iter int64) float64 {
+	w := d.Unit(iter)
+	if d.scale != 0 {
+		w *= d.scale
+	}
+	return w
+}
+
 // SpeedFactor implements sim.Program.
 func (d *DataParallel) SpeedFactor(local int, k hmp.ClusterKind) float64 {
 	if k == hmp.Big {
@@ -62,7 +81,7 @@ func (d *DataParallel) SpeedFactor(local int, k hmp.ClusterKind) float64 {
 func (d *DataParallel) Start(p *sim.Process) {
 	d.iter = 0
 	d.pending = d.Threads
-	w := d.Unit(0)
+	w := d.unit(0)
 	for i := 0; i < d.Threads; i++ {
 		if d.StartDelay > 0 {
 			p.WakeAt(i, p.Now()+d.StartDelay, w)
@@ -82,7 +101,7 @@ func (d *DataParallel) UnitDone(p *sim.Process, local int) {
 	p.Beat()
 	d.iter++
 	d.pending = d.Threads
-	w := d.Unit(d.iter)
+	w := d.unit(d.iter)
 	for i := 0; i < d.Threads; i++ {
 		p.SetWork(i, w)
 	}

@@ -27,6 +27,7 @@ type Pipeline struct {
 	waiting     [][]int // waiting[s]: stage-s threads blocked on an empty input
 	blockedPush [][]int // blockedPush[s]: stage-(s−1) threads blocked pushing into s
 	items       int64   // items completed by the final stage
+	scale       float64 // workload-phase multiplier on StageWork (0 = 1.0)
 }
 
 var _ sim.Program = (*Pipeline)(nil)
@@ -67,6 +68,24 @@ func (pl *Pipeline) ThreadGroups() []int {
 // StageOf returns the stage that thread `local` works in.
 func (pl *Pipeline) StageOf(local int) int { return pl.stageOf[local] }
 
+// SetPhaseScale implements PhaseScalable: items handed out from now on
+// carry scale× the nominal per-stage work (a workload phase change). Items
+// already in flight keep their original size. Scale must be positive.
+func (pl *Pipeline) SetPhaseScale(scale float64) {
+	if scale <= 0 {
+		panic("workload: non-positive phase scale")
+	}
+	pl.scale = scale
+}
+
+func (pl *Pipeline) work(s int) float64 {
+	w := pl.StageWork[s]
+	if pl.scale != 0 {
+		w *= pl.scale
+	}
+	return w
+}
+
 // Items returns the number of items retired by the final stage.
 func (pl *Pipeline) Items() int64 { return pl.items }
 
@@ -91,7 +110,7 @@ func (pl *Pipeline) Start(p *sim.Process) {
 		for i := 0; i < n; i++ {
 			pl.stageOf = append(pl.stageOf, s)
 			if s == 0 {
-				p.SetWork(local, pl.StageWork[0])
+				p.SetWork(local, pl.work(0))
 			} else {
 				pl.waiting[s] = append(pl.waiting[s], local)
 			}
@@ -125,7 +144,7 @@ func (pl *Pipeline) push(p *sim.Process, s int) bool {
 	if n := len(pl.waiting[s]); n > 0 {
 		w := pl.waiting[s][0]
 		pl.waiting[s] = pl.waiting[s][1:]
-		p.SetWork(w, pl.StageWork[s])
+		p.SetWork(w, pl.work(s))
 		return true
 	}
 	if pl.queued[s] < pl.QueueCap {
@@ -138,12 +157,12 @@ func (pl *Pipeline) push(p *sim.Process, s int) bool {
 // fetchInput gives thread `local` of stage s its next item, or parks it.
 func (pl *Pipeline) fetchInput(p *sim.Process, local, s int) {
 	if s == 0 {
-		p.SetWork(local, pl.StageWork[0]) // unlimited source
+		p.SetWork(local, pl.work(0)) // unlimited source
 		return
 	}
 	if pl.queued[s] > 0 {
 		pl.queued[s]--
-		p.SetWork(local, pl.StageWork[s])
+		p.SetWork(local, pl.work(s))
 		pl.drainBlockedPush(p, s)
 		return
 	}

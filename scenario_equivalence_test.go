@@ -1,0 +1,96 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// These differential tests pin the scenario engine's static path to the
+// direct-run path: a scenario with zero dynamic events must drive the
+// machine through bit-for-bit the same trajectory as constructing and
+// running it by hand, so the engine reproduces the same golden digests as
+// equivalence_test.go. Any drift here means the dynamic-event hooks leaked
+// into event-free behaviour.
+
+// runScenario executes sc and returns the machine for digesting.
+func runScenario(t *testing.T, sc *scenario.Scenario) (*sim.Machine, *scenario.Result) {
+	t.Helper()
+	res, err := scenario.Run(sc, scenario.Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Machine, res
+}
+
+func TestScenarioEquivalenceSWMaskBalancer(t *testing.T) {
+	m, _ := runScenario(t, &scenario.Scenario{
+		Name:       "static-sw",
+		Manager:    scenario.ManagerNone,
+		DurationMS: 5000,
+		Apps:       []scenario.AppSpec{{Name: "sw", Bench: "SW", Threads: 8}},
+	})
+	checkDigest(t, digestOf(m),
+		"0x1.0cf56d292c018p+05",
+		[]int64{9}, []string{"0x1.0442a9930bd98p+06"}, []int{0},
+		30502380, 0, 36)
+}
+
+func TestScenarioEquivalenceFEMaskBalancer(t *testing.T) {
+	m, _ := runScenario(t, &scenario.Scenario{
+		Name:       "static-fe",
+		Manager:    scenario.ManagerNone,
+		DurationMS: 5000,
+		Apps:       []scenario.AppSpec{{Name: "fe", Bench: "FE", Threads: 8}},
+	})
+	checkDigest(t, digestOf(m),
+		"0x1.9ef9c1375a5cep+05",
+		[]int64{82}, []string{"0x1.6b18bb52e034dp+06"}, []int{296},
+		39411319, 0, 97)
+}
+
+func TestScenarioEquivalenceHARSE(t *testing.T) {
+	m, res := runScenario(t, &scenario.Scenario{
+		Name:        "static-hars-e",
+		Manager:     scenario.ManagerHARSE,
+		DurationMS:  12000,
+		AdaptEvery:  2,
+		OverheadCPU: 4,
+		Apps: []scenario.AppSpec{{
+			Name: "sw", Bench: "SW", Threads: 8,
+			Target: &scenario.TargetSpec{Min: 5.0, Avg: 6.0, Max: 7.0},
+		}},
+	})
+	mgr := res.Managers["sw"]
+	if mgr == nil {
+		t.Fatal("no manager attached")
+	}
+	if got, want := mgr.State().String(), "B3@L7 L3@L5"; got != want {
+		t.Errorf("settled state = %s, want %s", got, want)
+	}
+	if mgr.Searches() != 10 || mgr.ExploredTotal() != 4554 || len(mgr.Decisions()) != 10 {
+		t.Errorf("searches/explored/decisions = %d/%d/%d, want 10/4554/10",
+			mgr.Searches(), mgr.ExploredTotal(), len(mgr.Decisions()))
+	}
+	checkDigest(t, digestOf(m),
+		"0x1.64130d879c9acp+06",
+		[]int64{21}, []string{"0x1.36612fd32c78ap+07"}, []int{60},
+		68034154, 712100, 35)
+}
+
+func TestScenarioEquivalenceGTS(t *testing.T) {
+	m, _ := runScenario(t, &scenario.Scenario{
+		Name:       "static-gts",
+		Manager:    scenario.ManagerGTS,
+		DurationMS: 5000,
+		Apps: []scenario.AppSpec{
+			{Name: "bo", Bench: "BO", Threads: 4},
+			{Name: "fe", Bench: "FE", Threads: 4},
+		},
+	})
+	checkDigest(t, digestOf(m),
+		"0x1.a3a5f235a1e11p+05",
+		[]int64{9, 59}, []string{"0x1.c83083c67d43cp+04", "0x1.fc83a184d8e24p+05"}, []int{55, 210},
+		39002599, 0, 60)
+}
