@@ -177,3 +177,8 @@ func BenchmarkSimSecond(b *testing.B) { bench.SimSecond(b) }
 // BenchmarkSimSecondPipeline is the pipeline-workload variant: heavy
 // block/unblock churn, the incremental run queues' worst case.
 func BenchmarkSimSecondPipeline(b *testing.B) { bench.SimSecondPipeline(b) }
+
+// BenchmarkSimSecondThermal is SimSecond with the closed thermal loop (RC
+// model + governor daemon) attached; the delta against SimSecond is the
+// per-tick cost of the loop.
+func BenchmarkSimSecondThermal(b *testing.B) { bench.SimSecondThermal(b) }

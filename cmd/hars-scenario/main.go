@@ -111,6 +111,14 @@ func main() {
 			k, res.Machine.Level(k), res.Machine.LevelCap(k),
 			res.Machine.OnlineCount(k), res.Machine.Platform().Clusters[k].Cores)
 	}
+	if gov := res.Thermal; gov != nil {
+		spec := gov.Spec()
+		fmt.Fprintf(w, "thermal: trip %.1f°C / throttle %.1f°C / release %.1f°C, %d throttles (%d trips), %d releases\n",
+			spec.TripC, spec.ThrottleC, spec.ReleaseC, gov.Throttles(), gov.Trips(), gov.Releases())
+		for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+			fmt.Fprintf(w, "  %s: %.1f°C now, %.1f°C peak\n", k, gov.TempC(k), gov.PeakC(k))
+		}
+	}
 }
 
 func fatal(err error) {

@@ -24,13 +24,29 @@
 // phase changes, core hotplug (offline cores evict and re-place threads),
 // and per-cluster DVFS ceilings (thermal capping). Scenarios are JSON
 // scripts (format reference in the scenario package comment) replayed by
-// cmd/hars-scenario into byte-identical per-sample traces; a seeded
-// random-scenario generator feeds the property tests that assert runtime
-// invariants — no thread on an offline core, levels within ceilings,
-// monotone energy, consistent manager state after every departure — across
-// HARS and MP-HARS, and scenario sweeps run on the parallel experiments
-// engine ("scenarios" driver). Event-free scenarios reproduce the golden
-// digests of the static path bit-for-bit (scenario_equivalence_test.go).
+// cmd/hars-scenario into byte-identical per-sample traces; events may repeat
+// on an every_ms period for pulsed load. A seeded random-scenario generator
+// feeds the property tests that assert runtime invariants — no thread on an
+// offline core, levels within ceilings, monotone energy, consistent manager
+// state after every departure — across HARS and MP-HARS, and scenario
+// sweeps run on the parallel experiments engine ("scenarios" driver).
+// Event-free scenarios reproduce the golden digests of the static path
+// bit-for-bit (scenario_equivalence_test.go).
+//
+// # Closed thermal loop
+//
+// internal/thermal derives DVFS ceilings from simulated heat instead of
+// scripts: a per-cluster lumped RC temperature model (ambient sink,
+// optional inter-cluster coupling) integrates the machine's per-tick
+// cluster power — with hotplugged-off cores excluded from leakage via
+// sim.OnlinePowerModel — and a hysteretic Governor daemon lowers
+// sim.Machine.SetLevelCap as a cluster approaches its trip point and
+// releases the ceilings as it cools, emitting EvTemp/EvThrottle trace
+// events. Scenarios opt in with a "thermal" block; the "thermal"
+// experiments driver sweeps governor aggressiveness across managers. The
+// loop is deterministic (byte-identical replays) and, when disabled,
+// bit-for-bit invisible: property tests pin the trip-point ceiling, the
+// cap/temperature monotonicity, and the disabled-path golden digests.
 //
 // See README.md for a guided tour, DESIGN.md for the system inventory and
 // substitution rationale, and EXPERIMENTS.md for the paper-versus-measured

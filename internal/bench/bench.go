@@ -14,6 +14,7 @@ import (
 	"repro/internal/hmp"
 	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/thermal"
 	"repro/internal/workload"
 )
 
@@ -28,6 +29,7 @@ func Cases() []Case {
 	return []Case{
 		{"SimSecond", SimSecond},
 		{"SimSecondPipeline", SimSecondPipeline},
+		{"SimSecondThermal", SimSecondThermal},
 		{"SearchExhaustive", SearchExhaustive},
 		{"Assign", Assign},
 	}
@@ -35,10 +37,15 @@ func Cases() []Case {
 
 // simSecond measures simulating one second (1000 ticks) of an 8-thread
 // workload on the default machine with ground-truth power accounting.
-func simSecond(b *testing.B, short string) {
+// Optional daemons (e.g. the thermal governor) attach to the same fixture so
+// variant benchmarks differ only in what they add.
+func simSecond(b *testing.B, short string, daemons ...sim.Daemon) {
 	plat := hmp.Default()
 	gt := power.DefaultGroundTruth(plat)
 	m := sim.New(plat, sim.Config{Power: gt})
+	for _, d := range daemons {
+		m.AddDaemon(d)
+	}
 	bench, ok := workload.ByShort(short)
 	if !ok {
 		b.Fatalf("unknown benchmark %q", short)
@@ -57,6 +64,19 @@ func SimSecond(b *testing.B) { simSecond(b, "SW") }
 // SimSecondPipeline is the pipeline (FE) variant: heavy block/unblock churn
 // and migration traffic, the worst case for the incremental run queues.
 func SimSecondPipeline(b *testing.B) { simSecond(b, "FE") }
+
+// SimSecondThermal is SimSecond with the closed thermal loop attached: the
+// RC model integrates and the governor's zone logic runs every tick. The
+// delta against SimSecond is the whole cost of closing the loop; SimSecond
+// itself is the thermal-disabled path and must stay within the BENCH_2
+// budget.
+func SimSecondThermal(b *testing.B) {
+	gov, err := thermal.NewGovernor(thermal.Spec{Enabled: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	simSecond(b, "SW", gov)
+}
 
 // SearchEstimators builds the estimator fixture SearchExhaustive uses (the
 // shared synthetic linear power model over the default platform).

@@ -31,6 +31,7 @@ func Drivers() []Driver {
 		{"ablation", Ablations},
 		{"extended", ExtendedSuite},
 		{"scenarios", ScenarioSweep},
+		{"thermal", ThermalSweep},
 	}
 }
 

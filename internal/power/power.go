@@ -92,10 +92,10 @@ func DefaultGroundTruth(p *hmp.Platform) *GroundTruth {
 // approximation rather than an identity.
 func effUtil(u float64) float64 { return 0.85*u + 0.15*u*u }
 
-// ClusterPower implements sim.PowerModel.
-func (g *GroundTruth) ClusterPower(k hmp.ClusterKind, level int, coreBusy []float64) float64 {
-	g.tablesOnce.Do(g.buildTables)
-	level = g.Plat.Clusters[k].ClampLevel(level)
+// clusterPowerWithLeak is the dynamic + uncore computation shared by both
+// entry points; the caller supplies the leakage watts so the operation order
+// — and therefore the bit pattern — is identical whichever path runs.
+func (g *GroundTruth) clusterPowerWithLeak(k hmp.ClusterKind, level int, coreBusy []float64, leak float64) float64 {
 	coef := g.dynCoef[k][level]
 	prm := &g.Params[k]
 	dyn := 0.0
@@ -110,7 +110,35 @@ func (g *GroundTruth) ClusterPower(k hmp.ClusterKind, level int, coreBusy []floa
 	if anyBusy {
 		uncore = prm.Uncore
 	}
-	return dyn + g.leakW[k][level] + uncore
+	return dyn + leak + uncore
+}
+
+// ClusterPower implements sim.PowerModel.
+func (g *GroundTruth) ClusterPower(k hmp.ClusterKind, level int, coreBusy []float64) float64 {
+	g.tablesOnce.Do(g.buildTables)
+	level = g.Plat.Clusters[k].ClampLevel(level)
+	return g.clusterPowerWithLeak(k, level, coreBusy, g.leakW[k][level])
+}
+
+// ClusterPowerOnline implements sim.OnlinePowerModel: a hotplugged-off core
+// is power-gated, so it stops contributing leakage to its cluster. Dynamic
+// power needs no adjustment — an offline core executes nothing, so its busy
+// fraction is zero — and the uncore term is cluster-shared, drawn as long as
+// the cluster domain itself is powered. With every core online the result is
+// bit-for-bit ClusterPower's (the leakage expression repeats the table
+// build's exact operation order).
+func (g *GroundTruth) ClusterPowerOnline(k hmp.ClusterKind, level int, coreBusy []float64, onlineCores int) float64 {
+	g.tablesOnce.Do(g.buildTables)
+	c := &g.Plat.Clusters[k]
+	level = c.ClampLevel(level)
+	if onlineCores < 0 {
+		onlineCores = 0
+	} else if onlineCores > c.Cores {
+		onlineCores = c.Cores
+	}
+	v := float64(c.MilliVolt(level)) / 1000
+	leak := g.Params[k].LeakPerVolt * v * float64(onlineCores)
+	return g.clusterPowerWithLeak(k, level, coreBusy, leak)
 }
 
 // Sample is one power-sensor reading: average cluster watts over one

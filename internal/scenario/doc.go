@@ -3,7 +3,9 @@
 // MP-HARS runtime managers through scripted runs in which applications
 // arrive and depart at arbitrary ticks, performance targets and workload
 // phases shift, cores go offline and come back (hotplug), and cluster
-// frequencies get externally capped (thermal capping).
+// frequencies get capped — either by scripted dvfs_cap events or by the
+// closed thermal loop of package thermal (an RC temperature model plus a
+// governor daemon deriving the ceilings from simulated heat).
 //
 // The paper evaluates HARS only on static runs — a fixed application set
 // started at t = 0 on a fixed machine. This package is how the repository
@@ -31,9 +33,12 @@
 //	    {"at_ms": 4000, "kind": "hotplug", "cpu": 7, "online": false},
 //	    {"at_ms": 6000, "kind": "dvfs_cap", "cluster": "big", "max_level": 4},
 //	    {"at_ms": 8000, "kind": "target", "app": "sw0", "frac": 0.7},
-//	    {"at_ms": 9000, "kind": "phase", "app": "sw0", "scale": 1.5},
+//	    {"at_ms": 9000, "kind": "phase", "app": "sw0", "scale": 1.5,
+//	     "every_ms": 2000, "repeat": 3},
 //	    {"at_ms": 12000, "kind": "hotplug", "cpu": 7, "online": true}
-//	  ]
+//	  ],
+//	  "thermal": {"enabled": true, "trip_c": 75, "release_c": 60,
+//	              "big": {"capacitance_j_per_k": 1, "resistance_k_per_w": 10}}
 //	}
 //
 // Fields:
@@ -51,14 +56,29 @@
 //     installs a cluster frequency ceiling (max_level indexes the OPP grid;
 //     restore with the grid's top level); "target" re-targets one app
 //     (frac or explicit target); "phase" scales the app's future work units
-//     by scale (> 0), a workload phase change.
+//     by scale (> 0), a workload phase change. Any event may repeat: with
+//     every_ms > 0 it fires again every every_ms milliseconds until the run
+//     ends or repeat firings have happened (repeat 0 = until the end); a
+//     repeating event behaves exactly like its occurrences written out by
+//     hand. Validation bounds the total expansion (100,000 occurrences).
+//   - thermal: the closed-loop block (see thermal.Spec for every field and
+//     default). With enabled=true the engine attaches an RC temperature
+//     model fed by the machine's per-tick cluster power and a hysteretic
+//     governor daemon that lowers SetLevelCap as a cluster approaches
+//     trip_c and releases the ceilings as it cools below release_c; the
+//     trace grows "h" sample lines (temperatures, caps, actuation counts)
+//     and Result.Thermal carries the governor. Scripted dvfs_cap events
+//     are rejected while the governor is enabled — it owns the ceilings.
+//     With enabled=false (or no block) the run is bit-for-bit the
+//     pre-thermal one.
 //
 // Determinism: the engine is single-threaded over a deterministic
 // simulator, so the same scenario file always produces byte-identical
 // traces and results. Actions due at the same millisecond apply in a fixed
 // order: platform events first (hotplug, dvfs_cap, in listed order), then
 // departures, then arrivals, then application events (target, phase), ties
-// broken by position in the file.
+// broken by position in the file; occurrences of a repeating event carry
+// their event's file position for tie-breaking.
 //
 // Validation rejects scenarios whose hotplug sequence would ever take the
 // last core offline, so a validated scenario can always make progress.

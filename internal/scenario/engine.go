@@ -14,6 +14,7 @@ import (
 	"repro/internal/mphars"
 	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/thermal"
 	"repro/internal/workload"
 )
 
@@ -74,6 +75,10 @@ type Result struct {
 	// scenarios. Tests use these for consistency checks.
 	MP       *mphars.Manager
 	Managers map[string]*core.Manager
+
+	// Thermal is the closed-loop governor of thermal-enabled scenarios
+	// (nil otherwise): peak temperatures and throttle statistics live here.
+	Thermal *thermal.Governor
 }
 
 // DefaultModel returns the synthetic linear power model handed to the
@@ -121,6 +126,7 @@ type engine struct {
 	model *power.LinearModel
 	m     *sim.Machine
 	mp    *mphars.Manager
+	gov   *thermal.Governor
 	apps  []*appRun
 
 	rates map[string]float64 // max-rate cache: "short/threads"
@@ -179,6 +185,18 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 			OverheadCPU: sc.OverheadCPU,
 		})
 	}
+	// The thermal governor runs first among the daemons: PerTick observers
+	// see its post-actuation state for the tick, and a ceiling moved this
+	// tick is visible to MP-HARS's same-tick ReconcilePlatform and to the
+	// HARS managers' next bounds clamp.
+	if sc.Thermal != nil && sc.Thermal.Enabled {
+		gov, err := thermal.NewGovernor(*sc.Thermal)
+		if err != nil {
+			return nil, err
+		}
+		e.gov = gov
+		e.m.AddDaemon(gov)
+	}
 	if opts.PerTick != nil {
 		e.m.AddDaemon(daemonFunc(opts.PerTick))
 	}
@@ -197,6 +215,9 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 	fmt.Fprintf(out, "# scenario %s seed %d manager %s\n", sc.Name, sc.Seed, sc.Manager)
 	fmt.Fprintln(out, "# m,t_ms,online,big_level,little_level,big_cap,little_cap,energy,overhead_us")
 	fmt.Fprintln(out, "# a,t_ms,app,beats,rate,work,migrations")
+	if e.gov != nil {
+		fmt.Fprintln(out, "# h,t_ms,big_temp,little_temp,big_cap,little_cap,throttles,releases")
+	}
 
 	end := sim.Time(sc.DurationMS) * sim.Millisecond
 	every := sim.Time(sc.SampleEveryMS) * sim.Millisecond
@@ -250,6 +271,7 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 		Samples:     e.samples,
 		TraceDigest: e.hash.Sum64(),
 		MP:          e.mp,
+		Thermal:     e.gov,
 	}
 	for _, a := range e.apps {
 		if a.proc != nil {
@@ -299,9 +321,14 @@ func (e *engine) buildActions() []action {
 		if ev.Kind == KindHotplug || ev.Kind == KindDVFSCap {
 			prio = prioPlatform
 		}
-		out = append(out, action{
-			at: sim.Time(ev.AtMS) * sim.Millisecond, prio: prio, seq: seq, ev: ev,
-		})
+		// A repeating event expands into one action per occurrence; they
+		// all share the event's sequence number, so same-time ties between
+		// different events still break by position in the file.
+		for _, at := range ev.Occurrences(e.sc.DurationMS) {
+			out = append(out, action{
+				at: sim.Time(at) * sim.Millisecond, prio: prio, seq: seq, ev: ev,
+			})
+		}
 		seq++
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -511,6 +538,12 @@ func (e *engine) sample() {
 		e.m.Level(hmp.Big), e.m.Level(hmp.Little),
 		e.m.LevelCap(hmp.Big), e.m.LevelCap(hmp.Little),
 		e.m.EnergyJ(), e.m.Overhead())
+	if e.gov != nil {
+		fmt.Fprintf(e.out, "h,%d,%x,%x,%d,%d,%d,%d\n",
+			tms, e.gov.TempC(hmp.Big), e.gov.TempC(hmp.Little),
+			e.m.LevelCap(hmp.Big), e.m.LevelCap(hmp.Little),
+			e.gov.Throttles(), e.gov.Releases())
+	}
 	for _, a := range e.apps {
 		if a.proc == nil {
 			continue

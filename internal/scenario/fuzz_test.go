@@ -20,6 +20,7 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add([]byte(`{"manager":"none","duration_ms":100,"apps":[{"name":"a","bench":"SW"}]}`))
 	f.Add([]byte(`{"manager":"mphars-e","duration_ms":50,"apps":[{"name":"a","bench":"FE","target":{"min":1,"avg":2,"max":3}}],"events":[{"at_ms":1,"kind":"hotplug","cpu":3,"online":false}]}`))
+	f.Add([]byte(`{"manager":"hars-e","duration_ms":5000,"apps":[{"name":"a","bench":"SW"}],"thermal":{"enabled":true,"trip_c":80,"release_c":65},"events":[{"at_ms":100,"kind":"phase","app":"a","scale":1.5,"every_ms":500,"repeat":4}]}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`null`))
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/hmp"
+	"repro/internal/thermal"
 	"repro/internal/workload"
 )
 
@@ -17,6 +18,15 @@ type GenConfig struct {
 	MaxApps    int    // default 3 (at least 1)
 	DurationMS int64  // default 20000
 	Events     int    // dynamic events besides arrivals/departures; default 6
+
+	// Thermal closes the thermal loop with the default governor spec.
+	// Scripted dvfs_cap events are excluded (the governor owns the
+	// ceilings); their slots become workload phase pulses, the load shape
+	// that heats and cools the clusters.
+	Thermal bool
+	// Periodic lets target and phase events repeat via every_ms, producing
+	// pulsing load without hand-unrolled event lists.
+	Periodic bool
 }
 
 func (c GenConfig) withDefaults() GenConfig {
@@ -52,6 +62,9 @@ func Generate(seed int64, cfg GenConfig) *Scenario {
 		Manager:       cfg.Manager,
 		DurationMS:    cfg.DurationMS,
 		SampleEveryMS: 250,
+	}
+	if cfg.Thermal {
+		sc.Thermal = &thermal.Spec{Enabled: true}
 	}
 
 	nApps := 1 + rng.Intn(cfg.MaxApps)
@@ -102,11 +115,11 @@ func Generate(seed int64, cfg GenConfig) *Scenario {
 				ev.Kind, ev.CPU, ev.Online = KindHotplug, cpu, &on
 				online = online.Set(cpu)
 			} else {
-				// Too few cores to take another down: cap instead.
-				ev = capEvent(rng, plat, at)
+				// Too few cores to take another down: cap (or pulse) instead.
+				ev = capEvent(rng, plat, cfg, sc, at)
 			}
 		case 1:
-			ev = capEvent(rng, plat, at)
+			ev = capEvent(rng, plat, cfg, sc, at)
 		case 2:
 			a := &sc.Apps[rng.Intn(len(sc.Apps))]
 			ev.Kind, ev.App = KindTarget, a.Name
@@ -116,12 +129,22 @@ func Generate(seed int64, cfg GenConfig) *Scenario {
 			ev.Kind, ev.App = KindPhase, a.Name
 			ev.Scale = 0.5 + 1.5*rng.Float64()
 		}
+		if cfg.Periodic && (ev.Kind == KindTarget || ev.Kind == KindPhase) && rng.Intn(3) == 0 {
+			ev.EveryMS = 200 + 100*rng.Int63n(8)
+			ev.Repeat = 2 + rng.Intn(8)
+		}
 		sc.Events = append(sc.Events, ev)
 	}
 	return sc
 }
 
-func capEvent(rng *rand.Rand, plat *hmp.Platform, at int64) Event {
+func capEvent(rng *rand.Rand, plat *hmp.Platform, cfg GenConfig, sc *Scenario, at int64) Event {
+	if cfg.Thermal {
+		// The governor owns the ceilings: generate a workload phase pulse
+		// instead, the load shape that actually exercises the thermal loop.
+		a := &sc.Apps[rng.Intn(len(sc.Apps))]
+		return Event{AtMS: at, Kind: KindPhase, App: a.Name, Scale: 0.5 + 1.5*rng.Float64()}
+	}
 	k := hmp.ClusterKind(rng.Intn(int(hmp.NumClusters)))
 	name := "little"
 	if k == hmp.Big {

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/hmp"
+	"repro/internal/thermal"
 	"repro/internal/workload"
 )
 
@@ -53,10 +54,22 @@ type AppSpec struct {
 	InitLittle *int `json:"init_little,omitempty"`
 }
 
+// maxOccurrences bounds the total number of event firings a scenario may
+// expand to through every_ms repetition, so a pathological period cannot
+// blow up validation or the engine's action timeline.
+const maxOccurrences = 100_000
+
 // Event is one timed dynamic event.
 type Event struct {
 	AtMS int64  `json:"at_ms"`
 	Kind string `json:"kind"`
+
+	// EveryMS, when positive, repeats the event every EveryMS milliseconds
+	// starting at AtMS, until the run ends or Repeat firings have happened
+	// (Repeat 0 = until the end). Thermal stress tests use this to pulse
+	// load without hand-unrolled event lists.
+	EveryMS int64 `json:"every_ms,omitempty"`
+	Repeat  int   `json:"repeat,omitempty"`
 
 	// hotplug
 	CPU    int   `json:"cpu,omitempty"`
@@ -84,6 +97,12 @@ type Scenario struct {
 	OverheadCPU   int       `json:"overhead_cpu,omitempty"`    // CPU charged with manager overhead
 	Apps          []AppSpec `json:"apps"`
 	Events        []Event   `json:"events,omitempty"`
+
+	// Thermal, when present and enabled, closes the thermal loop: a per-run
+	// RC temperature model plus governor daemon derives the DVFS ceilings
+	// from simulated heat (see package thermal). Enabled thermal excludes
+	// scripted dvfs_cap events — the governor owns the ceilings.
+	Thermal *thermal.Spec `json:"thermal,omitempty"`
 }
 
 // Decode parses and validates a scenario document. Unknown fields are
@@ -176,11 +195,37 @@ func (sc *Scenario) ValidateOn(plat *hmp.Platform) error {
 			return fmt.Errorf("scenario: app %q: initial allocation is empty", a.Name)
 		}
 	}
+	thermalOn := sc.Thermal != nil && sc.Thermal.Enabled
+	if sc.Thermal != nil {
+		if err := sc.Thermal.Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		r := sc.Thermal.WithDefaults()
+		for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+			if r.MinLevel > plat.Clusters[k].MaxLevel() {
+				return fmt.Errorf("scenario: thermal min_level %d outside the %s grid", r.MinLevel, k)
+			}
+		}
+	}
 	total := plat.TotalCores()
+	occurrences := int64(0)
 	for i := range sc.Events {
 		ev := &sc.Events[i]
 		if ev.AtMS < 0 || ev.AtMS > sc.DurationMS {
 			return fmt.Errorf("scenario: event %d: at_ms %d outside [0, %d]", i, ev.AtMS, sc.DurationMS)
+		}
+		if ev.EveryMS < 0 {
+			return fmt.Errorf("scenario: event %d: negative every_ms %d", i, ev.EveryMS)
+		}
+		if ev.Repeat < 0 {
+			return fmt.Errorf("scenario: event %d: negative repeat %d", i, ev.Repeat)
+		}
+		if ev.Repeat > 0 && ev.EveryMS == 0 {
+			return fmt.Errorf("scenario: event %d: repeat without every_ms", i)
+		}
+		occurrences += ev.occurrenceCount(sc.DurationMS)
+		if occurrences > maxOccurrences {
+			return fmt.Errorf("scenario: events expand to more than %d occurrences", maxOccurrences)
 		}
 		switch ev.Kind {
 		case KindHotplug:
@@ -191,6 +236,9 @@ func (sc *Scenario) ValidateOn(plat *hmp.Platform) error {
 				return fmt.Errorf("scenario: event %d: hotplug needs explicit \"online\"", i)
 			}
 		case KindDVFSCap:
+			if thermalOn {
+				return fmt.Errorf("scenario: event %d: dvfs_cap conflicts with the enabled thermal governor (it owns the ceilings)", i)
+			}
 			k, err := parseCluster(ev.Cluster)
 			if err != nil {
 				return fmt.Errorf("scenario: event %d: %w", i, err)
@@ -223,6 +271,37 @@ func (sc *Scenario) ValidateOn(plat *hmp.Platform) error {
 	return sc.checkHotplug(plat)
 }
 
+// occurrenceCount returns how many times the event fires within a run of
+// durationMS milliseconds (validation has already established AtMS ≤
+// durationMS and EveryMS ≥ 0). Counts beyond maxOccurrences saturate at
+// maxOccurrences+1 — enough for validation to reject — so an extreme
+// duration/period pair cannot overflow int64.
+func (ev *Event) occurrenceCount(durationMS int64) int64 {
+	if ev.EveryMS <= 0 {
+		return 1
+	}
+	extra := (durationMS - ev.AtMS) / ev.EveryMS // firings after the first
+	if ev.Repeat > 0 && int64(ev.Repeat) <= extra {
+		return int64(ev.Repeat)
+	}
+	if extra >= maxOccurrences {
+		return maxOccurrences + 1
+	}
+	return extra + 1
+}
+
+// Occurrences lists the times (in ms, ascending) the event fires within a
+// run of durationMS milliseconds: AtMS alone for one-shot events, or every
+// EveryMS from AtMS for repeating ones.
+func (ev *Event) Occurrences(durationMS int64) []int64 {
+	n := ev.occurrenceCount(durationMS)
+	out := make([]int64, 0, n)
+	for i := int64(0); i < n; i++ {
+		out = append(out, ev.AtMS+i*ev.EveryMS)
+	}
+	return out
+}
+
 // checkHotplug replays the hotplug sequence in application order and
 // rejects a scenario that ever takes the last core offline.
 func (sc *Scenario) checkHotplug(plat *hmp.Platform) error {
@@ -236,7 +315,9 @@ func (sc *Scenario) checkHotplug(plat *hmp.Platform) error {
 	for i := range sc.Events {
 		ev := &sc.Events[i]
 		if ev.Kind == KindHotplug {
-			seq = append(seq, hp{at: ev.AtMS, seq: i, cpu: ev.CPU, on: *ev.Online})
+			for _, at := range ev.Occurrences(sc.DurationMS) {
+				seq = append(seq, hp{at: at, seq: i, cpu: ev.CPU, on: *ev.Online})
+			}
 		}
 	}
 	sort.Slice(seq, func(i, j int) bool {

@@ -52,6 +52,22 @@ type PowerModel interface {
 	ClusterPower(k hmp.ClusterKind, level int, coreBusy []float64) float64
 }
 
+// OnlinePowerModel is an optional PowerModel extension for models that
+// distinguish powered from hotplugged-off cores: a core taken offline stops
+// drawing leakage, so the per-cluster floor shrinks with the online count.
+// While every core of a cluster is online the machine keeps calling plain
+// ClusterPower — implementations must make ClusterPowerOnline with a full
+// online count agree bit-for-bit with ClusterPower — so models that ignore
+// hotplug (and runs that never unplug a core) are entirely unaffected.
+//
+// Like ClusterPower, ClusterPowerOnline must be a pure function of its
+// arguments: the onlineCores count participates in the machine's per-tick
+// energy memo alongside the level and busy fractions.
+type OnlinePowerModel interface {
+	PowerModel
+	ClusterPowerOnline(k hmp.ClusterKind, level int, coreBusy []float64, onlineCores int) float64
+}
+
 // Placer is the OS scheduler model: every tick it may migrate threads
 // between cores (respecting affinity masks is the placer's job).
 type Placer interface {
@@ -138,15 +154,21 @@ type Machine struct {
 	tickUS  float64 // float64(cfg.TickLen)
 	nLittle int     // plat.Clusters[Little].Cores, hoisted for cacheFactor
 
-	// Power-integration memo: while a cluster's DVFS level and every
-	// core's busy time are identical to the previous tick — the steady
-	// state — the per-tick energy increment is reused instead of recomputed
-	// (bit-for-bit identical, since the power model is a pure function of
-	// those inputs).
+	// Power-integration memo: while a cluster's DVFS level, online-core
+	// count, and every core's busy time are identical to the previous
+	// tick — the steady state — the per-tick energy increment is reused
+	// instead of recomputed (bit-for-bit identical, since the power model
+	// is a pure function of those inputs).
 	lastLevel   [hmp.NumClusters]int
+	lastOnline  [hmp.NumClusters]int
 	lastTickUse [hmp.NumClusters][]float64
 	lastE       [hmp.NumClusters]float64
+	lastPW      [hmp.NumClusters]float64
 	powerValid  [hmp.NumClusters]bool
+
+	// opm is cfg.Power's OnlinePowerModel extension, resolved once at New;
+	// nil when the model does not distinguish offline cores.
+	opm OnlinePowerModel
 
 	placer  Placer
 	daemons []Daemon
@@ -180,6 +202,9 @@ func New(plat *hmp.Platform, cfg Config) *Machine {
 		cfg.MaxUnitsPerTick = 10000
 	}
 	m := &Machine{plat: plat, cfg: cfg, placer: NewMaskBalancer()}
+	if o, ok := cfg.Power.(OnlinePowerModel); ok {
+		m.opm = o
+	}
 	m.tickSec = Seconds(cfg.TickLen)
 	m.tickUS = float64(cfg.TickLen)
 	m.nLittle = plat.Clusters[hmp.Little].Cores
@@ -702,7 +727,16 @@ func (m *Machine) integratePower() {
 		busy := m.busyScratch[k]
 		last := m.lastTickUse[k]
 		first := m.plat.FirstCPU(k)
-		changed := !m.powerValid[k] || m.levels[k] != m.lastLevel[k]
+		// Online-aware models see the cluster's online-core count so that
+		// hotplugged-off cores stop drawing leakage; while every core is
+		// online (the overwhelmingly common case, checked against the full
+		// mask in O(1)) the historical ClusterPower path runs unchanged.
+		online := m.plat.Clusters[k].Cores
+		if m.opm != nil && m.online != m.allMask {
+			online = m.OnlineCount(k)
+		}
+		changed := !m.powerValid[k] || m.levels[k] != m.lastLevel[k] ||
+			online != m.lastOnline[k]
 		for i := range busy {
 			tu := m.cores[first+i].tickUse
 			if tu != last[i] {
@@ -712,9 +746,16 @@ func (m *Machine) integratePower() {
 			}
 		}
 		if changed {
-			p := m.cfg.Power.ClusterPower(k, m.levels[k], busy)
+			var p float64
+			if m.opm != nil && online != m.plat.Clusters[k].Cores {
+				p = m.opm.ClusterPowerOnline(k, m.levels[k], busy, online)
+			} else {
+				p = m.cfg.Power.ClusterPower(k, m.levels[k], busy)
+			}
 			m.lastE[k] = p * m.tickSec
+			m.lastPW[k] = p
 			m.lastLevel[k] = m.levels[k]
+			m.lastOnline[k] = online
 			m.powerValid[k] = true
 		}
 		e := m.lastE[k]
@@ -809,6 +850,11 @@ func (m *Machine) EnergyJ() float64 { return m.energyJ }
 
 // ClusterEnergyJ returns the energy drawn by cluster k, in joules.
 func (m *Machine) ClusterEnergyJ(k hmp.ClusterKind) float64 { return m.clusterEnergyJ[k] }
+
+// LastTickPowerW returns the watts cluster k drew during the most recently
+// integrated tick (0 before the first tick, or when the machine has no power
+// model). Thermal models read this as their per-tick heat input.
+func (m *Machine) LastTickPowerW(k hmp.ClusterKind) float64 { return m.lastPW[k] }
 
 // AvgPowerW returns average power since t=0 in watts.
 func (m *Machine) AvgPowerW() float64 {

@@ -23,6 +23,13 @@ const (
 	EvHotplug
 	// EvCap is a cluster DVFS-ceiling change (thermal capping).
 	EvCap
+	// EvTemp is a periodic cluster temperature sample from a thermal model.
+	EvTemp
+	// EvThrottle is a thermal-governor actuation: the governor moved a
+	// cluster's DVFS ceiling because of its modeled temperature. The
+	// accompanying EvCap event records the same ceiling change; EvThrottle
+	// additionally carries the triggering temperature.
+	EvThrottle
 )
 
 // String names the event kind.
@@ -38,6 +45,10 @@ func (k EventKind) String() string {
 		return "hotplug"
 	case EvCap:
 		return "cap"
+	case EvTemp:
+		return "temp"
+	case EvThrottle:
+		return "throttle"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
@@ -57,6 +68,8 @@ type Event struct {
 	// CPU and Online describe hotplug events.
 	CPU    int
 	Online bool
+	// TempC is the modeled cluster temperature (temp, throttle events).
+	TempC float64
 }
 
 // Tracer records machine events up to a bounded capacity; beyond it, events
@@ -76,6 +89,12 @@ func (tr *Tracer) Events() []Event { return tr.events }
 // Dropped returns how many events exceeded the retention cap.
 func (tr *Tracer) Dropped() int64 { return tr.dropped }
 
+// Record appends an externally produced event (subject to the retention
+// cap). Daemons that observe quantities the machine itself does not — e.g. a
+// thermal model's cluster temperatures — use this to interleave their events
+// with the machine's own.
+func (tr *Tracer) Record(e Event) { tr.add(e) }
+
 func (tr *Tracer) add(e Event) {
 	max := tr.Max
 	if max <= 0 {
@@ -89,24 +108,28 @@ func (tr *Tracer) add(e Event) {
 }
 
 // WriteCSV renders the trace as CSV (time_us,kind,proc,thread,from,to,
-// cluster,khz).
+// cluster,khz,temp_c).
 func (tr *Tracer) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "time_us,kind,proc,thread,from,to,cluster,khz"); err != nil {
+	if _, err := fmt.Fprintln(w, "time_us,kind,proc,thread,from,to,cluster,khz,temp_c"); err != nil {
 		return err
 	}
 	for _, e := range tr.events {
 		var err error
 		switch e.Kind {
 		case EvMigrate:
-			_, err = fmt.Fprintf(w, "%d,%s,%s,%d,%d,%d,,\n", e.T, e.Kind, e.Proc, e.Thread, e.From, e.To)
+			_, err = fmt.Fprintf(w, "%d,%s,%s,%d,%d,%d,,,\n", e.T, e.Kind, e.Proc, e.Thread, e.From, e.To)
 		case EvDVFS:
-			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,%d\n", e.T, e.Kind, e.Cluster, e.KHz)
+			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,%d,\n", e.T, e.Kind, e.Cluster, e.KHz)
 		case EvBeat:
-			_, err = fmt.Fprintf(w, "%d,%s,%s,,,,,\n", e.T, e.Kind, e.Proc)
+			_, err = fmt.Fprintf(w, "%d,%s,%s,,,,,,\n", e.T, e.Kind, e.Proc)
 		case EvHotplug:
-			_, err = fmt.Fprintf(w, "%d,%s,,,%d,,,%t\n", e.T, e.Kind, e.CPU, e.Online)
+			_, err = fmt.Fprintf(w, "%d,%s,,,%d,,,%t,\n", e.T, e.Kind, e.CPU, e.Online)
 		case EvCap:
-			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,%d\n", e.T, e.Kind, e.Cluster, e.KHz)
+			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,%d,\n", e.T, e.Kind, e.Cluster, e.KHz)
+		case EvTemp:
+			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,,%.3f\n", e.T, e.Kind, e.Cluster, e.TempC)
+		case EvThrottle:
+			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,%d,%.3f\n", e.T, e.Kind, e.Cluster, e.KHz, e.TempC)
 		}
 		if err != nil {
 			return err
@@ -156,6 +179,16 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 			out = append(out, chromeEvent{
 				Name: e.Cluster.String() + "-cap", Phase: "C", TS: e.T, PID: 1,
 				Args: map[string]any{"khz": e.KHz},
+			})
+		case EvTemp:
+			out = append(out, chromeEvent{
+				Name: e.Cluster.String() + "-temp", Phase: "C", TS: e.T, PID: 1,
+				Args: map[string]any{"celsius": e.TempC},
+			})
+		case EvThrottle:
+			out = append(out, chromeEvent{
+				Name: "throttle " + e.Cluster.String(), Phase: "i", TS: e.T, PID: 1,
+				Args: map[string]any{"khz": e.KHz, "celsius": e.TempC},
 			})
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/thermal"
 )
 
 // These differential tests pin the scenario engine's static path to the
@@ -48,6 +49,41 @@ func TestScenarioEquivalenceFEMaskBalancer(t *testing.T) {
 		"0x1.9ef9c1375a5cep+05",
 		[]int64{82}, []string{"0x1.6b18bb52e034dp+06"}, []int{296},
 		39411319, 0, 97)
+}
+
+// TestScenarioEquivalenceThermalDisabled pins the thermal subsystem's
+// disabled contract: a scenario carrying a thermal block with enabled=false
+// must run bit-for-bit identically to one with no thermal block at all —
+// the same golden digest as TestScenarioEquivalenceSWMaskBalancer.
+func TestScenarioEquivalenceThermalDisabled(t *testing.T) {
+	m, res := runScenario(t, &scenario.Scenario{
+		Name:       "static-sw",
+		Manager:    scenario.ManagerNone,
+		DurationMS: 5000,
+		Apps:       []scenario.AppSpec{{Name: "sw", Bench: "SW", Threads: 8}},
+		Thermal: &thermal.Spec{
+			Enabled: false,
+			TripC:   80, ReleaseC: 65, // non-default constants must be inert too
+		},
+	})
+	if res.Thermal != nil {
+		t.Fatal("disabled thermal block attached a governor")
+	}
+	checkDigest(t, digestOf(m),
+		"0x1.0cf56d292c018p+05",
+		[]int64{9}, []string{"0x1.0442a9930bd98p+06"}, []int{0},
+		30502380, 0, 36)
+
+	// The emitted trace must be byte-identical as well.
+	_, bare := runScenario(t, &scenario.Scenario{
+		Name:       "static-sw",
+		Manager:    scenario.ManagerNone,
+		DurationMS: 5000,
+		Apps:       []scenario.AppSpec{{Name: "sw", Bench: "SW", Threads: 8}},
+	})
+	if res.TraceDigest != bare.TraceDigest {
+		t.Fatalf("trace digest %016x with disabled thermal != %016x without", res.TraceDigest, bare.TraceDigest)
+	}
 }
 
 func TestScenarioEquivalenceHARSE(t *testing.T) {
