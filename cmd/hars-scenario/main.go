@@ -1,13 +1,16 @@
 // Command hars-scenario replays a declarative dynamic-event scenario — a
 // JSON script of application arrivals and departures, core hotplug, DVFS
 // capping, target changes, and workload phase changes — on the simulated
-// platform, emitting a deterministic per-sample metric trace.
+// platform (or, when the scenario declares nodes, on a whole fleet of
+// heterogeneous machines sharing one clock), emitting a deterministic
+// per-sample metric trace.
 //
 // Usage:
 //
 //	hars-scenario -in scenario.json [-trace out.csv] [-strict]
 //	hars-scenario -gen -seed 7 [-manager mphars-i] [-apps 3] [-events 6]
-//	              [-duration 20000] [-write scenario.json] [-trace out.csv]
+//	              [-duration 20000] [-nodes 3] [-placement coolest]
+//	              [-write scenario.json] [-trace out.csv]
 //
 // The trace goes to stdout unless -trace names a file; the run summary goes
 // to stderr. Replaying the same scenario always produces byte-identical
@@ -33,6 +36,8 @@ func main() {
 	apps := flag.Int("apps", 3, "generated scenario's maximum app count (-gen)")
 	events := flag.Int("events", 6, "generated scenario's dynamic event count (-gen)")
 	duration := flag.Int64("duration", 20000, "generated scenario's duration in ms (-gen)")
+	nodes := flag.Int("nodes", 0, "generated scenario's fleet size; 0 = classic single machine (-gen)")
+	placement := flag.String("placement", "", "generated fleet's placement policy; empty draws one from the seed (-gen)")
 	write := flag.String("write", "", "save the generated scenario JSON here (-gen)")
 	tracePath := flag.String("trace", "", "trace output file (default stdout)")
 	strict := flag.Bool("strict", false, "verify runtime invariants after every action and sample")
@@ -46,6 +51,8 @@ func main() {
 			MaxApps:    *apps,
 			Events:     *events,
 			DurationMS: *duration,
+			Nodes:      *nodes,
+			Placement:  *placement,
 		})
 		if *write != "" {
 			f, err := os.Create(*write)
@@ -91,32 +98,55 @@ func main() {
 	}
 
 	w := os.Stderr
-	fmt.Fprintf(w, "scenario %s: manager %s, %d apps, %d events, %d ms\n",
-		sc.Name, sc.Manager, len(sc.Apps), len(sc.Events), sc.DurationMS)
+	fleetRun := len(sc.Nodes) > 0
+	if fleetRun {
+		fmt.Fprintf(w, "scenario %s: manager %s, %d nodes (placement %s), %d apps, %d events, %d ms\n",
+			sc.Name, sc.Manager, len(res.Nodes), res.Placement, len(sc.Apps), len(sc.Events), sc.DurationMS)
+	} else {
+		fmt.Fprintf(w, "scenario %s: manager %s, %d apps, %d events, %d ms\n",
+			sc.Name, sc.Manager, len(sc.Apps), len(sc.Events), sc.DurationMS)
+	}
 	for _, a := range res.Apps {
 		status := "ran to end"
 		switch {
 		case a.Skipped:
-			status = "skipped (no free cores)"
+			status = "dropped (queued, never admitted)"
 		case a.Departed:
 			status = "departed"
 		}
-		fmt.Fprintf(w, "  %-8s beats=%-6d work=%-10.1f migrations=%-5d %s\n",
-			a.Name, a.Beats, a.Work, a.Migrations, status)
+		if a.Queued && !a.Skipped {
+			status += ", queued first"
+		}
+		where := ""
+		if fleetRun && a.Node != "" {
+			where = fmt.Sprintf(" node=%s moves=%d", a.Node, a.NodeMigrations)
+		}
+		fmt.Fprintf(w, "  %-8s beats=%-6d work=%-10.1f migrations=%-5d %s%s\n",
+			a.Name, a.Beats, a.Work, a.Migrations, status, where)
 	}
-	fmt.Fprintf(w, "energy %.1f J, overhead %d µs, %d samples, online mask %x, trace digest %016x\n",
-		res.EnergyJ, res.OverheadUS, res.Samples, uint64(res.Machine.OnlineMask()), res.TraceDigest)
-	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
-		fmt.Fprintf(w, "  %s: level %d, cap %d, %d/%d cores online\n",
-			k, res.Machine.Level(k), res.Machine.LevelCap(k),
-			res.Machine.OnlineCount(k), res.Machine.Platform().Clusters[k].Cores)
+	fmt.Fprintf(w, "energy %.1f J, overhead %d µs, %d samples, trace digest %016x\n",
+		res.EnergyJ, res.OverheadUS, res.Samples, res.TraceDigest)
+	if fleetRun {
+		fmt.Fprintf(w, "fleet: %d arrivals queued, %d dropped, %d node migrations\n",
+			res.QueuedArrivals, res.DroppedArrivals, res.NodeMigrations)
 	}
-	if gov := res.Thermal; gov != nil {
-		spec := gov.Spec()
-		fmt.Fprintf(w, "thermal: trip %.1f°C / throttle %.1f°C / release %.1f°C, %d throttles (%d trips), %d releases\n",
-			spec.TripC, spec.ThrottleC, spec.ReleaseC, gov.Throttles(), gov.Trips(), gov.Releases())
+	for _, nr := range res.Nodes {
+		if fleetRun {
+			fmt.Fprintf(w, "node %s (%s): energy %.1f J, overhead %d µs, online mask %x\n",
+				nr.Name, nr.Manager, nr.EnergyJ, nr.OverheadUS, uint64(nr.Machine.OnlineMask()))
+		}
 		for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
-			fmt.Fprintf(w, "  %s: %.1f°C now, %.1f°C peak\n", k, gov.TempC(k), gov.PeakC(k))
+			fmt.Fprintf(w, "  %s: level %d, cap %d, %d/%d cores online\n",
+				k, nr.Machine.Level(k), nr.Machine.LevelCap(k),
+				nr.Machine.OnlineCount(k), nr.Machine.Platform().Clusters[k].Cores)
+		}
+		if gov := nr.Thermal; gov != nil {
+			spec := gov.Spec()
+			fmt.Fprintf(w, "  thermal: trip %.1f°C / throttle %.1f°C / release %.1f°C, %d throttles (%d trips), %d releases\n",
+				spec.TripC, spec.ThrottleC, spec.ReleaseC, gov.Throttles(), gov.Trips(), gov.Releases())
+			for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+				fmt.Fprintf(w, "    %s: %.1f°C now, %.1f°C peak\n", k, gov.TempC(k), gov.PeakC(k))
+			}
 		}
 	}
 }

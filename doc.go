@@ -48,6 +48,35 @@
 // bit-for-bit invisible: property tests pin the trip-point ceiling, the
 // cap/temperature monotonicity, and the disabled-path golden digests.
 //
+// # Fleet layer (multi-machine scheduling)
+//
+// internal/fleet scales the system from one machine to many, in the
+// hierarchical style of MARS: per-node HARS / MP-HARS managers keep
+// running unmodified while a fleet scheduler decides which node an
+// application lands on. internal/sim contributes the Node identity — a
+// named machine bundling its platform, power model, thermal governor, and
+// manager daemons behind the shared-clock Ticker interface, with
+// node-tagged trace events — and fleet.Fleet advances any number of Nodes
+// in lockstep on one deterministic clock. Placement is pluggable
+// (least-loaded, big-first for heterogeneity, coolest for heat-aware
+// placement); arrivals with no free partition anywhere queue FIFO and are
+// admitted as capacity frees (the same queue upgrades classic MP-HARS
+// scenarios from silently skipping saturated arrivals); saturated nodes
+// shed an application to the policy's preferred free node on a fixed
+// cadence; and HPS/energy/overhead roll up per fleet.
+//
+// Scenarios opt in by declaring "nodes" — each with its own inline hmp
+// platform JSON, manager, and thermal block — plus a "placement" policy;
+// events then address nodes, apps may pin to one, and cmd/hars-scenario
+// replays the whole fleet byte-identically. A quick start:
+//
+//	hars-scenario -gen -nodes 3 -placement coolest -strict
+//
+// Single-node scenarios are bit-for-bit unchanged: the Node wrapper adds
+// no behaviour, pinned by fleet_equivalence_test.go against the original
+// golden digests. The "fleet" experiments driver sweeps placement policies
+// × node counts on the parallel engine.
+//
 // See README.md for a guided tour, DESIGN.md for the system inventory and
 // substitution rationale, and EXPERIMENTS.md for the paper-versus-measured
 // record. The benchmarks in bench_test.go regenerate each experiment:

@@ -1,0 +1,124 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// These differential tests pin the fleet layer's single-node contract: a
+// scenario declaring exactly one node (default platform, no events) must
+// drive that node's machine through bit-for-bit the same trajectory as the
+// classic single-machine scenario — the same golden digests
+// equivalence_test.go captured from the pre-refactor simulator. Any drift
+// here means the Node abstraction or the fleet scheduler leaked behaviour
+// into runs that never needed them.
+
+// runFleet executes a nodes-declaring scenario and returns its result.
+func runFleet(t *testing.T, sc *scenario.Scenario) *scenario.Result {
+	t.Helper()
+	res, err := scenario.Run(sc, scenario.Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != len(sc.Nodes) {
+		t.Fatalf("%d node results for %d nodes", len(res.Nodes), len(sc.Nodes))
+	}
+	return res
+}
+
+func TestFleetEquivalenceSWMaskBalancer(t *testing.T) {
+	res := runFleet(t, &scenario.Scenario{
+		Name:       "fleet-static-sw",
+		Manager:    scenario.ManagerNone,
+		DurationMS: 5000,
+		Nodes:      []scenario.NodeSpec{{Name: "n0"}},
+		Apps:       []scenario.AppSpec{{Name: "sw", Bench: "SW", Threads: 8}},
+	})
+	checkDigest(t, digestOf(res.Nodes[0].Machine),
+		"0x1.0cf56d292c018p+05",
+		[]int64{9}, []string{"0x1.0442a9930bd98p+06"}, []int{0},
+		30502380, 0, 36)
+	// The fleet rollup of one node is that node.
+	if res.EnergyJ != res.Nodes[0].EnergyJ || res.Machine != res.Nodes[0].Machine {
+		t.Fatal("single-node fleet rollup diverged from its node")
+	}
+	if res.QueuedArrivals != 0 || res.NodeMigrations != 0 {
+		t.Fatalf("spurious scheduler activity: queued %d, migrations %d",
+			res.QueuedArrivals, res.NodeMigrations)
+	}
+}
+
+func TestFleetEquivalenceFEMaskBalancer(t *testing.T) {
+	res := runFleet(t, &scenario.Scenario{
+		Name:       "fleet-static-fe",
+		Manager:    scenario.ManagerNone,
+		DurationMS: 5000,
+		Nodes:      []scenario.NodeSpec{{Name: "n0"}},
+		Apps:       []scenario.AppSpec{{Name: "fe", Bench: "FE", Threads: 8}},
+	})
+	checkDigest(t, digestOf(res.Nodes[0].Machine),
+		"0x1.9ef9c1375a5cep+05",
+		[]int64{82}, []string{"0x1.6b18bb52e034dp+06"}, []int{296},
+		39411319, 0, 97)
+}
+
+func TestFleetEquivalenceHARSE(t *testing.T) {
+	res := runFleet(t, &scenario.Scenario{
+		Name:        "fleet-static-hars-e",
+		Manager:     scenario.ManagerHARSE,
+		DurationMS:  12000,
+		AdaptEvery:  2,
+		OverheadCPU: 4,
+		Nodes:       []scenario.NodeSpec{{Name: "n0"}},
+		Apps: []scenario.AppSpec{{
+			Name: "sw", Bench: "SW", Threads: 8,
+			Target: &scenario.TargetSpec{Min: 5.0, Avg: 6.0, Max: 7.0},
+		}},
+	})
+	mgr := res.Managers["sw"]
+	if mgr == nil {
+		t.Fatal("no manager attached")
+	}
+	if got, want := mgr.State().String(), "B3@L7 L3@L5"; got != want {
+		t.Errorf("settled state = %s, want %s", got, want)
+	}
+	if mgr.Searches() != 10 || mgr.ExploredTotal() != 4554 || len(mgr.Decisions()) != 10 {
+		t.Errorf("searches/explored/decisions = %d/%d/%d, want 10/4554/10",
+			mgr.Searches(), mgr.ExploredTotal(), len(mgr.Decisions()))
+	}
+	checkDigest(t, digestOf(res.Nodes[0].Machine),
+		"0x1.64130d879c9acp+06",
+		[]int64{21}, []string{"0x1.36612fd32c78ap+07"}, []int{60},
+		68034154, 712100, 35)
+}
+
+// TestFleetEquivalenceMPHARS pins a single-node fleet MP-HARS run against
+// the identical legacy scenario: machines must digest identically even
+// though admission now routes through the fleet scheduler.
+func TestFleetEquivalenceMPHARS(t *testing.T) {
+	apps := []scenario.AppSpec{
+		{Name: "sw", Bench: "SW", Threads: 4,
+			Target:  &scenario.TargetSpec{Min: 2.0, Avg: 3.0, Max: 4.0},
+			InitBig: scenario.IntPtr(2), InitLittle: scenario.IntPtr(1)},
+		{Name: "fe", Bench: "FE", Threads: 4, StartMS: 2000,
+			Target: &scenario.TargetSpec{Min: 3.0, Avg: 4.0, Max: 5.0}},
+	}
+	legacy, err := scenario.Run(&scenario.Scenario{
+		Name: "mp", Manager: scenario.ManagerMPHARSI, DurationMS: 8000,
+		AdaptEvery: 2, Apps: apps,
+	}, scenario.Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := runFleet(t, &scenario.Scenario{
+		Name: "mp", Manager: scenario.ManagerMPHARSI, DurationMS: 8000,
+		AdaptEvery: 2, Apps: apps,
+		Nodes: []scenario.NodeSpec{{Name: "n0"}},
+	})
+	dl, df := digestOf(legacy.Machine), digestOf(fl.Nodes[0].Machine)
+	if !reflect.DeepEqual(dl, df) {
+		t.Fatalf("single-node fleet MP-HARS run diverged from the legacy run:\nlegacy %+v\nfleet  %+v", dl, df)
+	}
+}

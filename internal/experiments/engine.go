@@ -32,6 +32,7 @@ func Drivers() []Driver {
 		{"extended", ExtendedSuite},
 		{"scenarios", ScenarioSweep},
 		{"thermal", ThermalSweep},
+		{"fleet", FleetSweep},
 	}
 }
 

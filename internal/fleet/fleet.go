@@ -1,0 +1,217 @@
+// Package fleet scales the HARS reproduction from one machine to many: a
+// set of heterogeneous nodes — each its own sim.Machine with its own
+// platform description, power model, thermal governor, and runtime manager
+// — advancing in lockstep on one deterministic clock, with a fleet
+// scheduler admitting arriving applications to a node through pluggable
+// placement policies, queueing them when no node has capacity, and
+// migrating them off saturated nodes.
+//
+// The paper evaluates HARS on a single ODROID-XU3 board; MARS (Mück et al.)
+// shows the same resource-management ideas composing hierarchically — per-
+// node controllers under a reflective coordinator — and that is the shape
+// of this package: the per-node HARS / MP-HARS managers keep running
+// unmodified as machine daemons, while the fleet layer only decides *which*
+// node an application lands on and when it should move.
+//
+// # Determinism
+//
+// Everything is deterministic: nodes step in index order within one shared
+// tick, scheduler decisions happen at tick boundaries with fixed
+// tie-breaking (policy score, then node index), and the queue drains FIFO.
+// Replaying the same node set and arrival sequence produces bit-identical
+// machines. A fleet of one node is bit-for-bit the bare machine run — the
+// Node wrapper adds no behaviour — which is what lets the scenario engine
+// route every run, single- or multi-node, through this layer.
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/hmp"
+	"repro/internal/mphars"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+)
+
+// Node is one machine of a fleet: the sim.Node identity plus the typed
+// handles the placement policies and the scheduler consult — the MP-HARS
+// manager when the node partitions cores, and the thermal governor when the
+// node models heat. Both may be nil; the daemons themselves are registered
+// on the embedded machine as usual.
+type Node struct {
+	*sim.Node
+
+	// MP is the node's MP-HARS manager, nil when the node runs
+	// single-application managers or no manager at all. A node with an MP
+	// manager has partitioned admission capacity (FreeCores); other nodes
+	// time-share and always admit.
+	MP *mphars.Manager
+
+	// Gov is the node's closed-loop thermal governor, nil when the node
+	// does not model heat. Heat-aware placement reads temperatures from it;
+	// governor-less nodes are assumed to sit at ambient.
+	Gov *thermal.Governor
+}
+
+// FreeCores returns how many cores of cluster k are admissible capacity:
+// the MP-HARS free pool on partitioned nodes, the online core count on
+// time-shared nodes.
+func (n *Node) FreeCores(k hmp.ClusterKind) int {
+	if n.MP != nil {
+		return n.MP.FreeCores(k)
+	}
+	return n.OnlineCount(k)
+}
+
+// CanAdmit reports whether the node can accept one more application right
+// now. Partitioned nodes need at least one free core (the admission rule
+// MP-HARS applies at Register); time-shared nodes always admit. The check
+// is pure — call Reconcile first when hotplug or capping may have moved
+// under the partition tables (the scheduler does, once per decision point).
+func (n *Node) CanAdmit() bool {
+	if n.MP == nil {
+		return true
+	}
+	return n.MP.FreeCores(hmp.Big)+n.MP.FreeCores(hmp.Little) > 0
+}
+
+// Reconcile folds the machine's hotplug and DVFS-cap state into the node's
+// partition tables (a no-op for time-shared nodes), exactly as a direct
+// registration would before consulting the free pool.
+func (n *Node) Reconcile() {
+	if n.MP != nil {
+		n.MP.ReconcilePlatform(n.Machine)
+	}
+}
+
+// Load returns the node's instantaneous load: how many threads are
+// runnable machine-wide.
+func (n *Node) Load() int { return n.RunnableCount() }
+
+// MaxTempC returns the hotter cluster's modeled temperature, or the thermal
+// default ambient for nodes without a governor (an unmodeled node is
+// assumed cold — it has nothing to throttle).
+func (n *Node) MaxTempC() float64 {
+	if n.Gov == nil {
+		return thermal.DefaultAmbientC
+	}
+	b, l := n.Gov.TempC(hmp.Big), n.Gov.TempC(hmp.Little)
+	if b > l {
+		return b
+	}
+	return l
+}
+
+// Hook is a per-tick fleet-wide observer: it runs after every node has
+// advanced one tick, with a consistent cross-node view. The scheduler's
+// admission and migration passes are hooks.
+type Hook interface {
+	Tick(f *Fleet)
+}
+
+// HookFunc adapts a function to the Hook interface.
+type HookFunc func(f *Fleet)
+
+// Tick implements Hook.
+func (fn HookFunc) Tick(f *Fleet) { fn(f) }
+
+// Fleet advances a set of nodes on one deterministic clock: every Step
+// ticks each node once, in index order, then runs the fleet-wide hooks.
+type Fleet struct {
+	nodes []*Node
+	tick  sim.Time
+	hooks []Hook
+}
+
+// New builds a fleet over the given nodes. All nodes must share one tick
+// length and one current time (normally zero: assemble the fleet before
+// running anything), and node IDs must match their index.
+func New(nodes ...*Node) (*Fleet, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("fleet: no nodes")
+	}
+	tick := nodes[0].TickLen()
+	now := nodes[0].Now()
+	for i, n := range nodes {
+		if n.ID != i {
+			return nil, fmt.Errorf("fleet: node %q has ID %d at index %d", n.Name, n.ID, i)
+		}
+		if n.TickLen() != tick {
+			return nil, fmt.Errorf("fleet: node %q tick %d differs from node %q tick %d",
+				n.Name, n.TickLen(), nodes[0].Name, tick)
+		}
+		if n.Now() != now {
+			return nil, fmt.Errorf("fleet: node %q clock %d differs from node %q clock %d",
+				n.Name, n.Now(), nodes[0].Name, now)
+		}
+	}
+	return &Fleet{nodes: nodes, tick: tick}, nil
+}
+
+// Nodes returns the fleet's nodes in index order.
+func (f *Fleet) Nodes() []*Node { return f.nodes }
+
+// Node returns the node at index i.
+func (f *Fleet) Node(i int) *Node { return f.nodes[i] }
+
+// Now returns the shared clock (every node agrees with it).
+func (f *Fleet) Now() sim.Time { return f.nodes[0].Now() }
+
+// TickLen returns the shared tick length.
+func (f *Fleet) TickLen() sim.Time { return f.tick }
+
+// AddHook registers a fleet-wide per-tick hook. Hooks run in registration
+// order after all nodes have stepped.
+func (f *Fleet) AddHook(h Hook) { f.hooks = append(f.hooks, h) }
+
+// Step advances every node by one tick (index order), then runs the hooks.
+func (f *Fleet) Step() {
+	for _, n := range f.nodes {
+		n.Step()
+	}
+	for _, h := range f.hooks {
+		h.Tick(f)
+	}
+}
+
+// RunUntil advances the shared clock until it reaches t.
+func (f *Fleet) RunUntil(t sim.Time) {
+	for f.Now() < t {
+		f.Step()
+	}
+}
+
+// EnergyJ returns the fleet-wide energy rollup: the sum over nodes.
+func (f *Fleet) EnergyJ() float64 {
+	var sum float64
+	for _, n := range f.nodes {
+		sum += n.EnergyJ()
+	}
+	return sum
+}
+
+// Overhead returns the fleet-wide runtime-manager CPU time rollup.
+func (f *Fleet) Overhead() sim.Time {
+	var sum sim.Time
+	for _, n := range f.nodes {
+		sum += n.Overhead()
+	}
+	return sum
+}
+
+// HPS returns the fleet-wide heartbeat-rate rollup: the sum of the latest
+// window rates of every live (non-exited) process across all nodes.
+func (f *Fleet) HPS() float64 {
+	var sum float64
+	for _, n := range f.nodes {
+		for _, p := range n.Procs() {
+			if p.Exited() {
+				continue
+			}
+			if rec, ok := p.HB.Latest(); ok {
+				sum += rec.WindowRate
+			}
+		}
+	}
+	return sum
+}

@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hmp"
+)
+
+// Policy is a pluggable placement policy: it scores the desirability of
+// admitting an application onto a node. The scheduler picks the admissible
+// node with the highest score, breaking ties by the lowest node index, so a
+// policy never has to think about capacity or determinism — only
+// preference.
+type Policy interface {
+	// Name is the policy's registry key (the scenario format's "placement"
+	// field).
+	Name() string
+	// Score rates node n as a destination; higher is better. Scores are
+	// compared within one decision only, so any consistent scale works.
+	Score(n *Node) float64
+}
+
+// The built-in policy names.
+const (
+	PolicyLeastLoaded = "least-loaded"
+	PolicyBigFirst    = "big-first"
+	PolicyCoolest     = "coolest"
+)
+
+// leastLoaded steers arrivals to the node with the fewest runnable threads
+// — the classic load balancer, blind to heterogeneity and heat.
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string          { return PolicyLeastLoaded }
+func (leastLoaded) Score(n *Node) float64 { return -float64(n.Load()) }
+
+// bigFirst is the heterogeneity-aware policy: it steers arrivals to the
+// node with the most free big-core capacity, falling back on free little
+// capacity — applications land where the fast silicon is idle, the fleet
+// analogue of HARS preferring big cores while power allows.
+type bigFirst struct{}
+
+func (bigFirst) Name() string { return PolicyBigFirst }
+func (bigFirst) Score(n *Node) float64 {
+	// Weight big capacity far above little so a single free big core beats
+	// any amount of free little capacity (platforms stay well under 64
+	// cores per cluster, the CPU-mask width).
+	return 64*float64(n.FreeCores(hmp.Big)) + float64(n.FreeCores(hmp.Little))
+}
+
+// coolest is the heat-aware policy: it steers arrivals to the node whose
+// hotter cluster is coldest, so load lands where the thermal headroom is —
+// before governor caps bite — closing the heat-aware-placement item of the
+// thermal roadmap at fleet granularity. Nodes without a thermal governor
+// score as ambient.
+type coolest struct{}
+
+func (coolest) Name() string          { return PolicyCoolest }
+func (coolest) Score(n *Node) float64 { return -n.MaxTempC() }
+
+// Policies returns the built-in policies in presentation order.
+func Policies() []Policy {
+	return []Policy{leastLoaded{}, bigFirst{}, coolest{}}
+}
+
+// PolicyNames returns the registered policy names, sorted.
+func PolicyNames() []string {
+	var out []string
+	for _, p := range Policies() {
+		out = append(out, p.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PolicyByName resolves a registered placement policy; the empty name
+// selects least-loaded, the default.
+func PolicyByName(name string) (Policy, error) {
+	if name == "" {
+		return leastLoaded{}, nil
+	}
+	for _, p := range Policies() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("fleet: unknown placement policy %q (have %v)", name, PolicyNames())
+}

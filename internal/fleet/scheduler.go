@@ -1,0 +1,428 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/hmp"
+	"repro/internal/sim"
+)
+
+// Host is the callback surface through which the scheduler manipulates
+// applications: the embedding layer (the scenario engine, or a test
+// harness) owns the programs, targets, and managers, while the scheduler
+// owns the decisions — which node, when to queue, when to move.
+type Host interface {
+	// Admit spawns and registers the application on node n, setting
+	// app.Proc, and reports success. A false return (capacity vanished
+	// between the check and the registration) re-queues the app.
+	Admit(n *Node, app *App) bool
+	// Evict tears the application down on node n for a migration:
+	// unregister from the node's manager, kill the process, accumulate its
+	// statistics, and clear app.Proc. Admit on the destination follows
+	// immediately.
+	Evict(n *Node, app *App)
+}
+
+// appState tracks where an application is in the admission lifecycle.
+type appState uint8
+
+const (
+	appQueued appState = iota
+	appPlaced
+	appDeparted
+)
+
+// App is the fleet scheduler's per-application record. The Host keeps its
+// own payload alongside (Payload) and maintains Proc; the scheduler
+// maintains everything else.
+type App struct {
+	// Name identifies the application fleet-wide (unique).
+	Name string
+	// Pinned, when non-nil, restricts placement to one node: the app
+	// queues rather than land anywhere else, and it never migrates.
+	Pinned *Node
+	// Proc is the application's current incarnation, set by Host.Admit and
+	// cleared by Host.Evict. The scheduler reads it only to size
+	// migrations (partition allocation lookup).
+	Proc *sim.Process
+	// Payload is the host's per-application state, opaque to the scheduler.
+	Payload any
+
+	seq        int // arrival order, for deterministic tie-breaking
+	state      appState
+	node       *Node
+	placedAt   sim.Time
+	everQueued bool
+	migrations int
+}
+
+// Node returns the node the application currently runs on (nil while
+// queued or after departure).
+func (a *App) Node() *Node { return a.node }
+
+// Queued reports whether the application is waiting for capacity.
+func (a *App) Queued() bool { return a.state == appQueued }
+
+// Placed reports whether the application is currently running on a node.
+func (a *App) Placed() bool { return a.state == appPlaced }
+
+// EverQueued reports whether the application ever had to wait for a free
+// core partition before admission.
+func (a *App) EverQueued() bool { return a.everQueued }
+
+// Migrations returns how many times the scheduler moved the application
+// between nodes.
+func (a *App) Migrations() int { return a.migrations }
+
+// Config tunes the scheduler. The zero value selects the least-loaded
+// policy, a 250 ms saturation check, and a two-core migration destination
+// floor.
+type Config struct {
+	// Policy places arrivals and picks migration destinations. Nil selects
+	// least-loaded.
+	Policy Policy
+
+	// MigrateEvery is the period of the saturation check that may migrate
+	// one application per saturated node. Zero selects 250 ms; negative
+	// disables migration entirely. With a single node migration never
+	// fires (there is nowhere to go).
+	MigrateEvery sim.Time
+
+	// MigrateMinFree is the free-core floor a destination must offer
+	// before an application is moved to it (default 2): migrating onto a
+	// nearly-full node would just spread the saturation.
+	MigrateMinFree int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == nil {
+		c.Policy = leastLoaded{}
+	}
+	if c.MigrateEvery == 0 {
+		c.MigrateEvery = 250 * sim.Millisecond
+	}
+	if c.MigrateMinFree <= 0 {
+		c.MigrateMinFree = 2
+	}
+	return c
+}
+
+// Stats is the scheduler's decision rollup.
+type Stats struct {
+	Admitted   int // successful admissions (arrivals + re-admissions after migration)
+	Queued     int // arrivals that had to wait for capacity at least once
+	QueueLen   int // applications still waiting right now
+	Migrations int // node-to-node application moves
+}
+
+// Scheduler is the fleet's admission and migration brain: a per-tick fleet
+// hook that places arrivals by policy, queues them FIFO when no admissible
+// node exists, admits them as capacity frees up, and moves applications
+// off saturated nodes.
+type Scheduler struct {
+	f    *Fleet
+	host Host
+	cfg  Config
+
+	apps  []*App
+	queue []*App // FIFO, arrival order
+
+	admitted    int
+	queuedTotal int
+	migrations  int
+	nextMigrate sim.Time
+}
+
+// NewScheduler builds a scheduler over the fleet and registers it as a
+// per-tick hook.
+func NewScheduler(f *Fleet, host Host, cfg Config) *Scheduler {
+	s := &Scheduler{f: f, host: host, cfg: cfg.withDefaults()}
+	s.nextMigrate = f.Now() + s.cfg.MigrateEvery
+	f.AddHook(s)
+	return s
+}
+
+// Policy returns the scheduler's placement policy.
+func (s *Scheduler) Policy() Policy { return s.cfg.Policy }
+
+// Apps returns every application the scheduler has seen, in arrival order.
+func (s *Scheduler) Apps() []*App { return s.apps }
+
+// Stats returns the decision rollup so far.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Admitted:   s.admitted,
+		Queued:     s.queuedTotal,
+		QueueLen:   len(s.queue),
+		Migrations: s.migrations,
+	}
+}
+
+// Arrive hands a new application to the scheduler: it is admitted to the
+// policy's pick right away when possible, and queued FIFO otherwise. Apps
+// already waiting get first claim on any capacity — the queue drains
+// before the newcomer is considered, so an arrival coinciding with a
+// departure cannot jump the line.
+func (s *Scheduler) Arrive(app *App) {
+	app.seq = len(s.apps)
+	s.apps = append(s.apps, app)
+	s.reconcileAll()
+	s.drain()
+	if s.tryAdmit(app) {
+		return
+	}
+	app.state = appQueued
+	app.everQueued = true
+	s.queuedTotal++
+	s.queue = append(s.queue, app)
+}
+
+// reconcileAll syncs every partitioned node's tables with its machine once
+// per decision point, so the capacity checks below are pure reads.
+func (s *Scheduler) reconcileAll() {
+	for _, n := range s.f.Nodes() {
+		n.Reconcile()
+	}
+}
+
+// anyAdmittable reports whether any node has admission capacity right now
+// (tables already reconciled).
+func (s *Scheduler) anyAdmittable() bool {
+	for _, n := range s.f.Nodes() {
+		if n.CanAdmit() {
+			return true
+		}
+	}
+	return false
+}
+
+// Depart removes an application from scheduling: a queued app is cancelled
+// (it never ran), a placed app is released. Machine-level teardown of a
+// placed app is the caller's business — the scheduler only forgets it.
+func (s *Scheduler) Depart(app *App) {
+	if app.state == appQueued {
+		for i, q := range s.queue {
+			if q == app {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+	}
+	app.state = appDeparted
+	app.node = nil
+}
+
+// Tick implements Hook: drain the admission queue against freshly freed
+// capacity, then run the periodic saturation/migration pass. Partition
+// tables are reconciled once up front; the per-node checks are pure reads
+// (Register/Unregister keep the tables current within the pass).
+func (s *Scheduler) Tick(f *Fleet) {
+	due := s.cfg.MigrateEvery > 0 && len(f.Nodes()) > 1 && f.Now() >= s.nextMigrate
+	if len(s.queue) == 0 && !due {
+		return
+	}
+	s.reconcileAll()
+	s.drain()
+	if due {
+		s.migratePass()
+		s.nextMigrate = f.Now() + s.cfg.MigrateEvery
+	}
+}
+
+// drain admits queued applications FIFO against current capacity (tables
+// already reconciled). While everything is saturated — the common state of
+// a backed-up queue — the O(nodes) admittability check is the whole cost:
+// no per-app placement scoring.
+func (s *Scheduler) drain() {
+	if len(s.queue) == 0 || !s.anyAdmittable() {
+		return
+	}
+	kept := s.queue[:0]
+	for _, app := range s.queue {
+		if !s.tryAdmit(app) {
+			kept = append(kept, app)
+		}
+	}
+	s.queue = kept
+}
+
+// tryAdmit places the app on the best admissible node right now, returning
+// false when none exists. The caller has reconciled the partition tables.
+func (s *Scheduler) tryAdmit(app *App) bool {
+	n := s.pick(app, nil, 0)
+	if n == nil || !s.host.Admit(n, app) {
+		return false
+	}
+	app.state = appPlaced
+	app.node = n
+	app.placedAt = s.f.Now()
+	s.admitted++
+	return true
+}
+
+// pick returns the admissible node the policy prefers (highest score, ties
+// to the lowest index), honouring pinning, an optional exclusion, and a
+// free-core floor (migration destinations must offer real headroom).
+func (s *Scheduler) pick(app *App, exclude *Node, minFree int) *Node {
+	var best *Node
+	var bestScore float64
+	for _, n := range s.f.Nodes() {
+		if n == exclude {
+			continue
+		}
+		if app.Pinned != nil && n != app.Pinned {
+			continue
+		}
+		if !n.CanAdmit() {
+			continue
+		}
+		if minFree > 0 && n.FreeCores(hmp.Big)+n.FreeCores(hmp.Little) < minFree {
+			continue
+		}
+		score := s.cfg.Policy.Score(n)
+		if best == nil || score > bestScore {
+			best, bestScore = n, score
+		}
+	}
+	return best
+}
+
+// migratePass moves at most one application off every saturated
+// partitioned node: the node has no free core in either cluster, so new
+// arrivals there queue and its own applications cannot grow. The victim is
+// the smallest-allocation unpinned application (cheapest to restart; ties
+// to the most recent arrival), the destination is the policy's preferred
+// node among those with MigrateMinFree free cores — and strictly more free
+// cores than the victim already holds, so every move gives the victim room
+// to grow and frees its whole allocation on the source. The strict-gain
+// rule is also what makes the pass stable: an app that saturates every
+// node it lands on finds no destination better than where it sits, instead
+// of ping-ponging between equally-sized nodes every pass.
+func (s *Scheduler) migratePass() {
+	now := s.f.Now()
+	for _, src := range s.f.Nodes() {
+		if src.MP == nil {
+			continue
+		}
+		if src.MP.FreeCores(hmp.Big)+src.MP.FreeCores(hmp.Little) > 0 {
+			continue
+		}
+		victim, alloc := s.victimOn(src, now)
+		if victim == nil {
+			continue
+		}
+		minFree := s.cfg.MigrateMinFree
+		if alloc+1 > minFree {
+			minFree = alloc + 1
+		}
+		dest := s.pick(victim, src, minFree)
+		if dest == nil {
+			continue
+		}
+		s.host.Evict(src, victim)
+		if s.host.Admit(dest, victim) {
+			victim.node = dest
+			victim.placedAt = now
+			victim.migrations++
+			s.migrations++
+			s.admitted++
+		} else {
+			// Capacity vanished mid-move: the app rejoins the queue and the
+			// next tick's drain re-places it. It counts toward queuedTotal
+			// only once per lifetime (Stats.Queued counts arrivals that
+			// waited, not waits).
+			victim.state = appQueued
+			victim.node = nil
+			if !victim.everQueued {
+				victim.everQueued = true
+				s.queuedTotal++
+			}
+			s.queue = append(s.queue, victim)
+		}
+	}
+}
+
+// victimOn picks the application to move off a saturated node (and returns
+// its current core allocation): unpinned, past the cooldown, smallest
+// partition allocation, ties to the latest arrival.
+func (s *Scheduler) victimOn(src *Node, now sim.Time) (*App, int) {
+	var victim *App
+	victimAlloc := 0
+	for _, app := range s.apps {
+		if app.state != appPlaced || app.node != src || app.Pinned != nil || app.Proc == nil {
+			continue
+		}
+		if now-app.placedAt < s.cfg.MigrateEvery {
+			continue
+		}
+		b, l := src.MP.Allocation(app.Proc)
+		alloc := b + l
+		if victim == nil || alloc < victimAlloc || (alloc == victimAlloc && app.seq > victim.seq) {
+			victim, victimAlloc = app, alloc
+		}
+	}
+	return victim, victimAlloc
+}
+
+// CheckInvariants verifies the scheduler's conservation properties: every
+// application is in exactly one lifecycle state, placed applications sit on
+// exactly one fleet node (and on that node's partition manager, when it has
+// one), queued applications sit on none, and no process is registered with
+// two nodes' managers. Strict scenario runs call it after every action.
+func (s *Scheduler) CheckInvariants() error {
+	queued := make(map[*App]bool, len(s.queue))
+	for _, app := range s.queue {
+		if queued[app] {
+			return fmt.Errorf("fleet: app %q queued twice", app.Name)
+		}
+		queued[app] = true
+		if app.state != appQueued {
+			return fmt.Errorf("fleet: app %q in queue but not in queued state", app.Name)
+		}
+	}
+	owner := make(map[*sim.Process]*Node)
+	for _, n := range s.f.Nodes() {
+		if n.MP == nil {
+			continue
+		}
+		for _, p := range n.MP.Apps() {
+			if prev, ok := owner[p]; ok {
+				return fmt.Errorf("fleet: process %q registered on nodes %q and %q", p.Name, prev.Name, n.Name)
+			}
+			owner[p] = n
+		}
+	}
+	for _, app := range s.apps {
+		switch app.state {
+		case appQueued:
+			if !queued[app] {
+				return fmt.Errorf("fleet: app %q in queued state but not in queue", app.Name)
+			}
+			if app.node != nil {
+				return fmt.Errorf("fleet: queued app %q has a node", app.Name)
+			}
+		case appPlaced:
+			if queued[app] {
+				return fmt.Errorf("fleet: placed app %q still in queue", app.Name)
+			}
+			if app.node == nil {
+				return fmt.Errorf("fleet: placed app %q has no node", app.Name)
+			}
+			if app.Pinned != nil && app.node != app.Pinned {
+				return fmt.Errorf("fleet: app %q pinned to %q but placed on %q",
+					app.Name, app.Pinned.Name, app.node.Name)
+			}
+			if app.Proc != nil && app.node.MP != nil {
+				if owner[app.Proc] != app.node {
+					return fmt.Errorf("fleet: app %q placed on %q but its process is registered elsewhere",
+						app.Name, app.node.Name)
+				}
+			}
+		case appDeparted:
+			if queued[app] {
+				return fmt.Errorf("fleet: departed app %q still in queue", app.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -29,9 +29,16 @@ func ReadPlatform(r io.Reader) (*Platform, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	// The Kind fields are redundant with array position; fix them up so a
-	// hand-written file can omit them.
+	p.Normalize()
+	return &p, nil
+}
+
+// Normalize fixes up the fields that are redundant with structure — the
+// per-cluster Kind tags, which mirror array position — so a hand-written or
+// embedded JSON description can omit them. ReadPlatform calls it; decoders
+// that embed a Platform inside a larger document (scenario node specs) must
+// call it themselves after validation.
+func (p *Platform) Normalize() {
 	p.Clusters[Little].Kind = Little
 	p.Clusters[Big].Kind = Big
-	return &p, nil
 }

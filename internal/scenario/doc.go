@@ -70,16 +70,79 @@
 //     and Result.Thermal carries the governor. Scripted dvfs_cap events
 //     are rejected while the governor is enabled — it owns the ceilings.
 //     With enabled=false (or no block) the run is bit-for-bit the
-//     pre-thermal one.
+//     pre-thermal one. In a multi-node scenario the block is the
+//     fleet-wide default; nodes override it with their own.
+//   - affinity (per app): an explicit CPU list pinning the app's threads
+//     for the whole run — enforced by the placer on every placement and
+//     hotplug re-placement. Unmanaged scenarios only ("none", "gts"): the
+//     HARS / MP-HARS managers own their applications' masks.
 //
-// Determinism: the engine is single-threaded over a deterministic
-// simulator, so the same scenario file always produces byte-identical
-// traces and results. Actions due at the same millisecond apply in a fixed
-// order: platform events first (hotplug, dvfs_cap, in listed order), then
-// departures, then arrivals, then application events (target, phase), ties
-// broken by position in the file; occurrences of a repeating event carry
-// their event's file position for tie-breaking.
+// # Multi-node (fleet) scenarios
 //
-// Validation rejects scenarios whose hotplug sequence would ever take the
-// last core offline, so a validated scenario can always make progress.
+// A scenario may declare a whole fleet of machines instead of one:
+//
+//	{
+//	  "name": "fleet",
+//	  "manager": "mphars-i",
+//	  "duration_ms": 20000,
+//	  "placement": "coolest",
+//	  "migrate_every_ms": 250,
+//	  "nodes": [
+//	    {"name": "n0", "thermal": {"enabled": true}},
+//	    {"name": "n1", "manager": "hars-e", "adapt_every": 2},
+//	    {"name": "n2", "platform": {"Clusters": [...], "BaseKHz": 800000}}
+//	  ],
+//	  "apps": [
+//	    {"name": "sw0", "bench": "SW", "threads": 8},
+//	    {"name": "fe0", "bench": "FE", "threads": 4, "node": "n1"}
+//	  ],
+//	  "events": [
+//	    {"at_ms": 4000, "kind": "hotplug", "node": "n0", "cpu": 7, "online": false},
+//	    {"at_ms": 6000, "kind": "dvfs_cap", "node": "n2", "cluster": "big", "max_level": 4}
+//	  ]
+//	}
+//
+// Each node is one sim.Node — its own platform description (inline
+// hmp.ReadPlatform JSON; omitted = the default board), power model,
+// manager ("manager"/"adapt_every"/"overhead_cpu" default to the
+// scenario-level values), and thermal loop — and all nodes advance in
+// lockstep on one deterministic clock (internal/fleet). Arrivals are
+// admitted to a node by the placement policy ("least-loaded" default,
+// "big-first" = most free big-core capacity, "coolest" = lowest modeled
+// temperature) or by their "node" pin; platform events (hotplug, dvfs_cap)
+// must name the node they act on, while app events address the app
+// wherever it runs.
+//
+// Admission control: an arrival finding no free core partition on any
+// admissible node queues FIFO fleet-wide (Result.QueuedArrivals) and is
+// admitted the tick a partition frees up — departure, hotplug, or an
+// adaptation shrinking a neighbour; arrivals still waiting when the run
+// (or their departure) ends count as dropped (Result.DroppedArrivals,
+// AppResult.Skipped). The same queue serves classic single-machine
+// MP-HARS scenarios, which previously skipped such arrivals outright.
+// Every migrate_every_ms (250 ms default, -1 disables) the scheduler also
+// moves one application off each saturated partitioned node to the
+// policy's preferred node with free capacity — the app is respawned there
+// (its statistics accumulate across incarnations; AppResult.NodeMigrations
+// counts the moves).
+//
+// Multi-node traces replace the "m" line with per-node "n" (and "h")
+// lines, add the node and fleet-move columns to "a" lines, and append an
+// "f" fleet rollup line (running apps, queue length, summed HPS, energy,
+// overhead, migrations) per sample. Single-node scenarios keep the classic
+// byte-identical format.
+//
+// Determinism: the engine is single-threaded over deterministic
+// simulators — nodes step in index order within each shared tick, and
+// scheduler decisions break ties by policy score then node index — so the
+// same scenario file always produces byte-identical traces and results.
+// Actions due at the same millisecond apply in a fixed order: platform
+// events first (hotplug, dvfs_cap, in listed order), then departures, then
+// arrivals, then application events (target, phase), ties broken by
+// position in the file; occurrences of a repeating event carry their
+// event's file position for tie-breaking.
+//
+// Validation rejects scenarios whose hotplug sequence would ever take a
+// node's last core offline, so a validated scenario can always make
+// progress.
 package scenario

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/gts"
 	"repro/internal/heartbeat"
 	"repro/internal/hmp"
@@ -21,6 +22,11 @@ import (
 // Options configures a scenario run. The zero value selects the default
 // platform, the ground-truth power model, the synthetic linear estimator
 // model, engine-local max-rate calibration, and no trace output.
+//
+// Plat, Power, and Model apply to the legacy single machine only: a
+// scenario declaring nodes owns its platforms (each node builds its own
+// ground-truth power model and estimator model), and Run rejects the
+// overrides.
 type Options struct {
 	Plat  *hmp.Platform      // default hmp.Default()
 	Power sim.PowerModel     // machine power model; default power.DefaultGroundTruth
@@ -28,7 +34,10 @@ type Options struct {
 
 	// MaxRate resolves a benchmark's maximum achievable heartbeat rate for
 	// fractional targets. Nil selects an engine-local calibration run per
-	// (bench, threads) pair (deterministic, cached for the run).
+	// (bench, threads, node) tuple (deterministic, cached for the run).
+	// A non-nil override is consulted for every node — callers supplying
+	// one to a multi-node scenario with heterogeneous platforms are
+	// responsible for the rates making sense on every node.
 	MaxRate func(short string, threads int) float64
 
 	// Trace, when non-nil, receives the per-sample metric trace (see the
@@ -37,14 +46,16 @@ type Options struct {
 	Trace io.Writer
 
 	// PerTick, when non-nil, runs as a machine daemon every tick before the
-	// managers; property tests install invariant checkers here.
+	// managers — on every node of a multi-node run; property tests install
+	// invariant checkers here.
 	PerTick func(*sim.Machine)
 
 	// Strict makes the engine verify runtime invariants after every applied
 	// action and every trace sample — no runnable thread on an offline
-	// core, cluster levels within their ceilings, and (for mphars-*) the
-	// partitioning invariants — returning an error on the first violation.
-	// Property tests run with Strict on.
+	// core, cluster levels within their ceilings, the mphars-* partitioning
+	// invariants, and the fleet scheduler's conservation invariants —
+	// returning an error on the first violation. Property tests run with
+	// Strict on.
 	Strict bool
 }
 
@@ -53,31 +64,69 @@ type AppResult struct {
 	Name       string
 	Beats      int64
 	Work       float64
-	Migrations int
+	Migrations int  // thread-level core migrations, summed over incarnations
 	Arrived    bool // the arrival fired (always true once start_ms passed)
-	Departed   bool // the departure fired
-	Skipped    bool // MP-HARS had no free core at arrival; app never spawned
+	Departed   bool // the departure fired while the app was running
+	// Skipped: the app was never admitted — every partition stayed full
+	// from its arrival to the end of the run (the app never spawned).
+	Skipped bool
+	// Queued: the arrival had to wait in the admission queue at least once
+	// (it may still have been admitted later; see Skipped).
+	Queued bool
+	// Node is the node the app last ran on ("" while never admitted, and
+	// for the legacy single machine).
+	Node string
+	// NodeMigrations counts fleet-level moves between nodes.
+	NodeMigrations int
+}
+
+// NodeResult summarizes one node of the run.
+type NodeResult struct {
+	Name       string // "" for the legacy single machine
+	Manager    string
+	Machine    *sim.Machine
+	EnergyJ    float64
+	OverheadUS sim.Time
+
+	// MP is the node's MP-HARS manager (nil for other manager kinds);
+	// Thermal its closed-loop governor (nil when the node models no heat).
+	MP      *mphars.Manager
+	Thermal *thermal.Governor
 }
 
 // Result is the outcome of one scenario run.
 type Result struct {
 	Scenario *Scenario
-	Machine  *sim.Machine
+	Machine  *sim.Machine // the first node's machine (the only one, legacy)
 	Apps     []AppResult
 
-	EnergyJ     float64
-	OverheadUS  sim.Time
+	// Nodes describes every machine of the run in index order — exactly
+	// one entry for a classic scenario, one per nodes entry otherwise.
+	Nodes     []NodeResult
+	Placement string // resolved placement policy name
+
+	EnergyJ     float64  // fleet-wide rollup (sum over nodes)
+	OverheadUS  sim.Time // fleet-wide rollup
 	Samples     int
 	TraceDigest uint64 // FNV-64a over the emitted trace bytes
 
-	// MP is the MP-HARS manager of mphars-* scenarios (nil otherwise);
-	// Managers maps app name → single-application HARS manager for hars-*
-	// scenarios. Tests use these for consistency checks.
+	// Admission-control counters: how many arrivals had to queue for a
+	// free partition, and how many of those were never admitted before
+	// the run (or their departure) ended.
+	QueuedArrivals  int
+	DroppedArrivals int
+	// NodeMigrations counts fleet-level application moves.
+	NodeMigrations int
+
+	// MP is the MP-HARS manager of legacy mphars-* scenarios (nil
+	// otherwise — multi-node runs carry theirs in Nodes); Managers maps
+	// app name → single-application HARS manager. Tests use these for
+	// consistency checks.
 	MP       *mphars.Manager
 	Managers map[string]*core.Manager
 
-	// Thermal is the closed-loop governor of thermal-enabled scenarios
-	// (nil otherwise): peak temperatures and throttle statistics live here.
+	// Thermal is the closed-loop governor of legacy thermal-enabled
+	// scenarios (nil otherwise; multi-node runs carry theirs in Nodes).
 	Thermal *thermal.Governor
 }
 
@@ -108,10 +157,44 @@ type action struct {
 // appRun is the engine's per-application state.
 type appRun struct {
 	spec *AppSpec
+	fapp *fleet.App // scheduler record (Payload points back here)
+	node *nodeRun   // current placement, nil while queued / never admitted
 	prog sim.Program
 	proc *sim.Process
-	mgr  *core.Manager // hars-* scenarios
+	mgr  *core.Manager // on hars-* nodes
 	res  AppResult
+
+	// Runtime re-targeting state from scripted target/phase events, kept
+	// here so a migration (or an admission delayed past the event)
+	// re-applies the scripted change instead of reverting to the spec.
+	curTarget *TargetSpec
+	curFrac   float64
+	curScale  float64
+
+	// Statistics accumulated from incarnations torn down by migration.
+	doneBeats int64
+	doneWork  float64
+	doneMig   int
+}
+
+// targetSpec returns the app's current target parameters: the last scripted
+// target event's values when one fired, the spec's otherwise.
+func (a *appRun) targetSpec() (*TargetSpec, float64) {
+	if a.curTarget != nil || a.curFrac > 0 {
+		return a.curTarget, a.curFrac
+	}
+	return a.spec.Target, a.spec.TargetFrac
+}
+
+// nodeRun is the engine's per-node state: the fleet node plus the typed
+// handles and resolved configuration.
+type nodeRun struct {
+	rn    resolvedNode
+	fn    *fleet.Node
+	m     *sim.Machine
+	model *power.LinearModel
+	mp    *mphars.Manager
+	gov   *thermal.Governor
 }
 
 type daemonFunc func(*sim.Machine)
@@ -120,16 +203,15 @@ func (f daemonFunc) Tick(m *sim.Machine) { f(m) }
 
 // engine carries one run's state.
 type engine struct {
-	sc    *Scenario
-	opts  Options
-	plat  *hmp.Platform
-	model *power.LinearModel
-	m     *sim.Machine
-	mp    *mphars.Manager
-	gov   *thermal.Governor
-	apps  []*appRun
+	sc        *Scenario
+	opts      Options
+	fleetMode bool // the scenario declares nodes
+	nodes     []*nodeRun
+	fl        *fleet.Fleet
+	sched     *fleet.Scheduler
+	apps      []*appRun
 
-	rates map[string]float64 // max-rate cache: "short/threads"
+	rates map[string]float64 // max-rate cache: "short/threads/node"
 	trace *bufio.Writer
 	out   io.Writer // trace sink: the digest hash, plus Options.Trace if set
 	hash  interface {
@@ -141,26 +223,28 @@ type engine struct {
 
 // Run executes the scenario and returns its result. The run is fully
 // deterministic: the same scenario and options always produce the same
-// result and byte-identical trace output.
+// result and byte-identical trace output — whether it drives one machine
+// or a fleet.
 func Run(sc *Scenario, opts Options) (*Result, error) {
+	fleetMode := len(sc.Nodes) > 0
+	if fleetMode && (opts.Plat != nil || opts.Power != nil || opts.Model != nil) {
+		return nil, fmt.Errorf("scenario: multi-node scenarios own their platforms; Options.Plat/Power/Model must be nil")
+	}
 	plat := opts.Plat
 	if plat == nil {
 		plat = hmp.Default()
 	}
-	if err := sc.ValidateOn(plat); err != nil {
+	resolved, err := sc.resolveAndValidate(plat)
+	if err != nil {
 		return nil, err
 	}
-	pm := opts.Power
-	if pm == nil {
-		pm = power.DefaultGroundTruth(plat)
+	policy, err := fleet.PolicyByName(sc.Placement)
+	if err != nil {
+		return nil, err
 	}
-	model := opts.Model
-	if model == nil {
-		model = DefaultModel(plat)
-	}
+
 	e := &engine{
-		sc: sc, opts: opts, plat: plat, model: model,
-		m:     sim.New(plat, sim.Config{Power: pm}),
+		sc: sc, opts: opts, fleetMode: fleetMode,
 		rates: make(map[string]float64),
 		hash:  fnv.New64a(),
 	}
@@ -171,53 +255,39 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 	}
 	e.out = out
 
-	switch sc.Manager {
-	case ManagerGTS:
-		e.m.SetPlacer(gts.New(plat))
-	case ManagerMPHARSI, ManagerMPHARSE:
-		v := mphars.MPHARSI
-		if sc.Manager == ManagerMPHARSE {
-			v = mphars.MPHARSE
-		}
-		e.mp = mphars.New(e.m, model, mphars.Config{
-			Version:     v,
-			AdaptEvery:  sc.AdaptEvery,
-			OverheadCPU: sc.OverheadCPU,
-		})
-	}
-	// The thermal governor runs first among the daemons: PerTick observers
-	// see its post-actuation state for the tick, and a ceiling moved this
-	// tick is visible to MP-HARS's same-tick ReconcilePlatform and to the
-	// HARS managers' next bounds clamp.
-	if sc.Thermal != nil && sc.Thermal.Enabled {
-		gov, err := thermal.NewGovernor(*sc.Thermal)
+	for i := range resolved {
+		nr, err := e.buildNode(resolved[i])
 		if err != nil {
 			return nil, err
 		}
-		e.gov = gov
-		e.m.AddDaemon(gov)
+		e.nodes = append(e.nodes, nr)
 	}
-	if opts.PerTick != nil {
-		e.m.AddDaemon(daemonFunc(opts.PerTick))
+	fnodes := make([]*fleet.Node, len(e.nodes))
+	for i, nr := range e.nodes {
+		fnodes[i] = nr.fn
 	}
-	if e.mp != nil {
-		e.m.AddDaemon(e.mp)
+	e.fl, err = fleet.New(fnodes...)
+	if err != nil {
+		return nil, err
 	}
+	migrate := sim.Time(sc.MigrateEveryMS) * sim.Millisecond
+	e.sched = fleet.NewScheduler(e.fl, e, fleet.Config{
+		Policy:       policy,
+		MigrateEvery: migrate,
+	})
 
 	for i := range sc.Apps {
-		e.apps = append(e.apps, &appRun{
-			spec: &sc.Apps[i],
-			res:  AppResult{Name: sc.Apps[i].Name},
-		})
+		spec := &sc.Apps[i]
+		a := &appRun{spec: spec, res: AppResult{Name: spec.Name}}
+		a.fapp = &fleet.App{Name: spec.Name, Payload: a}
+		if spec.Node != "" {
+			a.fapp.Pinned = e.nodeRunByName(spec.Node).fn
+		}
+		e.apps = append(e.apps, a)
 	}
 	actions := e.buildActions()
 
-	fmt.Fprintf(out, "# scenario %s seed %d manager %s\n", sc.Name, sc.Seed, sc.Manager)
-	fmt.Fprintln(out, "# m,t_ms,online,big_level,little_level,big_cap,little_cap,energy,overhead_us")
-	fmt.Fprintln(out, "# a,t_ms,app,beats,rate,work,migrations")
-	if e.gov != nil {
-		fmt.Fprintln(out, "# h,t_ms,big_temp,little_temp,big_cap,little_cap,throttles,releases")
-	}
+	e.writeHeader()
 
 	end := sim.Time(sc.DurationMS) * sim.Millisecond
 	every := sim.Time(sc.SampleEveryMS) * sim.Millisecond
@@ -227,7 +297,7 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 	nextSample := sim.Time(0)
 	ai := 0
 	for {
-		for ai < len(actions) && actions[ai].at <= e.m.Now() {
+		for ai < len(actions) && actions[ai].at <= e.fl.Now() {
 			e.apply(actions[ai])
 			if opts.Strict {
 				if err := e.checkStrict(); err != nil {
@@ -236,7 +306,7 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 			}
 			ai++
 		}
-		if e.m.Now() >= nextSample {
+		if e.fl.Now() >= nextSample {
 			e.sample()
 			nextSample += every
 			if opts.Strict {
@@ -245,7 +315,7 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 				}
 			}
 		}
-		if e.m.Now() >= end {
+		if e.fl.Now() >= end {
 			break
 		}
 		next := end
@@ -255,47 +325,169 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 		if nextSample < next {
 			next = nextSample
 		}
-		e.m.RunUntil(next)
+		e.fl.RunUntil(next)
 	}
 	if e.trace != nil {
 		if err := e.trace.Flush(); err != nil {
 			return nil, fmt.Errorf("scenario: trace: %w", err)
 		}
 	}
+	return e.result(), nil
+}
 
+// buildNode assembles one machine of the run: platform, power model,
+// manager, thermal governor, and the per-tick hooks — in the fixed daemon
+// order (governor, observers, MP-HARS manager) the thermal subsystem
+// documents.
+func (e *engine) buildNode(rn resolvedNode) (*nodeRun, error) {
+	pm := e.opts.Power
+	if pm == nil {
+		pm = power.DefaultGroundTruth(rn.plat)
+	}
+	model := e.opts.Model
+	if model == nil {
+		model = DefaultModel(rn.plat)
+	}
+	sn := sim.NewNode(rn.idx, rn.name, rn.plat, sim.Config{Power: pm})
+	nr := &nodeRun{rn: rn, m: sn.Machine, model: model}
+
+	switch rn.manager {
+	case ManagerGTS:
+		nr.m.SetPlacer(gts.New(rn.plat))
+	case ManagerMPHARSI, ManagerMPHARSE:
+		v := mphars.MPHARSI
+		if rn.manager == ManagerMPHARSE {
+			v = mphars.MPHARSE
+		}
+		nr.mp = mphars.New(nr.m, model, mphars.Config{
+			Version:     v,
+			AdaptEvery:  rn.adaptEvery,
+			OverheadCPU: rn.overheadCPU,
+		})
+	}
+	// The thermal governor runs first among the daemons: PerTick observers
+	// see its post-actuation state for the tick, and a ceiling moved this
+	// tick is visible to MP-HARS's same-tick ReconcilePlatform and to the
+	// HARS managers' next bounds clamp.
+	if rn.thermalOn() {
+		gov, err := thermal.NewGovernor(*rn.thermal)
+		if err != nil {
+			return nil, err
+		}
+		nr.gov = gov
+		nr.m.AddDaemon(gov)
+	}
+	if e.opts.PerTick != nil {
+		nr.m.AddDaemon(daemonFunc(e.opts.PerTick))
+	}
+	if nr.mp != nil {
+		nr.m.AddDaemon(nr.mp)
+	}
+	nr.fn = &fleet.Node{Node: sn, MP: nr.mp, Gov: nr.gov}
+	return nr, nil
+}
+
+func (e *engine) nodeRunByName(name string) *nodeRun {
+	for _, nr := range e.nodes {
+		if nr.rn.name == name {
+			return nr
+		}
+	}
+	return nil
+}
+
+// writeHeader emits the trace preamble. The single-machine format is byte-
+// for-byte the historical one; multi-node runs use node-tagged line kinds
+// plus a fleet rollup line.
+func (e *engine) writeHeader() {
+	sc := e.sc
+	if !e.fleetMode {
+		fmt.Fprintf(e.out, "# scenario %s seed %d manager %s\n", sc.Name, sc.Seed, sc.Manager)
+		fmt.Fprintln(e.out, "# m,t_ms,online,big_level,little_level,big_cap,little_cap,energy,overhead_us")
+		fmt.Fprintln(e.out, "# a,t_ms,app,beats,rate,work,migrations")
+		if e.nodes[0].gov != nil {
+			fmt.Fprintln(e.out, "# h,t_ms,big_temp,little_temp,big_cap,little_cap,throttles,releases")
+		}
+		return
+	}
+	fmt.Fprintf(e.out, "# scenario %s seed %d manager %s nodes %d placement %s\n",
+		sc.Name, sc.Seed, sc.Manager, len(e.nodes), e.sched.Policy().Name())
+	fmt.Fprintln(e.out, "# n,t_ms,node,online,big_level,little_level,big_cap,little_cap,energy,overhead_us")
+	fmt.Fprintln(e.out, "# a,t_ms,node,app,beats,rate,work,migrations,node_migrations")
+	for _, nr := range e.nodes {
+		if nr.gov != nil {
+			fmt.Fprintln(e.out, "# h,t_ms,node,big_temp,little_temp,big_cap,little_cap,throttles,releases")
+			break
+		}
+	}
+	fmt.Fprintln(e.out, "# f,t_ms,running,queued,hps,energy,overhead_us,node_migrations")
+}
+
+// result assembles the Result after the run.
+func (e *engine) result() *Result {
 	res := &Result{
-		Scenario:    sc,
-		Machine:     e.m,
-		EnergyJ:     e.m.EnergyJ(),
-		OverheadUS:  e.m.Overhead(),
+		Scenario:    e.sc,
+		Machine:     e.nodes[0].m,
+		Placement:   e.sched.Policy().Name(),
+		EnergyJ:     e.fl.EnergyJ(),
+		OverheadUS:  e.fl.Overhead(),
 		Samples:     e.samples,
 		TraceDigest: e.hash.Sum64(),
-		MP:          e.mp,
-		Thermal:     e.gov,
 	}
+	for _, nr := range e.nodes {
+		res.Nodes = append(res.Nodes, NodeResult{
+			Name:       nr.rn.name,
+			Manager:    nr.rn.manager,
+			Machine:    nr.m,
+			EnergyJ:    nr.m.EnergyJ(),
+			OverheadUS: nr.m.Overhead(),
+			MP:         nr.mp,
+			Thermal:    nr.gov,
+		})
+	}
+	if !e.fleetMode {
+		res.MP = e.nodes[0].mp
+		res.Thermal = e.nodes[0].gov
+	}
+	stats := e.sched.Stats()
+	res.QueuedArrivals = stats.Queued
+	res.NodeMigrations = stats.Migrations
 	for _, a := range e.apps {
+		a.res.Beats = a.doneBeats
+		a.res.Work = a.doneWork
+		a.res.Migrations = a.doneMig
 		if a.proc != nil {
-			a.res.Beats = a.proc.HB.Count()
-			a.res.Work = a.proc.WorkDone()
+			a.res.Beats += a.proc.HB.Count()
+			a.res.Work += a.proc.WorkDone()
 			for _, t := range a.proc.Threads {
 				a.res.Migrations += t.Migrations()
 			}
 		}
+		a.res.Queued = a.fapp.EverQueued()
+		a.res.NodeMigrations = a.fapp.Migrations()
+		if a.node != nil {
+			a.res.Node = a.node.rn.name
+		}
+		// Skipped = the app never ran at all: no live incarnation at the
+		// end, no departure, and nothing banked by a torn-down one (an
+		// app evicted mid-migration and never re-admitted is not
+		// "skipped" — it ran; its Queued flag records the stall).
+		if a.res.Arrived && a.proc == nil && !a.res.Departed &&
+			a.doneBeats == 0 && a.doneWork == 0 {
+			a.res.Skipped = true
+			res.DroppedArrivals++
+		}
 		res.Apps = append(res.Apps, a.res)
 	}
-	if res.Managers == nil && isHARS(sc.Manager) {
-		res.Managers = make(map[string]*core.Manager)
-		for _, a := range e.apps {
-			if a.mgr != nil {
-				res.Managers[a.res.Name] = a.mgr
+	for _, a := range e.apps {
+		if a.mgr != nil {
+			if res.Managers == nil {
+				res.Managers = make(map[string]*core.Manager)
 			}
+			res.Managers[a.res.Name] = a.mgr
 		}
 	}
-	return res, nil
-}
-
-func isHARS(mgr string) bool {
-	return mgr == ManagerHARSI || mgr == ManagerHARSE || mgr == ManagerHARSEI
+	return res
 }
 
 // buildActions folds arrivals, departures, and events into one ordered
@@ -347,7 +539,8 @@ func (e *engine) buildActions() []action {
 func (e *engine) apply(act action) {
 	switch {
 	case act.app != nil && act.prio == prioArrive:
-		e.arrive(act.app)
+		act.app.res.Arrived = true
+		e.sched.Arrive(act.app.fapp)
 	case act.app != nil && act.prio == prioDepart:
 		e.depart(act.app)
 	default:
@@ -355,8 +548,12 @@ func (e *engine) apply(act action) {
 	}
 }
 
-func (e *engine) arrive(a *appRun) {
-	a.res.Arrived = true
+// Admit implements fleet.Host: spawn the application on the chosen node and
+// attach its runtime management. Called by the scheduler at arrival, at
+// queue drain, and on the destination side of a migration.
+func (e *engine) Admit(n *fleet.Node, app *fleet.App) bool {
+	a := app.Payload.(*appRun)
+	nr := e.nodes[n.ID]
 	b, _ := workload.ByShort(a.spec.Bench)
 	threads := a.spec.Threads
 	if threads <= 0 {
@@ -366,17 +563,16 @@ func (e *engine) arrive(a *appRun) {
 	if window <= 0 {
 		window = 10
 	}
-	tgt := e.target(a.spec.Target, a.spec.TargetFrac, a.spec.Bench, threads)
+	tgtSpec, tgtFrac := a.targetSpec()
+	tgt := e.target(tgtSpec, tgtFrac, a.spec.Bench, threads, nr)
 
-	if e.mp != nil {
-		// MP-HARS owns the core partition: an arrival with no free core
-		// anywhere is skipped (never spawned) instead of trampling other
-		// applications' partitions.
-		e.mp.ReconcilePlatform(e.m)
-		freeB, freeL := e.mp.FreeCores(hmp.Big), e.mp.FreeCores(hmp.Little)
+	if nr.mp != nil {
+		// MP-HARS owns the core partition: admission requires a free core
+		// somewhere (the scheduler's CanAdmit checked it; capacity cannot
+		// change in between, but stay defensive).
+		freeB, freeL := nr.mp.FreeCores(hmp.Big), nr.mp.FreeCores(hmp.Little)
 		if freeB+freeL == 0 {
-			a.res.Skipped = true
-			return
+			return false
 		}
 		initB := minInt(intOr(a.spec.InitBig, 1), freeB)
 		initL := minInt(intOr(a.spec.InitLittle, 1), freeL)
@@ -388,17 +584,25 @@ func (e *engine) arrive(a *appRun) {
 			}
 		}
 		a.prog = b.New(threads)
-		a.proc = e.m.Spawn(a.spec.Name, a.prog, window)
-		e.mp.Register(e.m, a.proc, tgt, initB, initL)
-		return
+		a.applyPhaseScale()
+		a.proc = nr.m.Spawn(a.spec.Name, a.prog, window)
+		nr.mp.Register(nr.m, a.proc, tgt, initB, initL)
+		a.node = nr
+		app.Proc = a.proc
+		// No applyAffinity here: validation rejects affinity masks on
+		// managed candidate nodes — MP-HARS owns its apps' masks.
+		return true
 	}
 
 	a.prog = b.New(threads)
-	a.proc = e.m.Spawn(a.spec.Name, a.prog, window)
-	switch e.sc.Manager {
+	a.applyPhaseScale()
+	a.proc = nr.m.Spawn(a.spec.Name, a.prog, window)
+	a.node = nr
+	app.Proc = a.proc
+	switch nr.rn.manager {
 	case ManagerHARSI, ManagerHARSE, ManagerHARSEI:
 		v := core.HARSI
-		switch e.sc.Manager {
+		switch nr.rn.manager {
 		case ManagerHARSE:
 			v = core.HARSE
 		case ManagerHARSEI:
@@ -406,68 +610,145 @@ func (e *engine) arrive(a *appRun) {
 		}
 		// Start from the maximum state the *current* platform supports, so
 		// an arrival after hotplug or capping begins inside bounds.
-		st := hmp.MaxState(e.plat)
-		bd := core.MachineBounds(e.m)
+		st := hmp.MaxState(nr.rn.plat)
+		bd := core.MachineBounds(nr.m)
 		st.BigCores = minInt(st.BigCores, bd.MaxBigCores)
 		st.LittleCores = minInt(st.LittleCores, bd.MaxLittleCores)
 		st.BigLevel = minInt(st.BigLevel, bd.BigLevelCap-1)
 		st.LittleLevel = minInt(st.LittleLevel, bd.LittleLevelCap-1)
-		a.mgr = core.NewManager(e.m, a.proc, e.model, tgt, core.Config{
+		a.mgr = core.NewManager(nr.m, a.proc, nr.model, tgt, core.Config{
 			Version:     v,
-			AdaptEvery:  e.sc.AdaptEvery,
-			OverheadCPU: e.sc.OverheadCPU,
+			AdaptEvery:  nr.rn.adaptEvery,
+			OverheadCPU: nr.rn.overheadCPU,
 			InitState:   &st,
 		})
-		e.m.AddDaemon(a.mgr)
+		nr.m.AddDaemon(a.mgr)
 	default:
 		a.proc.HB.SetTarget(tgt)
+		e.applyAffinity(a)
+	}
+	return true
+}
+
+// applyPhaseScale re-applies the last scripted workload phase scale to a
+// fresh incarnation's program (migrations and delayed admissions must not
+// revert a phase event).
+func (a *appRun) applyPhaseScale() {
+	if a.curScale <= 0 {
+		return
+	}
+	if ps, ok := a.prog.(workload.PhaseScalable); ok {
+		ps.SetPhaseScale(a.curScale)
 	}
 }
 
+// applyAffinity installs the app's static affinity mask on every thread
+// (validation restricted the field to unmanaged nodes, where the placer is
+// the only authority moving threads — it honours the mask on every
+// placement and hotplug re-placement).
+func (e *engine) applyAffinity(a *appRun) {
+	if len(a.spec.Affinity) == 0 {
+		return
+	}
+	mask := hmp.MaskOf(a.spec.Affinity...)
+	for i := range a.proc.Threads {
+		a.proc.SetAffinity(i, mask)
+	}
+}
+
+// Evict implements fleet.Host: tear the application down on its node for a
+// migration, banking the incarnation's statistics.
+func (e *engine) Evict(n *fleet.Node, app *fleet.App) {
+	a := app.Payload.(*appRun)
+	nr := e.nodes[n.ID]
+	a.doneBeats += a.proc.HB.Count()
+	a.doneWork += a.proc.WorkDone()
+	for _, t := range a.proc.Threads {
+		a.doneMig += t.Migrations()
+	}
+	if nr.mp != nil {
+		nr.mp.Unregister(nr.m, a.proc)
+	}
+	if a.mgr != nil {
+		nr.m.RemoveDaemon(a.mgr)
+		a.mgr = nil
+	}
+	nr.m.Kill(a.proc)
+	a.proc = nil
+	a.node = nil
+	app.Proc = nil
+}
+
 func (e *engine) depart(a *appRun) {
-	if a.proc == nil || a.res.Departed {
+	if a.res.Departed {
+		return
+	}
+	if a.fapp.Queued() {
+		// Departure of a still-queued arrival cancels it: it never ran, so
+		// it stays "skipped" (dropped), not "departed".
+		e.sched.Depart(a.fapp)
+		return
+	}
+	if a.proc == nil {
 		return
 	}
 	a.res.Departed = true
-	if e.mp != nil {
-		e.mp.Unregister(e.m, a.proc)
+	a.res.Node = a.node.rn.name
+	if a.node.mp != nil {
+		a.node.mp.Unregister(a.node.m, a.proc)
 	}
 	if a.mgr != nil {
-		e.m.RemoveDaemon(a.mgr)
+		a.node.m.RemoveDaemon(a.mgr)
 	}
-	e.m.Kill(a.proc)
+	a.node.m.Kill(a.proc)
+	e.sched.Depart(a.fapp)
 }
 
 func (e *engine) event(ev *Event) {
 	switch ev.Kind {
-	case KindHotplug:
-		e.m.SetCoreOnline(ev.CPU, *ev.Online)
-		if e.mp != nil {
-			e.mp.ReconcilePlatform(e.m)
+	case KindHotplug, KindDVFSCap:
+		nr := e.nodes[0]
+		if ev.Node != "" {
+			nr = e.nodeRunByName(ev.Node)
 		}
-	case KindDVFSCap:
-		k, _ := parseCluster(ev.Cluster)
-		e.m.SetLevelCap(k, ev.MaxLevel)
-		if e.mp != nil {
-			e.mp.ReconcilePlatform(e.m)
+		if ev.Kind == KindHotplug {
+			nr.m.SetCoreOnline(ev.CPU, *ev.Online)
+		} else {
+			k, _ := parseCluster(ev.Cluster)
+			nr.m.SetLevelCap(k, ev.MaxLevel)
+		}
+		if nr.mp != nil {
+			nr.mp.ReconcilePlatform(nr.m)
 		}
 	case KindTarget:
 		a := e.appByName(ev.App)
-		if a == nil || a.proc == nil || a.res.Departed {
+		if a == nil || a.res.Departed || !a.res.Arrived {
+			// Events before the arrival are dropped, as they always were;
+			// recording starts once the arrival has fired.
 			return
 		}
-		tgt := e.target(ev.Target, ev.Frac, a.spec.Bench, threadsOf(a))
+		// Record the change even while the app waits in the admission
+		// queue: the eventual (or any re-) admission applies it.
+		a.curTarget, a.curFrac = ev.Target, ev.Frac
+		if a.proc == nil {
+			return
+		}
+		tgt := e.target(ev.Target, ev.Frac, a.spec.Bench, threadsOf(a), a.node)
 		switch {
 		case a.mgr != nil:
 			a.mgr.SetTarget(tgt)
-		case e.mp != nil:
-			e.mp.SetTarget(a.proc, tgt)
+		case a.node.mp != nil:
+			a.node.mp.SetTarget(a.proc, tgt)
 		default:
 			a.proc.HB.SetTarget(tgt)
 		}
 	case KindPhase:
 		a := e.appByName(ev.App)
-		if a == nil || a.prog == nil || a.res.Departed {
+		if a == nil || a.res.Departed || !a.res.Arrived {
+			return
+		}
+		a.curScale = ev.Scale
+		if a.prog == nil {
 			return
 		}
 		if ps, ok := a.prog.(workload.PhaseScalable); ok {
@@ -493,22 +774,24 @@ func threadsOf(a *appRun) int {
 }
 
 // target resolves a target spec: explicit band, or frac of the benchmark's
-// maximum rate with the paper's ±5% band.
-func (e *engine) target(explicit *TargetSpec, frac float64, bench string, threads int) heartbeat.Target {
+// maximum rate (on the node the app runs on) with the paper's ±5% band.
+func (e *engine) target(explicit *TargetSpec, frac float64, bench string, threads int, nr *nodeRun) heartbeat.Target {
 	if explicit != nil {
 		return heartbeat.Target{Min: explicit.Min, Avg: explicit.Avg, Max: explicit.Max}
 	}
 	if frac <= 0 {
 		frac = 0.5
 	}
-	return heartbeat.TargetAround(e.maxRate(bench, threads), frac, 0.05)
+	return heartbeat.TargetAround(e.maxRate(bench, threads, nr), frac, 0.05)
 }
 
 // maxRate measures (and caches) a benchmark's maximum achievable heartbeat
-// rate: a short unmanaged run under the GTS scheduler at the platform
-// maximum, mirroring the experiments environment's calibration.
-func (e *engine) maxRate(bench string, threads int) float64 {
-	key := fmt.Sprintf("%s/%d", bench, threads)
+// rate on one node's platform: a short unmanaged run under the GTS
+// scheduler at the platform maximum, mirroring the experiments
+// environment's calibration. The cache keys on the platform instance, so
+// nodes sharing a platform (every default-board node) calibrate once.
+func (e *engine) maxRate(bench string, threads int, nr *nodeRun) float64 {
+	key := fmt.Sprintf("%s/%d/%p", bench, threads, nr.rn.plat)
 	if r, ok := e.rates[key]; ok {
 		return r
 	}
@@ -517,8 +800,8 @@ func (e *engine) maxRate(bench string, threads int) float64 {
 		r = e.opts.MaxRate(bench, threads)
 	} else {
 		b, _ := workload.ByShort(bench)
-		cm := sim.New(e.plat, sim.Config{})
-		cm.SetPlacer(gts.New(e.plat))
+		cm := sim.New(nr.rn.plat, sim.Config{})
+		cm.SetPlacer(gts.New(nr.rn.plat))
 		p := cm.Spawn(b.Name, b.New(threads), 10)
 		cm.Run(20 * sim.Second)
 		r = p.HB.RateOver(8*sim.Second, cm.Now())
@@ -527,58 +810,106 @@ func (e *engine) maxRate(bench string, threads int) float64 {
 	return r
 }
 
-// sample emits one trace sample: a machine line plus one line per spawned
-// application. Floats are rendered with %x so the trace is exact and
-// byte-stable.
+// sample emits one trace sample. Floats are rendered with %x so the trace
+// is exact and byte-stable. The single-machine format is the historical
+// one; multi-node runs emit one "n" (and "h") line per node, node-tagged
+// "a" lines, and an "f" fleet rollup line.
 func (e *engine) sample() {
 	e.samples++
-	tms := e.m.Now() / sim.Millisecond
-	fmt.Fprintf(e.out, "m,%d,%x,%d,%d,%d,%d,%x,%d\n",
-		tms, uint64(e.m.OnlineMask()),
-		e.m.Level(hmp.Big), e.m.Level(hmp.Little),
-		e.m.LevelCap(hmp.Big), e.m.LevelCap(hmp.Little),
-		e.m.EnergyJ(), e.m.Overhead())
-	if e.gov != nil {
-		fmt.Fprintf(e.out, "h,%d,%x,%x,%d,%d,%d,%d\n",
-			tms, e.gov.TempC(hmp.Big), e.gov.TempC(hmp.Little),
-			e.m.LevelCap(hmp.Big), e.m.LevelCap(hmp.Little),
-			e.gov.Throttles(), e.gov.Releases())
+	tms := e.fl.Now() / sim.Millisecond
+	if !e.fleetMode {
+		nr := e.nodes[0]
+		fmt.Fprintf(e.out, "m,%d,%x,%d,%d,%d,%d,%x,%d\n",
+			tms, uint64(nr.m.OnlineMask()),
+			nr.m.Level(hmp.Big), nr.m.Level(hmp.Little),
+			nr.m.LevelCap(hmp.Big), nr.m.LevelCap(hmp.Little),
+			nr.m.EnergyJ(), nr.m.Overhead())
+		if nr.gov != nil {
+			fmt.Fprintf(e.out, "h,%d,%x,%x,%d,%d,%d,%d\n",
+				tms, nr.gov.TempC(hmp.Big), nr.gov.TempC(hmp.Little),
+				nr.m.LevelCap(hmp.Big), nr.m.LevelCap(hmp.Little),
+				nr.gov.Throttles(), nr.gov.Releases())
+		}
+		for _, a := range e.apps {
+			if a.proc == nil {
+				continue
+			}
+			rate := 0.0
+			if rec, ok := a.proc.HB.Latest(); ok {
+				rate = rec.WindowRate
+			}
+			mig := 0
+			for _, t := range a.proc.Threads {
+				mig += t.Migrations()
+			}
+			fmt.Fprintf(e.out, "a,%d,%s,%d,%x,%x,%d\n",
+				tms, a.spec.Name, a.proc.HB.Count(), rate, a.proc.WorkDone(), mig)
+		}
+		return
 	}
+
+	for _, nr := range e.nodes {
+		fmt.Fprintf(e.out, "n,%d,%s,%x,%d,%d,%d,%d,%x,%d\n",
+			tms, nr.rn.name, uint64(nr.m.OnlineMask()),
+			nr.m.Level(hmp.Big), nr.m.Level(hmp.Little),
+			nr.m.LevelCap(hmp.Big), nr.m.LevelCap(hmp.Little),
+			nr.m.EnergyJ(), nr.m.Overhead())
+		if nr.gov != nil {
+			fmt.Fprintf(e.out, "h,%d,%s,%x,%x,%d,%d,%d,%d\n",
+				tms, nr.rn.name, nr.gov.TempC(hmp.Big), nr.gov.TempC(hmp.Little),
+				nr.m.LevelCap(hmp.Big), nr.m.LevelCap(hmp.Little),
+				nr.gov.Throttles(), nr.gov.Releases())
+		}
+	}
+	running := 0
 	for _, a := range e.apps {
 		if a.proc == nil {
 			continue
+		}
+		if !a.proc.Exited() {
+			running++
 		}
 		rate := 0.0
 		if rec, ok := a.proc.HB.Latest(); ok {
 			rate = rec.WindowRate
 		}
-		mig := 0
+		mig := a.doneMig
 		for _, t := range a.proc.Threads {
 			mig += t.Migrations()
 		}
-		fmt.Fprintf(e.out, "a,%d,%s,%d,%x,%x,%d\n",
-			tms, a.spec.Name, a.proc.HB.Count(), rate, a.proc.WorkDone(), mig)
+		fmt.Fprintf(e.out, "a,%d,%s,%s,%d,%x,%x,%d,%d\n",
+			tms, a.node.rn.name, a.spec.Name, a.doneBeats+a.proc.HB.Count(),
+			rate, a.doneWork+a.proc.WorkDone(), mig, a.fapp.Migrations())
 	}
+	stats := e.sched.Stats()
+	fmt.Fprintf(e.out, "f,%d,%d,%d,%x,%x,%d,%d\n",
+		tms, running, stats.QueueLen, e.fl.HPS(), e.fl.EnergyJ(), e.fl.Overhead(), stats.Migrations)
 }
 
-// checkStrict verifies the run-time invariants Strict mode promises.
+// checkStrict verifies the run-time invariants Strict mode promises, on
+// every node, plus the fleet scheduler's conservation invariants.
 func (e *engine) checkStrict() error {
-	for _, t := range e.m.Threads() {
-		if t.Runnable() && t.Core() >= 0 && !e.m.CoreOnline(t.Core()) {
-			return fmt.Errorf("scenario: t=%d: runnable thread %s/%d on offline cpu %d",
-				e.m.Now(), t.Proc.Name, t.Local, t.Core())
+	for _, nr := range e.nodes {
+		for _, t := range nr.m.Threads() {
+			if t.Runnable() && t.Core() >= 0 && !nr.m.CoreOnline(t.Core()) {
+				return fmt.Errorf("scenario: t=%d: node %q: runnable thread %s/%d on offline cpu %d",
+					e.fl.Now(), nr.rn.name, t.Proc.Name, t.Local, t.Core())
+			}
+		}
+		for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+			if nr.m.Level(k) > nr.m.LevelCap(k) {
+				return fmt.Errorf("scenario: t=%d: node %q: cluster %s at level %d above ceiling %d",
+					e.fl.Now(), nr.rn.name, k, nr.m.Level(k), nr.m.LevelCap(k))
+			}
+		}
+		if nr.mp != nil {
+			if err := nr.mp.CheckInvariants(); err != nil {
+				return fmt.Errorf("scenario: t=%d: node %q: %w", e.fl.Now(), nr.rn.name, err)
+			}
 		}
 	}
-	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
-		if e.m.Level(k) > e.m.LevelCap(k) {
-			return fmt.Errorf("scenario: t=%d: cluster %s at level %d above ceiling %d",
-				e.m.Now(), k, e.m.Level(k), e.m.LevelCap(k))
-		}
-	}
-	if e.mp != nil {
-		if err := e.mp.CheckInvariants(); err != nil {
-			return fmt.Errorf("scenario: t=%d: %w", e.m.Now(), err)
-		}
+	if err := e.sched.CheckInvariants(); err != nil {
+		return fmt.Errorf("scenario: t=%d: %w", e.fl.Now(), err)
 	}
 	return nil
 }

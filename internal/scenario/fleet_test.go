@@ -1,0 +1,524 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hmp"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+)
+
+// littleHeavyPlatform returns a custom board with 2 big and 6 little cores,
+// for heterogeneous fleets.
+func littleHeavyPlatform() *hmp.Platform {
+	p := hmp.Default()
+	p.Clusters[hmp.Big].Cores = 2
+	p.Clusters[hmp.Little].Cores = 6
+	return p
+}
+
+// tinyPlatform returns a 1 big + 1 little board one 1+1 registration
+// saturates.
+func tinyPlatform() *hmp.Platform {
+	p := hmp.Default()
+	p.Clusters[hmp.Big].Cores = 1
+	p.Clusters[hmp.Little].Cores = 1
+	return p
+}
+
+// threeNodeScenario is the acceptance-criteria fleet: three heterogeneous
+// nodes, staggered arrivals and departures, and per-node platform events.
+func threeNodeScenario(placement string) *Scenario {
+	return &Scenario{
+		Name:       "fleet-3",
+		Manager:    ManagerMPHARSI,
+		DurationMS: 8000,
+		AdaptEvery: 2,
+		Placement:  placement,
+		Nodes: []NodeSpec{
+			{Name: "n0"},
+			{Name: "n1", Platform: littleHeavyPlatform()},
+			{Name: "n2", Platform: tinyPlatform(), Manager: ManagerHARSE},
+		},
+		Apps: []AppSpec{
+			{Name: "sw0", Bench: "SW", Threads: 8, TargetFrac: 0.5},
+			{Name: "fe0", Bench: "FE", Threads: 4, StartMS: 1000, StopMS: 6000, TargetFrac: 0.4},
+			{Name: "bo0", Bench: "BO", Threads: 4, StartMS: 2000,
+				Target: &TargetSpec{Min: 1.0, Avg: 2.0, Max: 3.0}},
+			{Name: "fl0", Bench: "FL", Threads: 4, StartMS: 3000, TargetFrac: 0.3, Node: "n1"},
+		},
+		Events: []Event{
+			{AtMS: 2500, Kind: KindHotplug, Node: "n0", CPU: 7, Online: boolPtr(false)},
+			{AtMS: 5500, Kind: KindHotplug, Node: "n0", CPU: 7, Online: boolPtr(true)},
+			{AtMS: 3000, Kind: KindDVFSCap, Node: "n1", Cluster: "big", MaxLevel: 4},
+			{AtMS: 4000, Kind: KindTarget, App: "sw0", Frac: 0.7},
+			{AtMS: 4500, Kind: KindPhase, App: "fe0", Scale: 1.5},
+		},
+	}
+}
+
+func boolPtr(b bool) *bool { return &b }
+
+// TestFleetReplayByteIdentical pins the acceptance criterion: a ≥3-node
+// heterogeneous fleet scenario replays byte-identically across every
+// placement policy.
+func TestFleetReplayByteIdentical(t *testing.T) {
+	for _, placement := range []string{"least-loaded", "big-first", "coolest"} {
+		var first uint64
+		for rep := 0; rep < 2; rep++ {
+			res, err := Run(threeNodeScenario(placement), Options{Strict: true})
+			if err != nil {
+				t.Fatalf("%s rep %d: %v", placement, rep, err)
+			}
+			if len(res.Nodes) != 3 {
+				t.Fatalf("%s: %d node results", placement, len(res.Nodes))
+			}
+			if rep == 0 {
+				first = res.TraceDigest
+			} else if res.TraceDigest != first {
+				t.Fatalf("%s: replay digest %016x != %016x", placement, res.TraceDigest, first)
+			}
+		}
+	}
+}
+
+// TestFleetHeatAwarePlacement pins the coolest policy end to end: under a
+// forced thermal gradient the arrival lands on the cooler node.
+func TestFleetHeatAwarePlacement(t *testing.T) {
+	sc := &Scenario{
+		Name:       "fleet-heat",
+		Manager:    ManagerMPHARSI,
+		DurationMS: 3000,
+		Placement:  "coolest",
+		Nodes: []NodeSpec{
+			{Name: "hot", Thermal: &thermal.Spec{Enabled: true, InitC: 70}},
+			{Name: "cold", Thermal: &thermal.Spec{Enabled: true, InitC: 40}},
+		},
+		Apps: []AppSpec{{Name: "sw", Bench: "SW", Threads: 4, TargetFrac: 0.4}},
+	}
+	res, err := Run(sc, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Apps[0].Node != "cold" {
+		t.Fatalf("coolest policy placed on %q", res.Apps[0].Node)
+	}
+	// The same scenario under least-loaded ties to the first node: the
+	// policy, not accident, made the difference.
+	sc.Placement = "least-loaded"
+	res, err = Run(sc, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Apps[0].Node != "hot" {
+		t.Fatalf("least-loaded tie-break placed on %q, want the first node", res.Apps[0].Node)
+	}
+}
+
+// TestFleetAdmissionQueue pins satellite admission control on a fleet: an
+// arrival with no free partition anywhere queues (instead of being
+// dropped), and is admitted the moment a departure frees cores.
+func TestFleetAdmissionQueue(t *testing.T) {
+	// The occupying app's target is unreachable, so its adaptation only
+	// ever wants to grow — it never shrinks and frees a core early.
+	wantMore := &TargetSpec{Min: 100, Avg: 120, Max: 140}
+	sc := &Scenario{
+		Name:       "fleet-queue",
+		Manager:    ManagerMPHARSI,
+		DurationMS: 10000,
+		Nodes:      []NodeSpec{{Name: "tiny", Platform: tinyPlatform()}},
+		Apps: []AppSpec{
+			{Name: "a", Bench: "FE", Threads: 4, Target: wantMore, StopMS: 6000},
+			{Name: "b", Bench: "SW", Threads: 4, Target: wantMore, StartMS: 1000},
+		},
+	}
+	res, err := Run(sc, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueuedArrivals != 1 || res.DroppedArrivals != 0 {
+		t.Fatalf("queued/dropped = %d/%d, want 1/0", res.QueuedArrivals, res.DroppedArrivals)
+	}
+	b := res.Apps[1]
+	if !b.Queued || b.Skipped {
+		t.Fatalf("app b: queued=%v skipped=%v, want queued and admitted", b.Queued, b.Skipped)
+	}
+	if b.Node != "tiny" || b.Work <= 0 {
+		t.Fatalf("app b never ran after admission: node=%q work=%v", b.Node, b.Work)
+	}
+
+	// Without the departure the queue never drains: the arrival is dropped
+	// and the counters say so.
+	sc.Apps[0].StopMS = 0
+	res, err = Run(sc, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueuedArrivals != 1 || res.DroppedArrivals != 1 {
+		t.Fatalf("queued/dropped = %d/%d, want 1/1", res.QueuedArrivals, res.DroppedArrivals)
+	}
+	if b := res.Apps[1]; !b.Skipped || !b.Queued || b.Work != 0 {
+		t.Fatalf("undrained arrival: %+v", b)
+	}
+}
+
+// TestFleetMigration pins saturation-driven migration end to end: an app
+// landing on a saturated tiny node moves to the big free node, conserving
+// its statistics across the move.
+func TestFleetMigration(t *testing.T) {
+	sc := &Scenario{
+		Name:       "fleet-migrate",
+		Manager:    ManagerMPHARSI,
+		DurationMS: 6000,
+		// least-loaded ties to node index 0 at t=0, so the app lands on
+		// the tiny node, saturates it, and the 250 ms saturation check
+		// moves it to the empty default node.
+		Nodes: []NodeSpec{
+			{Name: "tiny", Platform: tinyPlatform()},
+			{Name: "dflt"},
+		},
+		Apps: []AppSpec{{Name: "sw", Bench: "SW", Threads: 4, TargetFrac: 0.4}},
+	}
+	res, err := Run(sc, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Apps[0]
+	if res.NodeMigrations != 1 || a.NodeMigrations != 1 {
+		t.Fatalf("node migrations = %d (app %d), want 1", res.NodeMigrations, a.NodeMigrations)
+	}
+	if a.Node != "dflt" {
+		t.Fatalf("app ended on %q, want dflt", a.Node)
+	}
+	if a.Work <= 0 {
+		t.Fatal("no work after migration")
+	}
+	// The tiny node's machine holds only the dead incarnation.
+	for _, p := range res.Nodes[0].Machine.Procs() {
+		if !p.Exited() {
+			t.Fatalf("live process %q left on the source node", p.Name)
+		}
+	}
+
+	// A scripted target change before the migration must survive the
+	// respawn on the destination node (the new incarnation re-applies the
+	// runtime target instead of reverting to the spec).
+	retgt := &TargetSpec{Min: 7.0, Avg: 8.0, Max: 9.0}
+	sc.Events = []Event{{AtMS: 100, Kind: KindTarget, App: "sw", Target: retgt}}
+	res, err = Run(sc, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeMigrations != 1 {
+		t.Fatalf("migration did not fire with the target event: %d moves", res.NodeMigrations)
+	}
+	var live *sim.Process
+	for _, p := range res.Nodes[1].Machine.Procs() {
+		if p.Name == "sw" && !p.Exited() {
+			live = p
+		}
+	}
+	if live == nil {
+		t.Fatal("no live incarnation on the destination node")
+	}
+	if got := live.HB.Target(); got.Min != retgt.Min || got.Avg != retgt.Avg || got.Max != retgt.Max {
+		t.Fatalf("migrated incarnation reverted to the spec target: %+v", got)
+	}
+
+	// An app that would saturate any node it lands on must NOT ping-pong
+	// between two equal nodes: migration requires a destination with
+	// strictly more free cores than the victim holds.
+	greedy := &Scenario{
+		Name:       "fleet-no-pingpong",
+		Manager:    ManagerMPHARSI,
+		DurationMS: 10000,
+		Nodes:      []NodeSpec{{Name: "n0"}, {Name: "n1"}},
+		Apps: []AppSpec{{
+			Name: "sw", Bench: "SW", Threads: 8,
+			InitBig: IntPtr(4), InitLittle: IntPtr(4),
+			Target: &TargetSpec{Min: 100, Avg: 120, Max: 140}, // unreachable: stays maximal
+		}},
+	}
+	gres, err := Run(greedy, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.NodeMigrations != 0 {
+		t.Fatalf("saturating app ping-ponged: %d moves", gres.NodeMigrations)
+	}
+	if gres.Apps[0].Work <= 0 {
+		t.Fatal("saturating app made no progress")
+	}
+
+	// Disabling migration keeps the app on the tiny node.
+	sc.MigrateEveryMS = -1
+	res, err = Run(sc, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeMigrations != 0 || res.Apps[0].Node != "tiny" {
+		t.Fatalf("migration fired while disabled: %d moves, node %q",
+			res.NodeMigrations, res.Apps[0].Node)
+	}
+}
+
+// TestAffinityPinning pins the per-app affinity satellite: threads stay
+// inside the mask for the whole run, across hotplug of a masked core.
+func TestAffinityPinning(t *testing.T) {
+	sc := &Scenario{
+		Name:       "affinity",
+		Manager:    ManagerNone,
+		DurationMS: 5000,
+		Apps: []AppSpec{
+			{Name: "sw", Bench: "SW", Threads: 4, Affinity: []int{2, 3}},
+			{Name: "fe", Bench: "FE", Threads: 4},
+		},
+		Events: []Event{
+			{AtMS: 1000, Kind: KindHotplug, CPU: 3, Online: boolPtr(false)},
+			{AtMS: 3000, Kind: KindHotplug, CPU: 3, Online: boolPtr(true)},
+		},
+	}
+	mask := hmp.MaskOf(2, 3)
+	chk := func(m *sim.Machine) {
+		for _, th := range m.Threads() {
+			if th.Proc.Name != "sw" {
+				continue
+			}
+			if th.Affinity() != mask {
+				t.Fatalf("t=%d: thread %d affinity %x, want %x", m.Now(), th.Local, th.Affinity(), mask)
+			}
+			if th.Runnable() && th.Core() >= 0 && !mask.Has(th.Core()) {
+				t.Fatalf("t=%d: thread %d placed on cpu %d outside the mask", m.Now(), th.Local, th.Core())
+			}
+		}
+	}
+	res, err := Run(sc, Options{Strict: true, PerTick: chk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Apps[0].Work <= 0 {
+		t.Fatal("pinned app did no work")
+	}
+}
+
+// TestFleetValidation covers the nodes-format error paths.
+func TestFleetValidation(t *testing.T) {
+	base := func() *Scenario { return threeNodeScenario("") }
+	cases := []struct {
+		name string
+		mod  func(*Scenario)
+		want string
+	}{
+		{"placement without nodes", func(sc *Scenario) { sc.Nodes = nil; sc.Events = nil }, "needs a nodes list"},
+		{"unknown placement", func(sc *Scenario) { sc.Placement = "hottest" }, "unknown placement policy"},
+		{"duplicate node", func(sc *Scenario) { sc.Nodes[1].Name = "n0" }, "duplicate node name"},
+		{"nameless node", func(sc *Scenario) { sc.Nodes[0].Name = "" }, "has no name"},
+		{"unknown node manager", func(sc *Scenario) { sc.Nodes[0].Manager = "cfs" }, "unknown manager"},
+		{"unknown app pin", func(sc *Scenario) { sc.Apps[0].Node = "n9" }, "unknown node"},
+		{"event without node", func(sc *Scenario) { sc.Events[0].Node = "" }, "needs a node"},
+		{"event unknown node", func(sc *Scenario) { sc.Events[0].Node = "n9" }, "unknown node"},
+		{"app event with node", func(sc *Scenario) { sc.Events[3].Node = "n0" }, "address an app"},
+		{"hotplug outside node platform", func(sc *Scenario) {
+			sc.Events[0].Node = "n2" // tiny board: 2 CPUs, event uses CPU 7
+		}, "outside the platform"},
+		{"cap outside node grid", func(sc *Scenario) { sc.Events[2].MaxLevel = 12 }, "outside the big grid"},
+		{"affinity on managed node", func(sc *Scenario) { sc.Apps[0].Affinity = []int{0} }, "unmanaged"},
+		{"affinity cpu out of range", func(sc *Scenario) {
+			for i := range sc.Nodes {
+				sc.Nodes[i].Manager = ManagerGTS
+			}
+			sc.Manager = ManagerGTS
+			sc.Apps[0].Affinity = []int{7} // tiny node has 2 CPUs
+		}, "outside candidate node platforms"},
+		{"duplicate affinity cpu", func(sc *Scenario) {
+			sc.Manager = ManagerGTS
+			for i := range sc.Nodes {
+				sc.Nodes[i].Manager = ManagerGTS
+			}
+			sc.Apps[0].Affinity = []int{1, 1}
+		}, "duplicate affinity"},
+		{"init outside every candidate", func(sc *Scenario) {
+			sc.Apps[0].Node = "n2"
+			sc.Apps[0].InitBig = IntPtr(3) // tiny board has 1 big core
+		}, "outside every candidate"},
+		{"hotplug starves an affinity mask", func(sc *Scenario) {
+			sc.Manager = ManagerGTS
+			for i := range sc.Nodes {
+				sc.Nodes[i].Manager = ManagerGTS
+			}
+			// The mask is valid on every node, but n0's scripted hotplug
+			// takes CPU 7 — the app's only affine core — offline.
+			sc.Apps[0].Affinity = []int{7}
+			sc.Apps[0].Node = "n0"
+			sc.Events = sc.Events[:2] // keep only the n0 hotplug pair
+		}, "every affinity cpu"},
+		{"node hotplug strands", func(sc *Scenario) {
+			sc.Events = append(sc.Events,
+				Event{AtMS: 100, Kind: KindHotplug, Node: "n2", CPU: 0, Online: boolPtr(false)},
+				Event{AtMS: 200, Kind: KindHotplug, Node: "n2", CPU: 1, Online: boolPtr(false)})
+		}, "last core offline"},
+		{"bad node platform", func(sc *Scenario) {
+			p := hmp.Default()
+			p.Clusters[hmp.Big].Cores = 0
+			sc.Nodes[0].Platform = p
+		}, "has 0 cores"},
+		{"node thermal vs cap", func(sc *Scenario) {
+			sc.Nodes[1].Thermal = &thermal.Spec{Enabled: true}
+		}, "dvfs_cap conflicts"},
+		{"migrate_every without nodes", func(sc *Scenario) {
+			sc.Nodes = nil
+			sc.Events = nil
+			sc.Placement = ""
+			sc.MigrateEveryMS = 100
+		}, "needs a nodes list"},
+	}
+	for _, tc := range cases {
+		sc := base()
+		tc.mod(sc)
+		err := sc.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+
+	// A valid fleet scenario round-trips through JSON with nodes intact.
+	sc := base()
+	var buf strings.Builder
+	if err := sc.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Decode(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Nodes) != 3 || again.Nodes[1].Platform.Clusters[hmp.Little].Cores != 6 {
+		t.Fatalf("nodes did not round-trip: %+v", again.Nodes)
+	}
+}
+
+// TestLegacyAdmissionQueue pins satellite admission control on the classic
+// single-machine MP-HARS path: a saturated-platform arrival queues and is
+// admitted when a departure frees a partition, instead of being silently
+// skipped.
+func TestLegacyAdmissionQueue(t *testing.T) {
+	sc := &Scenario{
+		Name:       "legacy-queue",
+		Manager:    ManagerMPHARSI,
+		DurationMS: 12000,
+		Apps: []AppSpec{
+			{Name: "a0", Bench: "SW", Threads: 4, TargetFrac: 0.4,
+				InitBig: IntPtr(2), InitLittle: IntPtr(2), StopMS: 6000},
+			{Name: "a1", Bench: "FE", Threads: 4, TargetFrac: 0.4,
+				InitBig: IntPtr(2), InitLittle: IntPtr(2)},
+			{Name: "a2", Bench: "BO", Threads: 4, TargetFrac: 0.4,
+				InitBig: IntPtr(0), InitLittle: IntPtr(0), StartMS: 1000},
+		},
+	}
+	// a0 and a1 fill the 4+4 board (2+2 each); a2 (explicit 0+0 still
+	// claims one core on admission) must queue until a0 departs.
+	sc.Apps[2].InitBig = IntPtr(2)
+	sc.Apps[2].InitLittle = IntPtr(2)
+	res, err := Run(sc, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueuedArrivals != 1 || res.DroppedArrivals != 0 {
+		t.Fatalf("queued/dropped = %d/%d, want 1/0", res.QueuedArrivals, res.DroppedArrivals)
+	}
+	a2 := res.Apps[2]
+	if !a2.Queued || a2.Skipped || a2.Work <= 0 {
+		t.Fatalf("queued arrival not admitted: %+v", a2)
+	}
+	if res.MP == nil {
+		t.Fatal("legacy result lost its MP manager")
+	}
+	if len(res.Nodes) != 1 || res.Nodes[0].Machine != res.Machine {
+		t.Fatal("legacy result should expose exactly its one node")
+	}
+}
+
+// fleetChecker runs the per-machine invariant checks of property_test.go on
+// every node of a fleet (PerTick fires once per node per tick).
+type fleetChecker struct {
+	per map[*sim.Machine]*machineInvariants
+}
+
+func (c *fleetChecker) tick(m *sim.Machine) {
+	if c.per == nil {
+		c.per = make(map[*sim.Machine]*machineInvariants)
+	}
+	mi := c.per[m]
+	if mi == nil {
+		mi = &machineInvariants{}
+		c.per[m] = mi
+	}
+	mi.tick(m)
+}
+
+func (c *fleetChecker) err() error {
+	for _, mi := range c.per {
+		if mi.err != nil {
+			return mi.err
+		}
+	}
+	return nil
+}
+
+// TestFleetPropertySeeds drives seeded random fleet scenarios through every
+// placement policy with strict checks on: per-node machine invariants, the
+// MP-HARS partitioning invariants, the scheduler's conservation invariants,
+// and post-run app/incarnation consistency.
+func TestFleetPropertySeeds(t *testing.T) {
+	seeds := 4
+	if testing.Short() {
+		seeds = 2
+	}
+	for _, placement := range []string{"least-loaded", "big-first", "coolest"} {
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			sc := Generate(seed, GenConfig{
+				Manager:    ManagerMPHARSI,
+				DurationMS: 8000,
+				Events:     6,
+				Nodes:      2 + int(seed%2),
+				Placement:  placement,
+			})
+			chk := &fleetChecker{}
+			res, err := Run(sc, Options{Strict: true, PerTick: chk.tick})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", placement, seed, err)
+			}
+			if err := chk.err(); err != nil {
+				t.Fatalf("%s seed %d: %v", placement, seed, err)
+			}
+			// Conservation: each app has at most one live incarnation
+			// fleet-wide; skipped and departed apps have none.
+			for _, a := range res.Apps {
+				live := 0
+				for _, nr := range res.Nodes {
+					for _, p := range nr.Machine.Procs() {
+						if p.Name == a.Name && !p.Exited() {
+							live++
+						}
+					}
+				}
+				switch {
+				case a.Skipped || a.Departed:
+					if live != 0 {
+						t.Fatalf("%s seed %d: app %s skipped/departed with %d live procs",
+							placement, seed, a.Name, live)
+					}
+				case a.Arrived:
+					if live != 1 {
+						t.Fatalf("%s seed %d: app %s has %d live procs, want 1",
+							placement, seed, a.Name, live)
+					}
+				}
+			}
+			if res.DroppedArrivals > res.QueuedArrivals {
+				t.Fatalf("%s seed %d: dropped %d > queued %d",
+					placement, seed, res.DroppedArrivals, res.QueuedArrivals)
+			}
+		}
+	}
+}

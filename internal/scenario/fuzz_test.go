@@ -18,6 +18,11 @@ func FuzzDecode(f *testing.F) {
 	if err := Generate(5, GenConfig{Manager: ManagerHARSE}).Encode(&gen); err == nil {
 		f.Add(gen.Bytes())
 	}
+	var genFleet bytes.Buffer
+	if err := Generate(7, GenConfig{Manager: ManagerMPHARSI, Nodes: 3}).Encode(&genFleet); err == nil {
+		f.Add(genFleet.Bytes())
+	}
+	f.Add([]byte(`{"manager":"mphars-i","duration_ms":100,"placement":"coolest","nodes":[{"name":"n0"},{"name":"n1","manager":"gts"}],"apps":[{"name":"a","bench":"SW","node":"n1","affinity":[0,1]}],"events":[{"at_ms":1,"kind":"hotplug","node":"n0","cpu":3,"online":false}]}`))
 	f.Add([]byte(`{"manager":"none","duration_ms":100,"apps":[{"name":"a","bench":"SW"}]}`))
 	f.Add([]byte(`{"manager":"mphars-e","duration_ms":50,"apps":[{"name":"a","bench":"FE","target":{"min":1,"avg":2,"max":3}}],"events":[{"at_ms":1,"kind":"hotplug","cpu":3,"online":false}]}`))
 	f.Add([]byte(`{"manager":"hars-e","duration_ms":5000,"apps":[{"name":"a","bench":"SW"}],"thermal":{"enabled":true,"trip_c":80,"release_c":65},"events":[{"at_ms":100,"kind":"phase","app":"a","scale":1.5,"every_ms":500,"repeat":4}]}`))

@@ -27,6 +27,15 @@ type GenConfig struct {
 	// Periodic lets target and phase events repeat via every_ms, producing
 	// pulsing load without hand-unrolled event lists.
 	Periodic bool
+
+	// Nodes > 0 generates a multi-node (fleet) scenario: Nodes machines of
+	// alternating big-heavy / little-heavy platforms, a placement policy
+	// drawn from the seed (or Placement when set), some apps pinned to a
+	// node, and platform events addressed per node.
+	Nodes int
+	// Placement fixes the fleet placement policy; empty draws one from the
+	// seed. Ignored without Nodes.
+	Placement string
 }
 
 func (c GenConfig) withDefaults() GenConfig {
@@ -66,6 +75,24 @@ func Generate(seed int64, cfg GenConfig) *Scenario {
 	if cfg.Thermal {
 		sc.Thermal = &thermal.Spec{Enabled: true}
 	}
+	if cfg.Nodes > 0 {
+		sc.Placement = cfg.Placement
+		if sc.Placement == "" {
+			sc.Placement = []string{"least-loaded", "big-first", "coolest"}[rng.Intn(3)]
+		}
+		for i := 0; i < cfg.Nodes; i++ {
+			ns := NodeSpec{Name: fmt.Sprintf("node%d", i)}
+			if i%2 == 1 {
+				// Alternate in a little-heavy board so the fleet is
+				// genuinely heterogeneous.
+				p := hmp.Default()
+				p.Clusters[hmp.Big].Cores = 2
+				p.Clusters[hmp.Little].Cores = 6
+				ns.Platform = p
+			}
+			sc.Nodes = append(sc.Nodes, ns)
+		}
+	}
 
 	nApps := 1 + rng.Intn(cfg.MaxApps)
 	for i := 0; i < nApps; i++ {
@@ -76,6 +103,9 @@ func Generate(seed int64, cfg GenConfig) *Scenario {
 			TargetFrac: 0.3 + 0.5*rng.Float64(),
 			InitBig:    IntPtr(1),
 			InitLittle: IntPtr(1),
+		}
+		if cfg.Nodes > 0 && rng.Intn(3) == 0 {
+			a.Node = sc.Nodes[rng.Intn(len(sc.Nodes))].Name
 		}
 		if i > 0 {
 			a.StartMS = rng.Int63n(cfg.DurationMS / 2)
@@ -93,33 +123,59 @@ func Generate(seed int64, cfg GenConfig) *Scenario {
 		sc.Apps = append(sc.Apps, a)
 	}
 
+	// Platform events address one node each in a fleet scenario; the
+	// per-node platform and online set drive the choices below.
+	type platTarget struct {
+		name   string
+		plat   *hmp.Platform
+		online hmp.CPUMask
+	}
+	targets := []*platTarget{{plat: plat, online: hmp.AllCPUs(plat)}}
+	if cfg.Nodes > 0 {
+		targets = targets[:0]
+		for i := range sc.Nodes {
+			p := sc.Nodes[i].Platform
+			if p == nil {
+				p = plat
+			}
+			targets = append(targets, &platTarget{
+				name: sc.Nodes[i].Name, plat: p, online: hmp.AllCPUs(p),
+			})
+		}
+	}
+
 	// Event times first (sorted), then kinds chosen chronologically while
-	// tracking the online set so hotplug never strands the machine.
+	// tracking each node's online set so hotplug never strands a machine.
 	times := make([]int64, cfg.Events)
 	for i := range times {
 		times[i] = 1 + rng.Int63n(cfg.DurationMS-1)
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
-	online := hmp.AllCPUs(plat)
 	for _, at := range times {
 		ev := Event{AtMS: at}
+		// Single-target (legacy) generation must not consume an extra RNG
+		// draw: seeded scenarios stay stable across versions.
+		tgt := targets[0]
+		if len(targets) > 1 {
+			tgt = targets[rng.Intn(len(targets))]
+		}
 		switch rng.Intn(4) {
 		case 0: // hotplug: prefer taking a core down, bring one back when thin
-			cpu := rng.Intn(plat.TotalCores())
-			if online.Has(cpu) && online.Count() > 2 {
+			cpu := rng.Intn(tgt.plat.TotalCores())
+			if tgt.online.Has(cpu) && tgt.online.Count() > 2 {
 				on := false
-				ev.Kind, ev.CPU, ev.Online = KindHotplug, cpu, &on
-				online = online.Clear(cpu)
-			} else if !online.Has(cpu) {
+				ev.Kind, ev.CPU, ev.Online, ev.Node = KindHotplug, cpu, &on, tgt.name
+				tgt.online = tgt.online.Clear(cpu)
+			} else if !tgt.online.Has(cpu) {
 				on := true
-				ev.Kind, ev.CPU, ev.Online = KindHotplug, cpu, &on
-				online = online.Set(cpu)
+				ev.Kind, ev.CPU, ev.Online, ev.Node = KindHotplug, cpu, &on, tgt.name
+				tgt.online = tgt.online.Set(cpu)
 			} else {
 				// Too few cores to take another down: cap (or pulse) instead.
-				ev = capEvent(rng, plat, cfg, sc, at)
+				ev = capEvent(rng, tgt.plat, tgt.name, cfg, sc, at)
 			}
 		case 1:
-			ev = capEvent(rng, plat, cfg, sc, at)
+			ev = capEvent(rng, tgt.plat, tgt.name, cfg, sc, at)
 		case 2:
 			a := &sc.Apps[rng.Intn(len(sc.Apps))]
 			ev.Kind, ev.App = KindTarget, a.Name
@@ -138,7 +194,7 @@ func Generate(seed int64, cfg GenConfig) *Scenario {
 	return sc
 }
 
-func capEvent(rng *rand.Rand, plat *hmp.Platform, cfg GenConfig, sc *Scenario, at int64) Event {
+func capEvent(rng *rand.Rand, plat *hmp.Platform, node string, cfg GenConfig, sc *Scenario, at int64) Event {
 	if cfg.Thermal {
 		// The governor owns the ceilings: generate a workload phase pulse
 		// instead, the load shape that actually exercises the thermal loop.
@@ -152,5 +208,5 @@ func capEvent(rng *rand.Rand, plat *hmp.Platform, cfg GenConfig, sc *Scenario, a
 	}
 	max := plat.Clusters[k].MaxLevel()
 	lvl := 1 + rng.Intn(max) // [1, max]: sometimes a real cap, sometimes a restore
-	return Event{AtMS: at, Kind: KindDVFSCap, Cluster: name, MaxLevel: lvl}
+	return Event{AtMS: at, Kind: KindDVFSCap, Cluster: name, MaxLevel: lvl, Node: node}
 }

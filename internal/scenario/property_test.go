@@ -66,6 +66,12 @@ func runSeeds(t *testing.T, manager string, seeds int) {
 		if chk.err != nil {
 			t.Fatalf("%s seed %d: %v", manager, seed, chk.err)
 		}
+		// Admission accounting: only queued arrivals can be dropped, and a
+		// skipped (never-admitted) app must have queued first.
+		if res.DroppedArrivals > res.QueuedArrivals {
+			t.Fatalf("%s seed %d: dropped %d > queued %d",
+				manager, seed, res.DroppedArrivals, res.QueuedArrivals)
+		}
 		// Post-run consistency: departed apps are dead with no runnable
 		// threads; apps that arrived (and were not skipped) made progress.
 		for i, a := range res.Apps {
@@ -73,6 +79,9 @@ func runSeeds(t *testing.T, manager string, seeds int) {
 			if a.Skipped {
 				if proc != nil {
 					t.Fatalf("%s seed %d: skipped app %s was spawned", manager, seed, a.Name)
+				}
+				if !a.Queued {
+					t.Fatalf("%s seed %d: app %s skipped without queueing", manager, seed, a.Name)
 				}
 				continue
 			}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/fleet"
 	"repro/internal/hmp"
 	"repro/internal/thermal"
 	"repro/internal/workload"
@@ -52,6 +53,44 @@ type AppSpec struct {
 	// from unset (default 1+1).
 	InitBig    *int `json:"init_big,omitempty"`
 	InitLittle *int `json:"init_little,omitempty"`
+
+	// Node pins the application to one named node of a multi-node
+	// scenario: it is admitted there or queues there, and it never
+	// migrates. Empty = placed by the fleet's placement policy.
+	Node string `json:"node,omitempty"`
+
+	// Affinity pins the application's threads to an explicit CPU set for
+	// its whole life — the per-app affinity mask, enforced by the placer
+	// on every placement and hotplug re-placement. Only unmanaged
+	// scenarios ("none", "gts") accept it: the HARS and MP-HARS managers
+	// own their applications' affinity masks.
+	Affinity []int `json:"affinity,omitempty"`
+}
+
+// NodeSpec describes one machine of a multi-node (fleet) scenario.
+type NodeSpec struct {
+	// Name is the node's fleet-unique name; events and app pins address it.
+	Name string `json:"name"`
+
+	// Platform is the node's board description, the same JSON
+	// hmp.ReadPlatform accepts, embedded inline. Nil selects the default
+	// ODROID-XU3-like platform — so a heterogeneous fleet mixes custom
+	// and stock boards freely.
+	Platform *hmp.Platform `json:"platform,omitempty"`
+
+	// Manager is the node's runtime manager kind; empty inherits the
+	// scenario's manager.
+	Manager string `json:"manager,omitempty"`
+
+	// AdaptEvery and OverheadCPU override the scenario-level manager
+	// settings for this node (0 inherits).
+	AdaptEvery  int64 `json:"adapt_every,omitempty"`
+	OverheadCPU int   `json:"overhead_cpu,omitempty"`
+
+	// Thermal is the node's closed-loop thermal block; nil inherits the
+	// scenario-level block (which in a multi-node scenario acts as the
+	// fleet-wide default).
+	Thermal *thermal.Spec `json:"thermal,omitempty"`
 }
 
 // maxOccurrences bounds the total number of event firings a scenario may
@@ -70,6 +109,12 @@ type Event struct {
 	// load without hand-unrolled event lists.
 	EveryMS int64 `json:"every_ms,omitempty"`
 	Repeat  int   `json:"repeat,omitempty"`
+
+	// Node addresses the event to one named node of a multi-node scenario.
+	// Required for hotplug and dvfs_cap when the scenario declares nodes;
+	// app events (target, phase) address the app instead and must leave it
+	// empty.
+	Node string `json:"node,omitempty"`
 
 	// hotplug
 	CPU    int   `json:"cpu,omitempty"`
@@ -101,8 +146,27 @@ type Scenario struct {
 	// Thermal, when present and enabled, closes the thermal loop: a per-run
 	// RC temperature model plus governor daemon derives the DVFS ceilings
 	// from simulated heat (see package thermal). Enabled thermal excludes
-	// scripted dvfs_cap events — the governor owns the ceilings.
+	// scripted dvfs_cap events — the governor owns the ceilings. In a
+	// multi-node scenario this block is the fleet-wide default; nodes
+	// override it with their own.
 	Thermal *thermal.Spec `json:"thermal,omitempty"`
+
+	// Nodes turns the scenario into a multi-node (fleet) run: every entry
+	// is one machine with its own platform, manager, and thermal loop, all
+	// advancing on one deterministic clock. Arrivals are admitted to a
+	// node by the Placement policy (or their pin), queue fleet-wide when
+	// no node has a free partition, and may migrate off saturated nodes.
+	// An empty list is the classic single-machine scenario.
+	Nodes []NodeSpec `json:"nodes,omitempty"`
+
+	// Placement names the fleet placement policy: "least-loaded"
+	// (default), "big-first" (most free big-core capacity), or "coolest"
+	// (lowest modeled temperature).
+	Placement string `json:"placement,omitempty"`
+
+	// MigrateEveryMS is the period of the fleet scheduler's saturation
+	// check (0 = the 250 ms default, negative disables migration).
+	MigrateEveryMS int64 `json:"migrate_every_ms,omitempty"`
 }
 
 // Decode parses and validates a scenario document. Unknown fields are
@@ -137,138 +201,349 @@ var validManagers = map[string]bool{
 	ManagerMPHARSI: true, ManagerMPHARSE: true,
 }
 
+// resolvedNode is one machine of the run after default resolution: the
+// single legacy node of a classic scenario, or one entry of the nodes list.
+// Validation and the engine share it so they cannot drift.
+type resolvedNode struct {
+	idx         int
+	name        string // "" for the legacy single node
+	plat        *hmp.Platform
+	manager     string
+	adaptEvery  int64
+	overheadCPU int
+	thermal     *thermal.Spec // nil or disabled ⇒ no governor
+}
+
+func (rn *resolvedNode) thermalOn() bool {
+	return rn.thermal != nil && rn.thermal.Enabled
+}
+
+// resolveNodes expands the scenario's node list against defaults: a
+// scenario without nodes becomes one legacy node on plat (or the default
+// platform), a multi-node scenario resolves each entry's platform, manager,
+// and thermal block. Per-node validity (platform description, manager kind,
+// thermal spec against the node's grid) is checked here.
+func (sc *Scenario) resolveNodes(plat *hmp.Platform) ([]resolvedNode, error) {
+	if len(sc.Nodes) == 0 {
+		if plat == nil {
+			plat = hmp.Default()
+		}
+		if err := validateThermal(sc.Thermal, plat, ""); err != nil {
+			return nil, err
+		}
+		return []resolvedNode{{
+			idx: 0, plat: plat, manager: sc.Manager,
+			adaptEvery: sc.AdaptEvery, overheadCPU: sc.OverheadCPU,
+			thermal: sc.Thermal,
+		}}, nil
+	}
+	out := make([]resolvedNode, 0, len(sc.Nodes))
+	seen := make(map[string]bool, len(sc.Nodes))
+	// Nodes without their own platform share one default instance, so
+	// platform-keyed caches (the engine's max-rate calibration) dedupe
+	// across them.
+	var sharedDefault *hmp.Platform
+	for i := range sc.Nodes {
+		ns := &sc.Nodes[i]
+		if ns.Name == "" {
+			return nil, fmt.Errorf("scenario: node %d has no name", i)
+		}
+		if seen[ns.Name] {
+			return nil, fmt.Errorf("scenario: duplicate node name %q", ns.Name)
+		}
+		seen[ns.Name] = true
+		nplat := ns.Platform
+		if nplat == nil {
+			if sharedDefault == nil {
+				sharedDefault = hmp.Default()
+			}
+			nplat = sharedDefault
+		} else {
+			if err := nplat.Validate(); err != nil {
+				return nil, fmt.Errorf("scenario: node %q: %w", ns.Name, err)
+			}
+			nplat.Normalize()
+		}
+		mgr := ns.Manager
+		if mgr == "" {
+			mgr = sc.Manager
+		}
+		if !validManagers[mgr] {
+			return nil, fmt.Errorf("scenario: node %q: unknown manager %q", ns.Name, mgr)
+		}
+		adapt := ns.AdaptEvery
+		if adapt == 0 {
+			adapt = sc.AdaptEvery
+		}
+		if adapt < 0 || ns.AdaptEvery < 0 {
+			return nil, fmt.Errorf("scenario: node %q: negative adapt_every", ns.Name)
+		}
+		ohCPU := ns.OverheadCPU
+		if ohCPU == 0 {
+			ohCPU = sc.OverheadCPU
+		}
+		th := ns.Thermal
+		if th == nil {
+			th = sc.Thermal
+		}
+		if err := validateThermal(th, nplat, ns.Name); err != nil {
+			return nil, err
+		}
+		out = append(out, resolvedNode{
+			idx: i, name: ns.Name, plat: nplat, manager: mgr,
+			adaptEvery: adapt, overheadCPU: ohCPU, thermal: th,
+		})
+	}
+	return out, nil
+}
+
+// validateThermal checks a (possibly nil) thermal block against one node's
+// platform grid. node is the node name for error context ("" legacy).
+func validateThermal(th *thermal.Spec, plat *hmp.Platform, node string) error {
+	if th == nil {
+		return nil
+	}
+	ctx := "scenario"
+	if node != "" {
+		ctx = fmt.Sprintf("scenario: node %q", node)
+	}
+	if err := th.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", ctx, err)
+	}
+	r := th.WithDefaults()
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		if r.MinLevel > plat.Clusters[k].MaxLevel() {
+			return fmt.Errorf("%s: thermal min_level %d outside the %s grid", ctx, r.MinLevel, k)
+		}
+	}
+	return nil
+}
+
+// nodeByName finds a resolved node, or nil.
+func nodeByName(nodes []resolvedNode, name string) *resolvedNode {
+	for i := range nodes {
+		if nodes[i].name == name {
+			return &nodes[i]
+		}
+	}
+	return nil
+}
+
+// unmanaged reports whether a manager kind leaves thread placement to the
+// OS scheduler model (no HARS/MP-HARS manager owning affinity masks).
+func unmanaged(mgr string) bool { return mgr == ManagerNone || mgr == ManagerGTS }
+
 // Validate checks the scenario against the default platform: well-formed
 // specs, known references, and a hotplug sequence that never takes the last
 // core offline.
 func (sc *Scenario) Validate() error { return sc.ValidateOn(hmp.Default()) }
 
-// ValidateOn validates against an explicit platform description.
+// ValidateOn validates against an explicit platform description (used for
+// the legacy single node only: a scenario declaring nodes owns its
+// platforms and ignores plat).
 func (sc *Scenario) ValidateOn(plat *hmp.Platform) error {
+	_, err := sc.resolveAndValidate(plat)
+	return err
+}
+
+// resolveAndValidate is the shared entry of ValidateOn and the engine: it
+// resolves the node list once and validates the whole scenario against it,
+// returning the resolved nodes so Run does not repeat the work.
+func (sc *Scenario) resolveAndValidate(plat *hmp.Platform) ([]resolvedNode, error) {
 	if sc.DurationMS <= 0 {
-		return fmt.Errorf("scenario: duration_ms must be positive, got %d", sc.DurationMS)
+		return nil, fmt.Errorf("scenario: duration_ms must be positive, got %d", sc.DurationMS)
 	}
 	if !validManagers[sc.Manager] {
-		return fmt.Errorf("scenario: unknown manager %q", sc.Manager)
+		return nil, fmt.Errorf("scenario: unknown manager %q", sc.Manager)
 	}
 	if sc.SampleEveryMS < 0 || sc.AdaptEvery < 0 {
-		return fmt.Errorf("scenario: negative sample_every_ms or adapt_every")
+		return nil, fmt.Errorf("scenario: negative sample_every_ms or adapt_every")
 	}
 	if len(sc.Apps) == 0 {
-		return fmt.Errorf("scenario: no apps")
+		return nil, fmt.Errorf("scenario: no apps")
 	}
+	if _, err := fleet.PolicyByName(sc.Placement); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if len(sc.Nodes) == 0 {
+		if sc.Placement != "" {
+			return nil, fmt.Errorf("scenario: placement %q needs a nodes list", sc.Placement)
+		}
+		if sc.MigrateEveryMS != 0 {
+			return nil, fmt.Errorf("scenario: migrate_every_ms needs a nodes list")
+		}
+	}
+	nodes, err := sc.resolveNodes(plat)
+	if err != nil {
+		return nil, err
+	}
+	fleetMode := len(sc.Nodes) > 0
+
 	names := make(map[string]bool, len(sc.Apps))
 	for i := range sc.Apps {
 		a := &sc.Apps[i]
 		if a.Name == "" {
-			return fmt.Errorf("scenario: app %d has no name", i)
+			return nil, fmt.Errorf("scenario: app %d has no name", i)
 		}
 		if names[a.Name] {
-			return fmt.Errorf("scenario: duplicate app name %q", a.Name)
+			return nil, fmt.Errorf("scenario: duplicate app name %q", a.Name)
 		}
 		names[a.Name] = true
 		if _, ok := workload.ByShort(a.Bench); !ok {
-			return fmt.Errorf("scenario: app %q: unknown bench %q", a.Name, a.Bench)
+			return nil, fmt.Errorf("scenario: app %q: unknown bench %q", a.Name, a.Bench)
 		}
 		if a.Threads < 0 {
-			return fmt.Errorf("scenario: app %q: negative threads", a.Name)
+			return nil, fmt.Errorf("scenario: app %q: negative threads", a.Name)
 		}
 		if a.StartMS < 0 || a.StartMS >= sc.DurationMS {
-			return fmt.Errorf("scenario: app %q: start_ms %d outside [0, %d)", a.Name, a.StartMS, sc.DurationMS)
+			return nil, fmt.Errorf("scenario: app %q: start_ms %d outside [0, %d)", a.Name, a.StartMS, sc.DurationMS)
 		}
 		if a.StopMS != 0 && (a.StopMS <= a.StartMS || a.StopMS > sc.DurationMS) {
-			return fmt.Errorf("scenario: app %q: stop_ms %d outside (start, duration]", a.Name, a.StopMS)
+			return nil, fmt.Errorf("scenario: app %q: stop_ms %d outside (start, duration]", a.Name, a.StopMS)
 		}
 		if a.Target != nil {
 			if !(a.Target.Min > 0 && a.Target.Min <= a.Target.Avg && a.Target.Avg <= a.Target.Max) {
-				return fmt.Errorf("scenario: app %q: malformed target band", a.Name)
+				return nil, fmt.Errorf("scenario: app %q: malformed target band", a.Name)
 			}
 		} else if a.TargetFrac < 0 || a.TargetFrac > 1 {
-			return fmt.Errorf("scenario: app %q: target_frac %v outside [0, 1]", a.Name, a.TargetFrac)
+			return nil, fmt.Errorf("scenario: app %q: target_frac %v outside [0, 1]", a.Name, a.TargetFrac)
+		}
+
+		// The candidate nodes the app may land on: its pin, or all of them.
+		candidates := nodes
+		if a.Node != "" {
+			if !fleetMode {
+				return nil, fmt.Errorf("scenario: app %q: node pin needs a nodes list", a.Name)
+			}
+			rn := nodeByName(nodes, a.Node)
+			if rn == nil {
+				return nil, fmt.Errorf("scenario: app %q: unknown node %q", a.Name, a.Node)
+			}
+			candidates = nodes[rn.idx : rn.idx+1]
 		}
 		initB := intOr(a.InitBig, 1)
 		initL := intOr(a.InitLittle, 1)
-		if initB < 0 || initB > plat.Clusters[hmp.Big].Cores ||
-			initL < 0 || initL > plat.Clusters[hmp.Little].Cores {
-			return fmt.Errorf("scenario: app %q: initial allocation outside the platform", a.Name)
+		if initB < 0 || initL < 0 {
+			return nil, fmt.Errorf("scenario: app %q: negative initial allocation", a.Name)
 		}
 		if initB+initL == 0 {
-			return fmt.Errorf("scenario: app %q: initial allocation is empty", a.Name)
+			return nil, fmt.Errorf("scenario: app %q: initial allocation is empty", a.Name)
 		}
-	}
-	thermalOn := sc.Thermal != nil && sc.Thermal.Enabled
-	if sc.Thermal != nil {
-		if err := sc.Thermal.Validate(); err != nil {
-			return fmt.Errorf("scenario: %w", err)
+		fits := false
+		for _, rn := range candidates {
+			if initB <= rn.plat.Clusters[hmp.Big].Cores && initL <= rn.plat.Clusters[hmp.Little].Cores {
+				fits = true
+				break
+			}
 		}
-		r := sc.Thermal.WithDefaults()
-		for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
-			if r.MinLevel > plat.Clusters[k].MaxLevel() {
-				return fmt.Errorf("scenario: thermal min_level %d outside the %s grid", r.MinLevel, k)
+		if !fits {
+			return nil, fmt.Errorf("scenario: app %q: initial allocation outside every candidate node's platform", a.Name)
+		}
+		if len(a.Affinity) > 0 {
+			seen := make(map[int]bool, len(a.Affinity))
+			for _, cpu := range a.Affinity {
+				if seen[cpu] {
+					return nil, fmt.Errorf("scenario: app %q: duplicate affinity cpu %d", a.Name, cpu)
+				}
+				seen[cpu] = true
+			}
+			for _, rn := range candidates {
+				if !unmanaged(rn.manager) {
+					return nil, fmt.Errorf("scenario: app %q: affinity needs an unmanaged node (%q runs %q)",
+						a.Name, rn.name, rn.manager)
+				}
+				for _, cpu := range a.Affinity {
+					if cpu < 0 || cpu >= rn.plat.TotalCores() {
+						return nil, fmt.Errorf("scenario: app %q: affinity cpu %d outside candidate node platforms", a.Name, cpu)
+					}
+				}
 			}
 		}
 	}
-	total := plat.TotalCores()
+
 	occurrences := int64(0)
 	for i := range sc.Events {
 		ev := &sc.Events[i]
 		if ev.AtMS < 0 || ev.AtMS > sc.DurationMS {
-			return fmt.Errorf("scenario: event %d: at_ms %d outside [0, %d]", i, ev.AtMS, sc.DurationMS)
+			return nil, fmt.Errorf("scenario: event %d: at_ms %d outside [0, %d]", i, ev.AtMS, sc.DurationMS)
 		}
 		if ev.EveryMS < 0 {
-			return fmt.Errorf("scenario: event %d: negative every_ms %d", i, ev.EveryMS)
+			return nil, fmt.Errorf("scenario: event %d: negative every_ms %d", i, ev.EveryMS)
 		}
 		if ev.Repeat < 0 {
-			return fmt.Errorf("scenario: event %d: negative repeat %d", i, ev.Repeat)
+			return nil, fmt.Errorf("scenario: event %d: negative repeat %d", i, ev.Repeat)
 		}
 		if ev.Repeat > 0 && ev.EveryMS == 0 {
-			return fmt.Errorf("scenario: event %d: repeat without every_ms", i)
+			return nil, fmt.Errorf("scenario: event %d: repeat without every_ms", i)
 		}
 		occurrences += ev.occurrenceCount(sc.DurationMS)
 		if occurrences > maxOccurrences {
-			return fmt.Errorf("scenario: events expand to more than %d occurrences", maxOccurrences)
+			return nil, fmt.Errorf("scenario: events expand to more than %d occurrences", maxOccurrences)
+		}
+		// Platform events address a node; app events address an app.
+		var target *resolvedNode
+		switch ev.Kind {
+		case KindHotplug, KindDVFSCap:
+			if fleetMode {
+				if ev.Node == "" {
+					return nil, fmt.Errorf("scenario: event %d: %s needs a node in a multi-node scenario", i, ev.Kind)
+				}
+				if target = nodeByName(nodes, ev.Node); target == nil {
+					return nil, fmt.Errorf("scenario: event %d: unknown node %q", i, ev.Node)
+				}
+			} else {
+				if ev.Node != "" {
+					return nil, fmt.Errorf("scenario: event %d: node %q needs a nodes list", i, ev.Node)
+				}
+				target = &nodes[0]
+			}
+		default:
+			if ev.Node != "" {
+				return nil, fmt.Errorf("scenario: event %d: %s events address an app, not a node", i, ev.Kind)
+			}
 		}
 		switch ev.Kind {
 		case KindHotplug:
-			if ev.CPU < 0 || ev.CPU >= total {
-				return fmt.Errorf("scenario: event %d: cpu %d outside the platform", i, ev.CPU)
+			if ev.CPU < 0 || ev.CPU >= target.plat.TotalCores() {
+				return nil, fmt.Errorf("scenario: event %d: cpu %d outside the platform", i, ev.CPU)
 			}
 			if ev.Online == nil {
-				return fmt.Errorf("scenario: event %d: hotplug needs explicit \"online\"", i)
+				return nil, fmt.Errorf("scenario: event %d: hotplug needs explicit \"online\"", i)
 			}
 		case KindDVFSCap:
-			if thermalOn {
-				return fmt.Errorf("scenario: event %d: dvfs_cap conflicts with the enabled thermal governor (it owns the ceilings)", i)
+			if target.thermalOn() {
+				return nil, fmt.Errorf("scenario: event %d: dvfs_cap conflicts with the enabled thermal governor (it owns the ceilings)", i)
 			}
 			k, err := parseCluster(ev.Cluster)
 			if err != nil {
-				return fmt.Errorf("scenario: event %d: %w", i, err)
+				return nil, fmt.Errorf("scenario: event %d: %w", i, err)
 			}
-			if ev.MaxLevel < 0 || ev.MaxLevel > plat.Clusters[k].MaxLevel() {
-				return fmt.Errorf("scenario: event %d: max_level %d outside the %s grid", i, ev.MaxLevel, ev.Cluster)
+			if ev.MaxLevel < 0 || ev.MaxLevel > target.plat.Clusters[k].MaxLevel() {
+				return nil, fmt.Errorf("scenario: event %d: max_level %d outside the %s grid", i, ev.MaxLevel, ev.Cluster)
 			}
 		case KindTarget:
 			if !names[ev.App] {
-				return fmt.Errorf("scenario: event %d: unknown app %q", i, ev.App)
+				return nil, fmt.Errorf("scenario: event %d: unknown app %q", i, ev.App)
 			}
 			if ev.Target != nil {
 				if !(ev.Target.Min > 0 && ev.Target.Min <= ev.Target.Avg && ev.Target.Avg <= ev.Target.Max) {
-					return fmt.Errorf("scenario: event %d: malformed target band", i)
+					return nil, fmt.Errorf("scenario: event %d: malformed target band", i)
 				}
 			} else if ev.Frac <= 0 || ev.Frac > 1 {
-				return fmt.Errorf("scenario: event %d: frac %v outside (0, 1]", i, ev.Frac)
+				return nil, fmt.Errorf("scenario: event %d: frac %v outside (0, 1]", i, ev.Frac)
 			}
 		case KindPhase:
 			if !names[ev.App] {
-				return fmt.Errorf("scenario: event %d: unknown app %q", i, ev.App)
+				return nil, fmt.Errorf("scenario: event %d: unknown app %q", i, ev.App)
 			}
 			if ev.Scale <= 0 {
-				return fmt.Errorf("scenario: event %d: scale %v must be positive", i, ev.Scale)
+				return nil, fmt.Errorf("scenario: event %d: scale %v must be positive", i, ev.Scale)
 			}
 		default:
-			return fmt.Errorf("scenario: event %d: unknown kind %q", i, ev.Kind)
+			return nil, fmt.Errorf("scenario: event %d: unknown kind %q", i, ev.Kind)
 		}
 	}
-	return sc.checkHotplug(plat)
+	return nodes, sc.checkHotplug(nodes)
 }
 
 // occurrenceCount returns how many times the event fires within a run of
@@ -302,39 +577,67 @@ func (ev *Event) Occurrences(durationMS int64) []int64 {
 	return out
 }
 
-// checkHotplug replays the hotplug sequence in application order and
-// rejects a scenario that ever takes the last core offline.
-func (sc *Scenario) checkHotplug(plat *hmp.Platform) error {
+// checkHotplug replays every node's hotplug sequence in application order
+// and rejects a scenario that ever takes a node's last core offline — or
+// every core of some app's affinity mask, which would starve the pinned app
+// silently (its threads would intersect no online core until the platform
+// grows back). Both checks keep the package promise that a validated
+// scenario can always make progress.
+func (sc *Scenario) checkHotplug(nodes []resolvedNode) error {
 	type hp struct {
 		at  int64
 		seq int
 		cpu int
 		on  bool
 	}
-	var seq []hp
-	for i := range sc.Events {
-		ev := &sc.Events[i]
-		if ev.Kind == KindHotplug {
+	for i := range nodes {
+		rn := &nodes[i]
+		// Affinity masks of apps that may run on this node: the pinned
+		// ones, and every unpinned one (the policy may place it here).
+		type pin struct {
+			name string
+			mask hmp.CPUMask
+		}
+		var pins []pin
+		for j := range sc.Apps {
+			a := &sc.Apps[j]
+			if len(a.Affinity) == 0 || (a.Node != "" && a.Node != rn.name) {
+				continue
+			}
+			pins = append(pins, pin{name: a.Name, mask: hmp.MaskOf(a.Affinity...)})
+		}
+		var seq []hp
+		for j := range sc.Events {
+			ev := &sc.Events[j]
+			if ev.Kind != KindHotplug || ev.Node != rn.name {
+				continue
+			}
 			for _, at := range ev.Occurrences(sc.DurationMS) {
-				seq = append(seq, hp{at: at, seq: i, cpu: ev.CPU, on: *ev.Online})
+				seq = append(seq, hp{at: at, seq: j, cpu: ev.CPU, on: *ev.Online})
 			}
 		}
-	}
-	sort.Slice(seq, func(i, j int) bool {
-		if seq[i].at != seq[j].at {
-			return seq[i].at < seq[j].at
-		}
-		return seq[i].seq < seq[j].seq
-	})
-	online := hmp.AllCPUs(plat)
-	for _, h := range seq {
-		if h.on {
-			online = online.Set(h.cpu)
-		} else {
-			online = online.Clear(h.cpu)
-		}
-		if online == 0 {
-			return fmt.Errorf("scenario: hotplug at t=%dms takes the last core offline", h.at)
+		sort.Slice(seq, func(i, j int) bool {
+			if seq[i].at != seq[j].at {
+				return seq[i].at < seq[j].at
+			}
+			return seq[i].seq < seq[j].seq
+		})
+		online := hmp.AllCPUs(rn.plat)
+		for _, h := range seq {
+			if h.on {
+				online = online.Set(h.cpu)
+			} else {
+				online = online.Clear(h.cpu)
+			}
+			if online == 0 {
+				return fmt.Errorf("scenario: hotplug at t=%dms takes node %q's last core offline", h.at, rn.name)
+			}
+			for _, p := range pins {
+				if online.Intersect(p.mask) == 0 {
+					return fmt.Errorf("scenario: hotplug at t=%dms takes every affinity cpu of app %q offline on node %q",
+						h.at, p.name, rn.name)
+				}
+			}
 		}
 	}
 	return nil

@@ -184,6 +184,10 @@ type Machine struct {
 	busyScratch [hmp.NumClusters][]float64
 	ticks       int64
 	tracer      *Tracer
+	// nodeName is the machine's fleet identity (set by NewNode, "" for a
+	// standalone machine), stamped onto every event the machine emits so
+	// a tracer shared across nodes still attributes correctly.
+	nodeName string
 }
 
 // New creates a machine over the platform with both clusters at their
@@ -265,7 +269,7 @@ func (m *Machine) SetLevel(k hmp.ClusterKind, level int) {
 		level = m.caps[k]
 	}
 	if m.tracer != nil && level != m.levels[k] {
-		m.tracer.add(Event{
+		m.emit(Event{
 			T: m.now, Kind: EvDVFS, Cluster: k, Level: level,
 			KHz: m.plat.Clusters[k].KHz(level),
 		})
@@ -283,7 +287,7 @@ func (m *Machine) Level(k hmp.ClusterKind) int { return m.levels[k] }
 func (m *Machine) SetLevelCap(k hmp.ClusterKind, cap int) {
 	cap = m.plat.Clusters[k].ClampLevel(cap)
 	if m.tracer != nil && cap != m.caps[k] {
-		m.tracer.add(Event{
+		m.emit(Event{
 			T: m.now, Kind: EvCap, Cluster: k, Level: cap,
 			KHz: m.plat.Clusters[k].KHz(cap),
 		})
@@ -326,7 +330,7 @@ func (m *Machine) SetCoreOnline(cpu int, online bool) {
 		return
 	}
 	if m.tracer != nil {
-		m.tracer.add(Event{T: m.now, Kind: EvHotplug, CPU: cpu, Online: online})
+		m.emit(Event{T: m.now, Kind: EvHotplug, CPU: cpu, Online: online})
 	}
 	if online {
 		m.online = m.online.Set(cpu)
@@ -785,7 +789,7 @@ func (m *Machine) Migrate(t *Thread, cpu int) {
 		t.migrations++
 	}
 	if m.tracer != nil {
-		m.tracer.add(Event{
+		m.emit(Event{
 			T: m.now, Kind: EvMigrate, Proc: t.Proc.Name, Thread: t.Local,
 			From: t.core, To: cpu,
 		})
@@ -880,4 +884,12 @@ func (m *Machine) Util(cpu int) float64 {
 // transitions, so this is O(1); placers use it for balancing decisions.
 func (m *Machine) RunQueueLen(cpu int) int {
 	return m.cores[cpu].runLen
+}
+
+// RunnableCount returns how many threads are currently runnable machine-wide
+// (placed or not), in O(1). Fleet placement policies use it as the node's
+// instantaneous load. During execute the count may lag mid-tick transitions;
+// daemons and between-tick callers always see the reconciled value.
+func (m *Machine) RunnableCount() int {
+	return len(m.runnable)
 }

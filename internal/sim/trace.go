@@ -70,6 +70,10 @@ type Event struct {
 	Online bool
 	// TempC is the modeled cluster temperature (temp, throttle events).
 	TempC float64
+	// Node is the name of the node the event occurred on ("" on a
+	// standalone machine). Stamped by the tracer from its Node tag, so
+	// multi-node traces merged into one stream stay attributable.
+	Node string
 }
 
 // Tracer records machine events up to a bounded capacity; beyond it, events
@@ -78,6 +82,11 @@ type Event struct {
 type Tracer struct {
 	// Max bounds retained events; 0 selects 1,000,000.
 	Max int
+
+	// Node, when non-empty, is stamped onto every recorded event that does
+	// not already carry a node name. Node.SetTracer sets it; standalone
+	// machines leave it empty and traces render exactly as before.
+	Node string
 
 	events  []Event
 	dropped int64
@@ -104,32 +113,54 @@ func (tr *Tracer) add(e Event) {
 		tr.dropped++
 		return
 	}
+	if e.Node == "" {
+		e.Node = tr.Node
+	}
 	tr.events = append(tr.events, e)
 }
 
 // WriteCSV renders the trace as CSV (time_us,kind,proc,thread,from,to,
-// cluster,khz,temp_c).
+// cluster,khz,temp_c). When any event carries a node tag the output
+// appends a trailing node column; untagged traces render exactly the
+// historical format.
 func (tr *Tracer) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "time_us,kind,proc,thread,from,to,cluster,khz,temp_c"); err != nil {
+	tag := tr.Node != ""
+	for i := range tr.events {
+		if tag {
+			break
+		}
+		tag = tr.events[i].Node != ""
+	}
+	node := func(e Event) string {
+		if tag {
+			return "," + e.Node
+		}
+		return ""
+	}
+	header := "time_us,kind,proc,thread,from,to,cluster,khz,temp_c"
+	if tag {
+		header += ",node"
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for _, e := range tr.events {
 		var err error
 		switch e.Kind {
 		case EvMigrate:
-			_, err = fmt.Fprintf(w, "%d,%s,%s,%d,%d,%d,,,\n", e.T, e.Kind, e.Proc, e.Thread, e.From, e.To)
+			_, err = fmt.Fprintf(w, "%d,%s,%s,%d,%d,%d,,,%s\n", e.T, e.Kind, e.Proc, e.Thread, e.From, e.To, node(e))
 		case EvDVFS:
-			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,%d,\n", e.T, e.Kind, e.Cluster, e.KHz)
+			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,%d,%s\n", e.T, e.Kind, e.Cluster, e.KHz, node(e))
 		case EvBeat:
-			_, err = fmt.Fprintf(w, "%d,%s,%s,,,,,,\n", e.T, e.Kind, e.Proc)
+			_, err = fmt.Fprintf(w, "%d,%s,%s,,,,,,%s\n", e.T, e.Kind, e.Proc, node(e))
 		case EvHotplug:
-			_, err = fmt.Fprintf(w, "%d,%s,,,%d,,,%t,\n", e.T, e.Kind, e.CPU, e.Online)
+			_, err = fmt.Fprintf(w, "%d,%s,,,%d,,,%t,%s\n", e.T, e.Kind, e.CPU, e.Online, node(e))
 		case EvCap:
-			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,%d,\n", e.T, e.Kind, e.Cluster, e.KHz)
+			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,%d,%s\n", e.T, e.Kind, e.Cluster, e.KHz, node(e))
 		case EvTemp:
-			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,,%.3f\n", e.T, e.Kind, e.Cluster, e.TempC)
+			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,,%.3f%s\n", e.T, e.Kind, e.Cluster, e.TempC, node(e))
 		case EvThrottle:
-			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,%d,%.3f\n", e.T, e.Kind, e.Cluster, e.KHz, e.TempC)
+			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,%d,%.3f%s\n", e.T, e.Kind, e.Cluster, e.KHz, e.TempC, node(e))
 		}
 		if err != nil {
 			return err
@@ -152,42 +183,49 @@ type chromeEvent struct {
 // WriteChromeTrace renders the trace in Chrome Trace Event Format:
 // heartbeats and migrations as instant events, cluster frequencies as
 // counter tracks. Load the output in chrome://tracing or Perfetto.
+// Node-tagged events carry a "node:" name prefix, so merged multi-node
+// streams keep distinct counter tracks and stay attributable; untagged
+// traces render exactly as before.
 func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 	out := make([]chromeEvent, 0, len(tr.events))
 	for _, e := range tr.events {
+		prefix := ""
+		if e.Node != "" {
+			prefix = e.Node + ":"
+		}
 		switch e.Kind {
 		case EvMigrate:
 			out = append(out, chromeEvent{
-				Name: "migrate " + e.Proc, Phase: "i", TS: e.T, PID: 1, TID: e.To,
+				Name: prefix + "migrate " + e.Proc, Phase: "i", TS: e.T, PID: 1, TID: e.To,
 				Args: map[string]any{"thread": e.Thread, "from": e.From, "to": e.To},
 			})
 		case EvDVFS:
 			out = append(out, chromeEvent{
-				Name: e.Cluster.String() + "-freq", Phase: "C", TS: e.T, PID: 1,
+				Name: prefix + e.Cluster.String() + "-freq", Phase: "C", TS: e.T, PID: 1,
 				Args: map[string]any{"khz": e.KHz},
 			})
 		case EvBeat:
 			out = append(out, chromeEvent{
-				Name: "beat " + e.Proc, Phase: "i", TS: e.T, PID: 2,
+				Name: prefix + "beat " + e.Proc, Phase: "i", TS: e.T, PID: 2,
 			})
 		case EvHotplug:
 			out = append(out, chromeEvent{
-				Name: "hotplug", Phase: "i", TS: e.T, PID: 1, TID: e.CPU,
+				Name: prefix + "hotplug", Phase: "i", TS: e.T, PID: 1, TID: e.CPU,
 				Args: map[string]any{"cpu": e.CPU, "online": e.Online},
 			})
 		case EvCap:
 			out = append(out, chromeEvent{
-				Name: e.Cluster.String() + "-cap", Phase: "C", TS: e.T, PID: 1,
+				Name: prefix + e.Cluster.String() + "-cap", Phase: "C", TS: e.T, PID: 1,
 				Args: map[string]any{"khz": e.KHz},
 			})
 		case EvTemp:
 			out = append(out, chromeEvent{
-				Name: e.Cluster.String() + "-temp", Phase: "C", TS: e.T, PID: 1,
+				Name: prefix + e.Cluster.String() + "-temp", Phase: "C", TS: e.T, PID: 1,
 				Args: map[string]any{"celsius": e.TempC},
 			})
 		case EvThrottle:
 			out = append(out, chromeEvent{
-				Name: "throttle " + e.Cluster.String(), Phase: "i", TS: e.T, PID: 1,
+				Name: prefix + "throttle " + e.Cluster.String(), Phase: "i", TS: e.T, PID: 1,
 				Args: map[string]any{"khz": e.KHz, "celsius": e.TempC},
 			})
 		}
@@ -201,3 +239,17 @@ func (m *Machine) SetTracer(tr *Tracer) { m.tracer = tr }
 
 // Tracer returns the attached tracer, if any.
 func (m *Machine) Tracer() *Tracer { return m.tracer }
+
+// NodeName returns the machine's fleet identity ("" standalone). Daemons
+// recording their own trace events stamp it into Event.Node so a tracer
+// shared across nodes attributes them correctly.
+func (m *Machine) NodeName() string { return m.nodeName }
+
+// emit records a machine-originated event, stamped with the machine's own
+// node identity (callers check m.tracer != nil).
+func (m *Machine) emit(e Event) {
+	if e.Node == "" {
+		e.Node = m.nodeName
+	}
+	m.tracer.add(e)
+}

@@ -376,7 +376,10 @@ func (g *Governor) Tick(m *sim.Machine) {
 	if now >= g.nextSample {
 		if tr != nil {
 			for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
-				tr.Record(sim.Event{T: now, Kind: sim.EvTemp, Cluster: k, TempC: g.model.TempC(k)})
+				tr.Record(sim.Event{
+					T: now, Kind: sim.EvTemp, Cluster: k, TempC: g.model.TempC(k),
+					Node: m.NodeName(),
+				})
 			}
 		}
 		g.nextSample = now + g.sampleEvery
@@ -421,6 +424,7 @@ func (g *Governor) setCap(m *sim.Machine, tr *sim.Tracer, k hmp.ClusterKind, lev
 		tr.Record(sim.Event{
 			T: m.Now(), Kind: sim.EvThrottle, Cluster: k, Level: level,
 			KHz: m.Platform().Clusters[k].KHz(level), TempC: tempC,
+			Node: m.NodeName(),
 		})
 	}
 }
