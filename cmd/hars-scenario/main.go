@@ -7,18 +7,22 @@
 //
 // Usage:
 //
-//	hars-scenario -in scenario.json [-trace out.csv] [-strict]
+//	hars-scenario -in scenario.json [-trace out.csv] [-strict] [-summary json]
 //	hars-scenario -gen -seed 7 [-manager mphars-i] [-apps 3] [-events 6]
 //	              [-duration 20000] [-nodes 3] [-placement coolest]
 //	              [-write scenario.json] [-trace out.csv]
 //
 // The trace goes to stdout unless -trace names a file; the run summary goes
-// to stderr. Replaying the same scenario always produces byte-identical
-// trace output (the FNV-64a digest printed in the summary witnesses it), so
-// traces can be diffed across runs and machines.
+// to stderr. With -summary json the summary is emitted instead as a single
+// machine-readable JSON document on stdout (byte-stable field order, so
+// summaries can be diffed and checksummed), and the trace is discarded
+// unless -trace names a file. Replaying the same scenario always produces
+// byte-identical trace output (the FNV-64a digest printed in the summary
+// witnesses it), so traces can be diffed across runs and machines.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -41,7 +45,12 @@ func main() {
 	write := flag.String("write", "", "save the generated scenario JSON here (-gen)")
 	tracePath := flag.String("trace", "", "trace output file (default stdout)")
 	strict := flag.Bool("strict", false, "verify runtime invariants after every action and sample")
+	summary := flag.String("summary", "text", `summary format: "text" (stderr) or "json" (stdout, byte-stable field order)`)
 	flag.Parse()
+	if *summary != "text" && *summary != "json" {
+		fmt.Fprintf(os.Stderr, "unknown -summary format %q (want text or json)\n", *summary)
+		os.Exit(2)
+	}
 
 	var sc *scenario.Scenario
 	switch {
@@ -83,6 +92,11 @@ func main() {
 	}
 
 	var trace io.Writer = os.Stdout
+	if *summary == "json" {
+		// The JSON summary owns stdout; the trace digest is still computed
+		// (and reported) over the discarded bytes.
+		trace = io.Discard
+	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
@@ -95,6 +109,13 @@ func main() {
 	res, err := scenario.Run(sc, scenario.Options{Trace: trace, Strict: *strict})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *summary == "json" {
+		if err := writeJSONSummary(os.Stdout, sc, res); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	w := os.Stderr
@@ -120,6 +141,12 @@ func main() {
 		where := ""
 		if fleetRun && a.Node != "" {
 			where = fmt.Sprintf(" node=%s moves=%d", a.Node, a.NodeMigrations)
+			if a.MigrationDelayUS > 0 {
+				where += fmt.Sprintf(" frozen=%dµs", a.MigrationDelayUS)
+			}
+		}
+		if a.SLOSamples > 0 {
+			where += fmt.Sprintf(" slo-miss=%d/%d", a.SLOMisses, a.SLOSamples)
 		}
 		fmt.Fprintf(w, "  %-8s beats=%-6d work=%-10.1f migrations=%-5d %s%s\n",
 			a.Name, a.Beats, a.Work, a.Migrations, status, where)
@@ -127,8 +154,12 @@ func main() {
 	fmt.Fprintf(w, "energy %.1f J, overhead %d µs, %d samples, trace digest %016x\n",
 		res.EnergyJ, res.OverheadUS, res.Samples, res.TraceDigest)
 	if fleetRun {
-		fmt.Fprintf(w, "fleet: %d arrivals queued, %d dropped, %d node migrations\n",
-			res.QueuedArrivals, res.DroppedArrivals, res.NodeMigrations)
+		fmt.Fprintf(w, "fleet: %d arrivals queued, %d dropped, %d node migrations (%d µs frozen)\n",
+			res.QueuedArrivals, res.DroppedArrivals, res.NodeMigrations, res.MigrationDelayUS)
+	}
+	if res.SLOSamples > 0 {
+		fmt.Fprintf(w, "slo: %d misses over %d scored samples (%.1f%%)\n",
+			res.SLOMisses, res.SLOSamples, 100*float64(res.SLOMisses)/float64(res.SLOSamples))
 	}
 	for _, nr := range res.Nodes {
 		if fleetRun {
@@ -149,6 +180,134 @@ func main() {
 			}
 		}
 	}
+}
+
+// The -summary json schema. Struct field order IS the output field order
+// (encoding/json serializes in declaration order), which is what makes the
+// documents byte-stable across runs: identical runs produce identical
+// bytes, so summaries can be diffed and checksummed like traces.
+type appSummary struct {
+	Name             string  `json:"name"`
+	Beats            int64   `json:"beats"`
+	Work             float64 `json:"work"`
+	Migrations       int     `json:"migrations"`
+	NodeMigrations   int     `json:"node_migrations"`
+	MigrationDelayUS int64   `json:"migration_delay_us"`
+	Node             string  `json:"node,omitempty"`
+	Queued           bool    `json:"queued"`
+	Skipped          bool    `json:"skipped"`
+	Departed         bool    `json:"departed"`
+	SLOSamples       int     `json:"slo_samples,omitempty"`
+	SLOMisses        int     `json:"slo_misses,omitempty"`
+}
+
+type thermalSummary struct {
+	BigTempC    float64 `json:"big_temp_c"`
+	LittleTempC float64 `json:"little_temp_c"`
+	BigPeakC    float64 `json:"big_peak_c"`
+	LittlePeakC float64 `json:"little_peak_c"`
+	Throttles   int     `json:"throttles"`
+	Trips       int     `json:"trips"`
+	Releases    int     `json:"releases"`
+}
+
+type nodeSummary struct {
+	Name        string          `json:"name,omitempty"`
+	Manager     string          `json:"manager"`
+	EnergyJ     float64         `json:"energy_j"`
+	OverheadUS  int64           `json:"overhead_us"`
+	OnlineMask  string          `json:"online_mask"`
+	BigLevel    int             `json:"big_level"`
+	LittleLevel int             `json:"little_level"`
+	BigCap      int             `json:"big_cap"`
+	LittleCap   int             `json:"little_cap"`
+	Thermal     *thermalSummary `json:"thermal,omitempty"`
+}
+
+type runSummary struct {
+	Scenario         string        `json:"scenario"`
+	Manager          string        `json:"manager"`
+	Placement        string        `json:"placement,omitempty"`
+	DurationMS       int64         `json:"duration_ms"`
+	Samples          int           `json:"samples"`
+	TraceDigest      string        `json:"trace_digest"`
+	EnergyJ          float64       `json:"energy_j"`
+	OverheadUS       int64         `json:"overhead_us"`
+	QueuedArrivals   int           `json:"queued_arrivals"`
+	DroppedArrivals  int           `json:"dropped_arrivals"`
+	NodeMigrations   int           `json:"node_migrations"`
+	MigrationDelayUS int64         `json:"migration_delay_us"`
+	SLOSamples       int           `json:"slo_samples"`
+	SLOMisses        int           `json:"slo_misses"`
+	Apps             []appSummary  `json:"apps"`
+	Nodes            []nodeSummary `json:"nodes"`
+}
+
+// writeJSONSummary renders the run's fleet/node/app summaries as one
+// indented JSON document.
+func writeJSONSummary(w io.Writer, sc *scenario.Scenario, res *scenario.Result) error {
+	out := runSummary{
+		Scenario:         sc.Name,
+		Manager:          sc.Manager,
+		DurationMS:       sc.DurationMS,
+		Samples:          res.Samples,
+		TraceDigest:      fmt.Sprintf("%016x", res.TraceDigest),
+		EnergyJ:          res.EnergyJ,
+		OverheadUS:       int64(res.OverheadUS),
+		QueuedArrivals:   res.QueuedArrivals,
+		DroppedArrivals:  res.DroppedArrivals,
+		NodeMigrations:   res.NodeMigrations,
+		MigrationDelayUS: int64(res.MigrationDelayUS),
+		SLOSamples:       res.SLOSamples,
+		SLOMisses:        res.SLOMisses,
+	}
+	if len(sc.Nodes) > 0 {
+		out.Placement = res.Placement
+	}
+	for _, a := range res.Apps {
+		out.Apps = append(out.Apps, appSummary{
+			Name:             a.Name,
+			Beats:            a.Beats,
+			Work:             a.Work,
+			Migrations:       a.Migrations,
+			NodeMigrations:   a.NodeMigrations,
+			MigrationDelayUS: int64(a.MigrationDelayUS),
+			Node:             a.Node,
+			Queued:           a.Queued,
+			Skipped:          a.Skipped,
+			Departed:         a.Departed,
+			SLOSamples:       a.SLOSamples,
+			SLOMisses:        a.SLOMisses,
+		})
+	}
+	for _, nr := range res.Nodes {
+		ns := nodeSummary{
+			Name:        nr.Name,
+			Manager:     nr.Manager,
+			EnergyJ:     nr.EnergyJ,
+			OverheadUS:  int64(nr.OverheadUS),
+			OnlineMask:  fmt.Sprintf("%x", uint64(nr.Machine.OnlineMask())),
+			BigLevel:    nr.Machine.Level(hmp.Big),
+			LittleLevel: nr.Machine.Level(hmp.Little),
+			BigCap:      nr.Machine.LevelCap(hmp.Big),
+			LittleCap:   nr.Machine.LevelCap(hmp.Little),
+		}
+		if gov := nr.Thermal; gov != nil {
+			ns.Thermal = &thermalSummary{
+				BigTempC:    gov.TempC(hmp.Big),
+				LittleTempC: gov.TempC(hmp.Little),
+				BigPeakC:    gov.PeakC(hmp.Big),
+				LittlePeakC: gov.PeakC(hmp.Little),
+				Throttles:   gov.Throttles(),
+				Trips:       gov.Trips(),
+				Releases:    gov.Releases(),
+			}
+		}
+		out.Nodes = append(out.Nodes, ns)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func fatal(err error) {

@@ -59,23 +59,42 @@
 // node-tagged trace events — and fleet.Fleet advances any number of Nodes
 // in lockstep on one deterministic clock. Placement is pluggable
 // (least-loaded, big-first for heterogeneity, coolest for heat-aware
-// placement); arrivals with no free partition anywhere queue FIFO and are
-// admitted as capacity frees (the same queue upgrades classic MP-HARS
-// scenarios from silently skipping saturated arrivals); saturated nodes
-// shed an application to the policy's preferred free node on a fixed
-// cadence; and HPS/energy/overhead roll up per fleet.
+// placement, slo-aware for per-app target-slack scoring against predicted
+// node capacity and migration cost); arrivals with no free partition
+// anywhere queue FIFO — admitted strictly in arrival order as capacity
+// frees (the same queue upgrades classic MP-HARS scenarios from silently
+// skipping saturated arrivals); saturated nodes shed an application to
+// the policy's preferred free node on a fixed cadence; and
+// HPS/energy/overhead roll up per fleet.
+//
+// Migration is work-conserving: an application's lifecycle state is a
+// first-class checkpointable identity (sim.ProcSnapshot — program state,
+// per-thread progress, heartbeat history, pending wakeups) that
+// Machine.Checkpoint captures and Machine.Restore continues on another
+// node, statistics continuous across the move (EvMigrateOut/EvMigrateIn
+// trace events). A configurable checkpoint-cost model (freeze time plus
+// per-MB transfer delay, charged on the shared clock) prices each move;
+// managers re-attach to moved applications without state loss. A strict
+// placement cooldown makes consecutive-pass ping-pong impossible.
 //
 // Scenarios opt in by declaring "nodes" — each with its own inline hmp
-// platform JSON, manager, and thermal block — plus a "placement" policy;
-// events then address nodes, apps may pin to one, and cmd/hars-scenario
-// replays the whole fleet byte-identically. A quick start:
+// platform JSON, manager, and thermal block — plus a "placement" policy
+// and optional "checkpoint" cost, per-app "slo" targets, and "arrivals"
+// traffic traces (seeded per-node Poisson streams with piecewise rate
+// profiles, expanded deterministically); events then address nodes, apps
+// may pin to one, and cmd/hars-scenario replays the whole fleet
+// byte-identically (-summary json emits machine-readable, byte-stable
+// summaries). A quick start:
 //
 //	hars-scenario -gen -nodes 3 -placement coolest -strict
 //
-// Single-node scenarios are bit-for-bit unchanged: the Node wrapper adds
-// no behaviour, pinned by fleet_equivalence_test.go against the original
-// golden digests. The "fleet" experiments driver sweeps placement policies
-// × node counts on the parallel engine.
+// Single-node and migration-free fleet runs are bit-for-bit unchanged:
+// the Node wrapper and the checkpoint path add no behaviour until an app
+// actually moves, pinned by fleet_equivalence_test.go against the
+// original golden digests. The "fleet" experiments driver sweeps
+// placement policies × node counts, and the "slo" driver sweeps policies
+// × migration-cost regimes reporting SLO-miss rates, both on the parallel
+// engine.
 //
 // See README.md for a guided tour, DESIGN.md for the system inventory and
 // substitution rationale, and EXPERIMENTS.md for the paper-versus-measured

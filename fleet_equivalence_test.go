@@ -94,6 +94,37 @@ func TestFleetEquivalenceHARSE(t *testing.T) {
 		68034154, 712100, 35)
 }
 
+// TestFleetEquivalenceMigrationFree pins the work-conserving-migration
+// refactor's do-no-harm contract on a *multi-node* fleet: two default
+// nodes, one pinned app each, no saturation and so no migration — each
+// node's machine must reproduce, bit for bit, the same golden digest the
+// corresponding single-machine run is pinned to. The checkpoint path being
+// wired into admission must be invisible while no app ever moves.
+func TestFleetEquivalenceMigrationFree(t *testing.T) {
+	res := runFleet(t, &scenario.Scenario{
+		Name:       "fleet-static-two-nodes",
+		Manager:    scenario.ManagerNone,
+		DurationMS: 5000,
+		Nodes:      []scenario.NodeSpec{{Name: "n0"}, {Name: "n1"}},
+		Apps: []scenario.AppSpec{
+			{Name: "sw", Bench: "SW", Threads: 8, Node: "n0"},
+			{Name: "fe", Bench: "FE", Threads: 8, Node: "n1"},
+		},
+	})
+	if res.NodeMigrations != 0 || res.QueuedArrivals != 0 {
+		t.Fatalf("spurious scheduler activity: %d moves, %d queued",
+			res.NodeMigrations, res.QueuedArrivals)
+	}
+	checkDigest(t, digestOf(res.Nodes[0].Machine),
+		"0x1.0cf56d292c018p+05",
+		[]int64{9}, []string{"0x1.0442a9930bd98p+06"}, []int{0},
+		30502380, 0, 36)
+	checkDigest(t, digestOf(res.Nodes[1].Machine),
+		"0x1.9ef9c1375a5cep+05",
+		[]int64{82}, []string{"0x1.6b18bb52e034dp+06"}, []int{296},
+		39411319, 0, 97)
+}
+
 // TestFleetEquivalenceMPHARS pins a single-node fleet MP-HARS run against
 // the identical legacy scenario: machines must digest identically even
 // though admission now routes through the fleet scheduler.

@@ -160,6 +160,12 @@ type Manager struct {
 // NewManager attaches a HARS runtime manager to a process: it applies the
 // initial system state and thread schedule immediately (Algorithm 1 lines
 // 2–3) and adapts on heartbeats once registered as a daemon.
+//
+// A process arriving with heartbeat history — restored on this machine by
+// a work-conserving migration — attaches without state loss: the carried
+// beats count as already observed and the first adaptation waits a full
+// period past the move, so the manager never acts on rates measured on
+// another node.
 func NewManager(m *sim.Machine, proc *sim.Process, model *power.LinearModel, target heartbeat.Target, cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	mgr := &Manager{
@@ -167,6 +173,12 @@ func NewManager(m *sim.Machine, proc *sim.Process, model *power.LinearModel, tar
 		proc:   proc,
 		est:    NewEstimators(m.Platform(), len(proc.Threads), model),
 		target: target,
+	}
+	if count := proc.HB.Count(); count > 0 {
+		mgr.lastSeen = count
+		if rec, ok := proc.HB.Latest(); ok {
+			mgr.lastAdapt = rec.Index
+		}
 	}
 	if cfg.LearnRatio {
 		mgr.learner = NewRatioLearner(m.Platform(), len(proc.Threads))

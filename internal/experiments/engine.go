@@ -33,6 +33,7 @@ func Drivers() []Driver {
 		{"scenarios", ScenarioSweep},
 		{"thermal", ThermalSweep},
 		{"fleet", FleetSweep},
+		{"slo", SLOSweep},
 	}
 }
 

@@ -88,6 +88,28 @@ func (n *Node) Reconcile() {
 // runnable machine-wide.
 func (n *Node) Load() int { return n.RunnableCount() }
 
+// CapacityScore estimates the node's spare heartbeat-throughput capacity:
+// free cores weighted by each cluster's nominal speed (IPC × frequency
+// scale) at the active DVFS ceiling. A thermally throttled or capped node
+// therefore predicts less deliverable performance than a cold one with the
+// same free cores. The scale is dimensionless — comparable across nodes
+// within one decision, which is all a placement policy needs.
+func (n *Node) CapacityScore() float64 {
+	plat := n.Platform()
+	var s float64
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		s += float64(n.FreeCores(k)) * plat.NominalSpeed(k, n.LevelCap(k))
+	}
+	if n.MP == nil {
+		// Time-shared nodes always admit and FreeCores reports the full
+		// online count; discount by the instantaneous load so a busy
+		// time-shared node stops outscoring an idle one. Partitioned nodes
+		// need no discount — their free pool already reflects occupancy.
+		s /= float64(1 + n.Load())
+	}
+	return s
+}
+
 // MaxTempC returns the hotter cluster's modeled temperature, or the thermal
 // default ambient for nodes without a governor (an unmodeled node is
 // assumed cold — it has nothing to throttle).

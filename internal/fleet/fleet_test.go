@@ -31,31 +31,57 @@ func newMPNode(id int, name string, plat *hmp.Platform) *fleet.Node {
 }
 
 // testHost admits applications as 4-thread SW instances, registering them
-// with the node's MP-HARS manager when it has one.
+// with the node's MP-HARS manager when it has one. Migration is
+// work-conserving: Checkpoint captures the incarnation's run state and a
+// later Admit restores it on the destination. initAlloc, when set, chooses
+// the (big, little) registration allocation per app name; moveTimes logs
+// when each app was admitted after a checkpoint.
 type testHost struct {
-	t       *testing.T
-	admits  int
-	evicts  int
-	evicted []*sim.Process
+	t         *testing.T
+	admits    int
+	evicts    int
+	evicted   []*sim.Process
+	snaps     map[string]*sim.ProcSnapshot
+	initAlloc func(name string, moved bool) (int, int)
+	moveTimes map[string][]sim.Time
 }
 
 func (h *testHost) Admit(n *fleet.Node, app *fleet.App) bool {
-	b, _ := workload.ByShort("SW")
-	p := n.Spawn(app.Name, b.New(4), 10)
+	var p *sim.Process
+	moved := false
+	if snap := h.snaps[app.Name]; snap != nil {
+		p = n.Restore(snap, 0)
+		delete(h.snaps, app.Name)
+		moved = true
+		if h.moveTimes == nil {
+			h.moveTimes = make(map[string][]sim.Time)
+		}
+		h.moveTimes[app.Name] = append(h.moveTimes[app.Name], n.Now())
+	} else {
+		b, _ := workload.ByShort("SW")
+		p = n.Spawn(app.Name, b.New(4), 10)
+	}
 	if n.MP != nil {
-		n.MP.Register(n.Machine, p, heartbeat.Target{Min: 1, Avg: 2, Max: 3}, 1, 1)
+		big, little := 1, 1
+		if h.initAlloc != nil {
+			big, little = h.initAlloc(app.Name, moved)
+		}
+		n.MP.Register(n.Machine, p, heartbeat.Target{Min: 1, Avg: 2, Max: 3}, big, little)
 	}
 	app.Proc = p
 	h.admits++
 	return true
 }
 
-func (h *testHost) Evict(n *fleet.Node, app *fleet.App) {
+func (h *testHost) Checkpoint(n *fleet.Node, app *fleet.App) {
 	if n.MP != nil {
 		n.MP.Unregister(n.Machine, app.Proc)
 	}
-	n.Kill(app.Proc)
+	if h.snaps == nil {
+		h.snaps = make(map[string]*sim.ProcSnapshot)
+	}
 	h.evicted = append(h.evicted, app.Proc)
+	h.snaps[app.Name] = n.Checkpoint(app.Proc)
 	app.Proc = nil
 	h.evicts++
 }
@@ -194,6 +220,174 @@ func TestMigrationConservation(t *testing.T) {
 	}
 	if free := n0.FreeCores(hmp.Big) + n0.FreeCores(hmp.Little); free != 2 {
 		t.Fatalf("source node kept %d cores", 2-free)
+	}
+	// Work conservation: the restored incarnation carries the heartbeat
+	// monitor (history intact) and the banked work of the old one, and
+	// keeps making progress from there.
+	if a0.Proc.HB != host.evicted[0].HB {
+		t.Fatal("heartbeat monitor was not moved across the migration")
+	}
+	moveWork := a0.Proc.WorkDone()
+	if moveWork <= 0 {
+		t.Fatal("work was not carried across the migration")
+	}
+	f.RunUntil(2 * sim.Second)
+	if a0.Proc.WorkDone() <= moveWork {
+		t.Fatal("no progress after the work-conserving move")
+	}
+}
+
+// TestMigrationCooldownNoConsecutivePingPong pins the ping-pong fix: the
+// placement cooldown is strict, so an application moved in one migrate
+// pass is never moved again in the very next pass — even when saturation
+// and free capacity shift underneath it so that the scores would otherwise
+// send it straight back. Two moves of the same app are always at least two
+// migration periods apart.
+func TestMigrationCooldownNoConsecutivePingPong(t *testing.T) {
+	n0 := newMPNode(0, "n0", hmp.Default())
+	n1 := newMPNode(1, "n1", hmp.Default())
+	f, err := fleet.New(n0, n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := &testHost{t: t, initAlloc: func(name string, moved bool) (int, int) {
+		if name == "filler" {
+			return 3, 3
+		}
+		return 1, 1
+	}}
+	s := fleet.NewScheduler(f, host, fleet.Config{})
+
+	// x lands first (least-loaded ties to n0), then the pinned filler
+	// saturates n0 around it; x is the only migration victim.
+	filler := &fleet.App{Name: "filler", Pinned: n0}
+	x := &fleet.App{Name: "x"}
+	s.Arrive(x)
+	s.Arrive(filler)
+	if x.Node() != n0 || n0.CanAdmit() {
+		t.Fatalf("setup: x on %q, n0 admittable %v", x.Node().Name, n0.CanAdmit())
+	}
+
+	// Pass at 250 ms: x still cooling from its arrival placement. Pass at
+	// 500 ms: x moves to the empty n1.
+	f.RunUntil(600 * sim.Millisecond)
+	if got := host.moveTimes["x"]; len(got) != 1 || got[0] != 500*sim.Millisecond {
+		t.Fatalf("first move times = %v, want [500ms]", got)
+	}
+
+	// Shift the world under it: saturate n1 (a direct registration outside
+	// the scheduler) and empty n0, so the very next pass would send x
+	// straight back if the cooldown did not hold it.
+	b, _ := workload.ByShort("SW")
+	fp := n1.Spawn("direct-filler", b.New(4), 10)
+	n1.MP.Register(n1.Machine, fp, heartbeat.Target{Min: 1, Avg: 2, Max: 3}, 3, 3)
+	n0.MP.Unregister(n0.Machine, filler.Proc)
+	n0.Kill(filler.Proc)
+	s.Depart(filler)
+	checkInv(t, s)
+
+	f.RunUntil(1500 * sim.Millisecond)
+	moves := host.moveTimes["x"]
+	if len(moves) != 2 {
+		t.Fatalf("moves = %v, want exactly 2", moves)
+	}
+	// The bounce happened — but at 1000 ms, not at the 750 ms pass
+	// immediately after the first move.
+	if got := moves[1] - moves[0]; got != 500*sim.Millisecond {
+		t.Fatalf("consecutive moves %v apart, want 2 migration periods", got)
+	}
+	checkInv(t, s)
+}
+
+// TestQueueFIFOMultiFree pins admission-queue fairness across every
+// placement policy: when several partitions free up in the same tick,
+// queued arrivals are admitted strictly in arrival order — the earliest
+// waiters take the freed capacity and the latest keeps waiting.
+func TestQueueFIFOMultiFree(t *testing.T) {
+	for _, policy := range fleet.Policies() {
+		n0 := newMPNode(0, "n0", tinyPlatform())
+		n1 := newMPNode(1, "n1", tinyPlatform())
+		f, err := fleet.New(n0, n1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		host := &testHost{t: t}
+		s := fleet.NewScheduler(f, host, fleet.Config{Policy: policy})
+
+		slo := &fleet.SLO{TargetHPS: 2, SlackMS: 100}
+		o0 := &fleet.App{Name: "o0", Pinned: n0}
+		o1 := &fleet.App{Name: "o1", Pinned: n1}
+		s.Arrive(o0)
+		s.Arrive(o1)
+		queued := []*fleet.App{
+			{Name: "q0", SLO: slo}, {Name: "q1", SLO: slo}, {Name: "q2", SLO: slo},
+		}
+		for _, q := range queued {
+			s.Arrive(q)
+			if !q.Queued() {
+				t.Fatalf("%s: %s admitted onto a saturated fleet", policy.Name(), q.Name)
+			}
+		}
+		// Both occupants depart in the same instant; the next tick's drain
+		// sees two free partitions at once.
+		for _, o := range []*fleet.App{o0, o1} {
+			o.Node().MP.Unregister(o.Node().Machine, o.Proc)
+			o.Node().Kill(o.Proc)
+			s.Depart(o)
+		}
+		f.Step()
+		if !queued[0].Placed() || !queued[1].Placed() {
+			t.Fatalf("%s: earliest waiters not admitted: q0=%v q1=%v",
+				policy.Name(), queued[0].Placed(), queued[1].Placed())
+		}
+		if !queued[2].Queued() {
+			t.Fatalf("%s: q2 overtook an earlier waiter", policy.Name())
+		}
+		if queued[0].Node() == queued[1].Node() {
+			t.Fatalf("%s: both waiters admitted to %q", policy.Name(), queued[0].Node().Name)
+		}
+		checkInv(t, s)
+	}
+}
+
+// TestSLOAwarePolicy pins the SLO-aware placement policy: arrivals land on
+// the node with the most predicted capacity for their target (where
+// least-loaded would tie-break to the weak node), DVFS-capped nodes
+// predict less, and the checkpoint-cost model discounts migration
+// destinations against the app's slack budget.
+func TestSLOAwarePolicy(t *testing.T) {
+	weak := newMPNode(0, "weak", tinyPlatform())
+	strong := newMPNode(1, "strong", hmp.Default())
+	f, err := fleet.New(weak, strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := &testHost{t: t}
+	s := fleet.NewScheduler(f, host, fleet.Config{Policy: fleet.NewSLOAware(sim.CheckpointCost{})})
+	app := &fleet.App{Name: "a", SLO: &fleet.SLO{TargetHPS: 10, SlackMS: 200}}
+	s.Arrive(app)
+	if app.Node() != strong {
+		t.Fatalf("slo-aware placed on %q, want the high-capacity node", app.Node().Name)
+	}
+
+	// A capped cluster predicts less deliverable capacity.
+	before := strong.CapacityScore()
+	strong.SetLevelCap(hmp.Big, 0)
+	if after := strong.CapacityScore(); after >= before {
+		t.Fatalf("capacity score ignored the DVFS cap: %v -> %v", before, after)
+	}
+	strong.SetLevelCap(hmp.Big, strong.Platform().Clusters[hmp.Big].MaxLevel())
+
+	// Migration destinations are discounted by the move delay, scaled
+	// against the app's slack: a costly checkpoint lowers every foreign
+	// node's score but leaves the current node's alone.
+	free := fleet.NewSLOAware(sim.CheckpointCost{})
+	costly := fleet.NewSLOAware(sim.CheckpointCost{Freeze: 50 * sim.Millisecond})
+	if free.Score(weak, app) <= costly.Score(weak, app) {
+		t.Fatal("checkpoint cost did not discount the migration destination")
+	}
+	if free.Score(strong, app) != costly.Score(strong, app) {
+		t.Fatal("checkpoint cost leaked into the app's current node score")
 	}
 }
 

@@ -5,20 +5,24 @@ import (
 	"sort"
 
 	"repro/internal/hmp"
+	"repro/internal/sim"
 )
 
 // Policy is a pluggable placement policy: it scores the desirability of
 // admitting an application onto a node. The scheduler picks the admissible
 // node with the highest score, breaking ties by the lowest node index, so a
 // policy never has to think about capacity or determinism — only
-// preference.
+// preference. The application being placed is passed so SLO-aware policies
+// can score per app; the classic policies ignore it.
 type Policy interface {
 	// Name is the policy's registry key (the scenario format's "placement"
 	// field).
 	Name() string
-	// Score rates node n as a destination; higher is better. Scores are
-	// compared within one decision only, so any consistent scale works.
-	Score(n *Node) float64
+	// Score rates node n as a destination for app; higher is better.
+	// Scores are compared within one decision only, so any consistent
+	// scale works. For a placed app, a candidate other than its current
+	// node is a migration destination — policies may charge the move.
+	Score(n *Node, app *App) float64
 }
 
 // The built-in policy names.
@@ -26,14 +30,15 @@ const (
 	PolicyLeastLoaded = "least-loaded"
 	PolicyBigFirst    = "big-first"
 	PolicyCoolest     = "coolest"
+	PolicySLOAware    = "slo-aware"
 )
 
 // leastLoaded steers arrivals to the node with the fewest runnable threads
 // — the classic load balancer, blind to heterogeneity and heat.
 type leastLoaded struct{}
 
-func (leastLoaded) Name() string          { return PolicyLeastLoaded }
-func (leastLoaded) Score(n *Node) float64 { return -float64(n.Load()) }
+func (leastLoaded) Name() string                  { return PolicyLeastLoaded }
+func (leastLoaded) Score(n *Node, _ *App) float64 { return -float64(n.Load()) }
 
 // bigFirst is the heterogeneity-aware policy: it steers arrivals to the
 // node with the most free big-core capacity, falling back on free little
@@ -42,7 +47,7 @@ func (leastLoaded) Score(n *Node) float64 { return -float64(n.Load()) }
 type bigFirst struct{}
 
 func (bigFirst) Name() string { return PolicyBigFirst }
-func (bigFirst) Score(n *Node) float64 {
+func (bigFirst) Score(n *Node, _ *App) float64 {
 	// Weight big capacity far above little so a single free big core beats
 	// any amount of free little capacity (platforms stay well under 64
 	// cores per cluster, the CPU-mask width).
@@ -56,12 +61,56 @@ func (bigFirst) Score(n *Node) float64 {
 // score as ambient.
 type coolest struct{}
 
-func (coolest) Name() string          { return PolicyCoolest }
-func (coolest) Score(n *Node) float64 { return -n.MaxTempC() }
+func (coolest) Name() string                  { return PolicyCoolest }
+func (coolest) Score(n *Node, _ *App) float64 { return -n.MaxTempC() }
 
-// Policies returns the built-in policies in presentation order.
+// defaultSlackMS is the migration-delay budget assumed for SLO'd apps that
+// declare no slack of their own.
+const defaultSlackMS = 100.0
+
+// SLOAware is the latency/SLO-aware policy: it scores a node by the
+// application's predicted target slack there — the node's spare heartbeat
+// capacity (free cores weighted by per-cluster nominal speed at the active
+// frequency ceilings, so DVFS capping and thermal throttling lower the
+// prediction) relative to the app's SLO target rate — and charges the
+// checkpoint-move delay against the app's slack budget when the candidate
+// is a migration destination. Apps without an SLO fall back to the raw
+// capacity score, so mixed fleets still place sensibly.
+type SLOAware struct {
+	// Cost is the fleet's work-conserving migration cost model; its Delay
+	// is the stall a move charges, scored against the app's SlackMS.
+	Cost sim.CheckpointCost
+}
+
+// NewSLOAware builds the SLO-aware policy over a migration cost model.
+func NewSLOAware(cost sim.CheckpointCost) *SLOAware { return &SLOAware{Cost: cost} }
+
+// Name implements Policy.
+func (p *SLOAware) Name() string { return PolicySLOAware }
+
+// Score implements Policy: predicted target slack minus the normalized
+// migration delay.
+func (p *SLOAware) Score(n *Node, app *App) float64 {
+	cap := n.CapacityScore()
+	if app == nil || app.SLO == nil || app.SLO.TargetHPS <= 0 {
+		return cap
+	}
+	score := cap/app.SLO.TargetHPS - 1
+	if app.Placed() && app.Node() != n {
+		slack := float64(app.SLO.SlackMS)
+		if slack <= 0 {
+			slack = defaultSlackMS
+		}
+		score -= float64(p.Cost.Delay()) / float64(sim.Millisecond) / slack
+	}
+	return score
+}
+
+// Policies returns the built-in policies in presentation order (the
+// SLO-aware entry carries a zero, free-move cost model; use NewSLOAware to
+// price migrations).
 func Policies() []Policy {
-	return []Policy{leastLoaded{}, bigFirst{}, coolest{}}
+	return []Policy{leastLoaded{}, bigFirst{}, coolest{}, NewSLOAware(sim.CheckpointCost{})}
 }
 
 // PolicyNames returns the registered policy names, sorted.

@@ -12,15 +12,20 @@ import (
 // harness) owns the programs, targets, and managers, while the scheduler
 // owns the decisions — which node, when to queue, when to move.
 type Host interface {
-	// Admit spawns and registers the application on node n, setting
-	// app.Proc, and reports success. A false return (capacity vanished
-	// between the check and the registration) re-queues the app.
+	// Admit places the application on node n, setting app.Proc, and
+	// reports success. A first admission spawns the application; an
+	// admission following Checkpoint restores the held run state
+	// (work-conserving migration), charging the host's checkpoint-cost
+	// model. A false return (capacity vanished between the check and the
+	// registration) re-queues the app.
 	Admit(n *Node, app *App) bool
-	// Evict tears the application down on node n for a migration:
-	// unregister from the node's manager, kill the process, accumulate its
-	// statistics, and clear app.Proc. Admit on the destination follows
-	// immediately.
-	Evict(n *Node, app *App)
+	// Checkpoint freezes the application's run state on node n and tears
+	// the local incarnation down: unregister from the node's manager,
+	// capture progress/heartbeat/wakeup state, and clear app.Proc. The
+	// next Admit — usually on the migration destination in the same pass,
+	// or from the queue if capacity vanished mid-move — resumes that
+	// state instead of respawning.
+	Checkpoint(n *Node, app *App)
 }
 
 // appState tracks where an application is in the admission lifecycle.
@@ -32,6 +37,19 @@ const (
 	appDeparted
 )
 
+// SLO is an application's service-level objective: the heartbeat rate it
+// must sustain and how much extra placement latency (queueing plus
+// migration freeze) its owner tolerates. The SLO-aware placement policy
+// scores candidate nodes against it; the scenario layer reports per-sample
+// misses against TargetHPS.
+type SLO struct {
+	// TargetHPS is the heartbeat rate the application must sustain.
+	TargetHPS float64
+	// SlackMS is the tolerated extra delay budget in milliseconds;
+	// migration freeze time is scored against it (0 = a default budget).
+	SlackMS int64
+}
+
 // App is the fleet scheduler's per-application record. The Host keeps its
 // own payload alongside (Payload) and maintains Proc; the scheduler
 // maintains everything else.
@@ -41,8 +59,11 @@ type App struct {
 	// Pinned, when non-nil, restricts placement to one node: the app
 	// queues rather than land anywhere else, and it never migrates.
 	Pinned *Node
+	// SLO, when non-nil, is the application's service-level objective,
+	// consulted by SLO-aware placement.
+	SLO *SLO
 	// Proc is the application's current incarnation, set by Host.Admit and
-	// cleared by Host.Evict. The scheduler reads it only to size
+	// cleared by Host.Checkpoint. The scheduler reads it only to size
 	// migrations (partition allocation lookup).
 	Proc *sim.Process
 	// Payload is the host's per-application state, opaque to the scheduler.
@@ -279,7 +300,7 @@ func (s *Scheduler) pick(app *App, exclude *Node, minFree int) *Node {
 		if minFree > 0 && n.FreeCores(hmp.Big)+n.FreeCores(hmp.Little) < minFree {
 			continue
 		}
-		score := s.cfg.Policy.Score(n)
+		score := s.cfg.Policy.Score(n, app)
 		if best == nil || score > bestScore {
 			best, bestScore = n, score
 		}
@@ -290,14 +311,18 @@ func (s *Scheduler) pick(app *App, exclude *Node, minFree int) *Node {
 // migratePass moves at most one application off every saturated
 // partitioned node: the node has no free core in either cluster, so new
 // arrivals there queue and its own applications cannot grow. The victim is
-// the smallest-allocation unpinned application (cheapest to restart; ties
-// to the most recent arrival), the destination is the policy's preferred
-// node among those with MigrateMinFree free cores — and strictly more free
-// cores than the victim already holds, so every move gives the victim room
-// to grow and frees its whole allocation on the source. The strict-gain
-// rule is also what makes the pass stable: an app that saturates every
-// node it lands on finds no destination better than where it sits, instead
-// of ping-ponging between equally-sized nodes every pass.
+// the smallest-allocation unpinned application (cheapest to move; ties to
+// the most recent arrival), the destination is the policy's preferred node
+// among those with MigrateMinFree free cores — strictly more free cores
+// than the victim already holds, so every move gives the victim room to
+// grow and frees its whole allocation on the source — and only if the
+// policy does not score the destination below the victim's current node,
+// so a move whose predicted gain does not cover its cost (the SLO-aware
+// policy charges the checkpoint delay against the app's slack here) simply
+// does not happen. The
+// strict-gain rule is also what makes the pass stable: an app that
+// saturates every node it lands on finds no destination better than where
+// it sits, instead of ping-ponging between equally-sized nodes every pass.
 func (s *Scheduler) migratePass() {
 	now := s.f.Now()
 	for _, src := range s.f.Nodes() {
@@ -319,7 +344,10 @@ func (s *Scheduler) migratePass() {
 		if dest == nil {
 			continue
 		}
-		s.host.Evict(src, victim)
+		if s.cfg.Policy.Score(dest, victim) < s.cfg.Policy.Score(src, victim) {
+			continue
+		}
+		s.host.Checkpoint(src, victim)
 		if s.host.Admit(dest, victim) {
 			victim.node = dest
 			victim.placedAt = now
@@ -344,7 +372,11 @@ func (s *Scheduler) migratePass() {
 
 // victimOn picks the application to move off a saturated node (and returns
 // its current core allocation): unpinned, past the cooldown, smallest
-// partition allocation, ties to the latest arrival.
+// partition allocation, ties to the latest arrival. The cooldown is
+// strict — an app placed exactly one migration period ago is still
+// cooling — so an app moved in one pass is never eligible again in the
+// very next pass: bouncing between two nodes on consecutive passes is
+// impossible by construction, whatever the policy scores say.
 func (s *Scheduler) victimOn(src *Node, now sim.Time) (*App, int) {
 	var victim *App
 	victimAlloc := 0
@@ -352,7 +384,7 @@ func (s *Scheduler) victimOn(src *Node, now sim.Time) (*App, int) {
 		if app.state != appPlaced || app.node != src || app.Pinned != nil || app.Proc == nil {
 			continue
 		}
-		if now-app.placedAt < s.cfg.MigrateEvery {
+		if now-app.placedAt <= s.cfg.MigrateEvery {
 			continue
 		}
 		b, l := src.MP.Allocation(app.Proc)

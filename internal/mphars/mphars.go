@@ -187,6 +187,12 @@ func New(m *sim.Machine, model *power.LinearModel, cfg Config) *Manager {
 // Register adds an application with its performance target and an initial
 // allocation of initBig big and initLittle little cores (clamped to what is
 // free). The threads are scheduled onto the allocation immediately.
+//
+// A process arriving with heartbeat history — the destination side of a
+// work-conserving migration — re-registers without state loss: the manager
+// adopts the carried history as already observed (no replay of old beats
+// through the freezing counters) and schedules the first adaptation a full
+// period after the move, so decisions rest on rates measured here.
 func (mgr *Manager) Register(m *sim.Machine, proc *sim.Process, target heartbeat.Target, initBig, initLittle int) *appNode {
 	n := &appNode{
 		proc:     proc,
@@ -194,6 +200,13 @@ func (mgr *Manager) Register(m *sim.Machine, proc *sim.Process, target heartbeat
 		est:      core.NewEstimators(mgr.plat, len(proc.Threads), mgr.model),
 		useBCore: make([]bool, mgr.plat.Clusters[hmp.Big].Cores),
 		useLCore: make([]bool, mgr.plat.Clusters[hmp.Little].Cores),
+	}
+	if count := proc.HB.Count(); count > 0 {
+		n.lastSeen = count
+		if rec, ok := proc.HB.Latest(); ok {
+			n.adaptationIndex = rec.Index
+			n.lastRate = rec.WindowRate
+		}
 	}
 	proc.HB.SetTarget(target)
 	n.nprocsB = minInt(initBig, mgr.freeCount(hmp.Big))

@@ -76,6 +76,15 @@
 //     for the whole run — enforced by the placer on every placement and
 //     hotplug re-placement. Unmanaged scenarios only ("none", "gts"): the
 //     HARS / MP-HARS managers own their applications' masks.
+//   - slo (per app, and per arrival stream): the application's service-
+//     level objective, {"target_hps": 3, "slack_ms": 150}. The slo-aware
+//     placement policy scores candidate nodes against target_hps and
+//     charges migration freeze time against slack_ms; the engine counts
+//     an SLO miss for every trace sample at which the app delivers less
+//     than target_hps (queued and migration-frozen apps deliver nothing;
+//     stale window rates older than two target periods count as zero).
+//     Misses are pure accounting — AppResult.SLOSamples/SLOMisses and the
+//     fleet rollups — and never change the trace bytes.
 //
 // # Multi-node (fleet) scenarios
 //
@@ -85,16 +94,23 @@
 //	  "name": "fleet",
 //	  "manager": "mphars-i",
 //	  "duration_ms": 20000,
-//	  "placement": "coolest",
+//	  "placement": "slo-aware",
 //	  "migrate_every_ms": 250,
+//	  "checkpoint": {"freeze_us": 5000, "per_mb_us": 500, "size_mb": 8},
 //	  "nodes": [
 //	    {"name": "n0", "thermal": {"enabled": true}},
 //	    {"name": "n1", "manager": "hars-e", "adapt_every": 2},
 //	    {"name": "n2", "platform": {"Clusters": [...], "BaseKHz": 800000}}
 //	  ],
 //	  "apps": [
-//	    {"name": "sw0", "bench": "SW", "threads": 8},
+//	    {"name": "sw0", "bench": "SW", "threads": 8,
+//	     "slo": {"target_hps": 3, "slack_ms": 150}},
 //	    {"name": "fe0", "bench": "FE", "threads": 4, "node": "n1"}
+//	  ],
+//	  "arrivals": [
+//	    {"name": "web", "node": "n2", "bench": "BO", "threads": 4, "seed": 9,
+//	     "lifetime_ms": 3000, "slo": {"target_hps": 3},
+//	     "rate": [{"until_ms": 8000, "per_s": 0.8}, {"per_s": 0.2}]}
 //	  ],
 //	  "events": [
 //	    {"at_ms": 4000, "kind": "hotplug", "node": "n0", "cpu": 7, "online": false},
@@ -109,22 +125,52 @@
 // lockstep on one deterministic clock (internal/fleet). Arrivals are
 // admitted to a node by the placement policy ("least-loaded" default,
 // "big-first" = most free big-core capacity, "coolest" = lowest modeled
-// temperature) or by their "node" pin; platform events (hotplug, dvfs_cap)
-// must name the node they act on, while app events address the app
-// wherever it runs.
+// temperature, "slo-aware" = best predicted target slack: free-capacity-
+// weighted nominal speed at the active frequency ceilings relative to the
+// app's slo target, minus the checkpoint delay scored against its slack
+// when the candidate is a migration destination) or by their "node" pin;
+// platform events (hotplug, dvfs_cap) must name the node they act on,
+// while app events address the app wherever it runs.
+//
+// Traffic traces: each "arrivals" stream is a seeded Poisson arrival
+// process with a piecewise-constant rate profile ("rate" steps, each
+// active until until_ms; 0 on the last step = end of run). At run time it
+// expands deterministically into concrete arrivals named "<name>-<i>" —
+// copies of the stream's app template, optionally pinned to the stream's
+// node, departing lifetime_ms after they start, at most max_apps of them
+// (default 64). The same document always expands identically (the seed
+// drives everything), so replays remain byte-identical; the scenario
+// document itself is never mutated.
 //
 // Admission control: an arrival finding no free core partition on any
 // admissible node queues FIFO fleet-wide (Result.QueuedArrivals) and is
 // admitted the tick a partition frees up — departure, hotplug, or an
-// adaptation shrinking a neighbour; arrivals still waiting when the run
-// (or their departure) ends count as dropped (Result.DroppedArrivals,
-// AppResult.Skipped). The same queue serves classic single-machine
-// MP-HARS scenarios, which previously skipped such arrivals outright.
-// Every migrate_every_ms (250 ms default, -1 disables) the scheduler also
-// moves one application off each saturated partitioned node to the
-// policy's preferred node with free capacity — the app is respawned there
-// (its statistics accumulate across incarnations; AppResult.NodeMigrations
-// counts the moves).
+// adaptation shrinking a neighbour; queued arrivals admit strictly in
+// arrival order even when several partitions free at once; arrivals still
+// waiting when the run (or their departure) ends count as dropped
+// (Result.DroppedArrivals, AppResult.Skipped). The same queue serves
+// classic single-machine MP-HARS scenarios, which previously skipped such
+// arrivals outright.
+//
+// Work-conserving migration: every migrate_every_ms (250 ms default, -1
+// disables) the scheduler moves one application off each saturated
+// partitioned node to the policy's preferred node with free capacity —
+// the destination must hold strictly more free cores than the victim's
+// allocation, must not score below the victim's current node under the
+// placement policy, and the victim must be past a strict cooldown (placed
+// more than one period ago), so an app can never bounce between two nodes
+// on consecutive passes. The move checkpoints the application's run state
+// — program-internal state, per-thread progress, heartbeat history,
+// pending wakeups (sim.ProcSnapshot) — and restores it on the destination
+// with statistics continuous across nodes (EvMigrateOut/EvMigrateIn
+// machine-trace events mark the two sides; AppResult.NodeMigrations
+// counts the moves). The "checkpoint" block prices the move: the app
+// stays frozen for freeze_us + per_mb_us × size_mb on the shared clock
+// before resuming (AppResult.MigrationDelayUS totals the frozen time); a
+// missing or all-zero block is a free move, bit-for-bit identical to no
+// block at all. The node's manager re-attaches without state loss: the
+// carried heartbeat history counts as already observed and the first
+// adaptation waits a full period past the move.
 //
 // Multi-node traces replace the "m" line with per-node "n" (and "h")
 // lines, add the node and fleet-move columns to "a" lines, and append an

@@ -64,9 +64,9 @@ type AppResult struct {
 	Name       string
 	Beats      int64
 	Work       float64
-	Migrations int  // thread-level core migrations, summed over incarnations
+	Migrations int  // thread-level core migrations, continuous across nodes
 	Arrived    bool // the arrival fired (always true once start_ms passed)
-	Departed   bool // the departure fired while the app was running
+	Departed   bool // the departure fired after the app had run
 	// Skipped: the app was never admitted — every partition stayed full
 	// from its arrival to the end of the run (the app never spawned).
 	Skipped bool
@@ -78,6 +78,15 @@ type AppResult struct {
 	Node string
 	// NodeMigrations counts fleet-level moves between nodes.
 	NodeMigrations int
+	// MigrationDelayUS is the total time the app spent frozen by
+	// work-conserving moves: checkpoint freeze and transfer charges, plus
+	// any re-queue wait while its captured state was parked.
+	MigrationDelayUS sim.Time
+	// SLOSamples/SLOMisses count the trace samples scored against the
+	// app's SLO and how many delivered less than its target rate (always
+	// zero for apps without an "slo" block).
+	SLOSamples int
+	SLOMisses  int
 }
 
 // NodeResult summarizes one node of the run.
@@ -117,6 +126,12 @@ type Result struct {
 	DroppedArrivals int
 	// NodeMigrations counts fleet-level application moves.
 	NodeMigrations int
+	// MigrationDelayUS totals the freeze time charged by work-conserving
+	// moves across all apps; SLOSamples/SLOMisses total the per-app SLO
+	// scoring (see AppResult).
+	MigrationDelayUS sim.Time
+	SLOSamples       int
+	SLOMisses        int
 
 	// MP is the MP-HARS manager of legacy mphars-* scenarios (nil
 	// otherwise — multi-node runs carry theirs in Nodes); Managers maps
@@ -154,7 +169,11 @@ type action struct {
 	app  *appRun // arrivals and departures
 }
 
-// appRun is the engine's per-application state.
+// appRun is the engine's per-application state: the checkpointable
+// lifecycle identity the fleet scheduler moves between nodes. While the
+// app runs, proc is its live incarnation; while its state is frozen
+// between nodes (mid-migration, or parked in the queue after a failed
+// move), ckpt holds the captured run state and proc is nil.
 type appRun struct {
 	spec *AppSpec
 	fapp *fleet.App // scheduler record (Payload points back here)
@@ -164,6 +183,13 @@ type appRun struct {
 	mgr  *core.Manager // on hars-* nodes
 	res  AppResult
 
+	// Checkpointed run state between incarnations (work-conserving
+	// migration): set by Checkpoint, consumed by the next Admit. ckptAt
+	// is when the app was frozen; delayUS totals frozen time.
+	ckpt    *sim.ProcSnapshot
+	ckptAt  sim.Time
+	delayUS sim.Time
+
 	// Runtime re-targeting state from scripted target/phase events, kept
 	// here so a migration (or an admission delayed past the event)
 	// re-applies the scripted change instead of reverting to the spec.
@@ -171,10 +197,47 @@ type appRun struct {
 	curFrac   float64
 	curScale  float64
 
-	// Statistics accumulated from incarnations torn down by migration.
-	doneBeats int64
-	doneWork  float64
-	doneMig   int
+	// SLO scoring tallies (see scoreSLO).
+	sloSamples int
+	sloMisses  int
+}
+
+// beats returns the app's cumulative heartbeat count — continuous across
+// nodes, read from the live incarnation or the frozen checkpoint.
+func (a *appRun) beats() int64 {
+	switch {
+	case a.proc != nil:
+		return a.proc.HB.Count()
+	case a.ckpt != nil:
+		return a.ckpt.Beats()
+	}
+	return 0
+}
+
+// work returns the app's cumulative retired work.
+func (a *appRun) work() float64 {
+	switch {
+	case a.proc != nil:
+		return a.proc.WorkDone()
+	case a.ckpt != nil:
+		return a.ckpt.WorkDone()
+	}
+	return 0
+}
+
+// threadMigrations returns the app's cumulative core-migration count.
+func (a *appRun) threadMigrations() int {
+	switch {
+	case a.proc != nil:
+		mig := 0
+		for _, t := range a.proc.Threads {
+			mig += t.Migrations()
+		}
+		return mig
+	case a.ckpt != nil:
+		return a.ckpt.Migrations()
+	}
+	return 0
 }
 
 // targetSpec returns the app's current target parameters: the last scripted
@@ -210,6 +273,8 @@ type engine struct {
 	fl        *fleet.Fleet
 	sched     *fleet.Scheduler
 	apps      []*appRun
+	appSpecs  []AppSpec // declared apps + arrival-stream expansions
+	ckptCost  sim.CheckpointCost
 
 	rates map[string]float64 // max-rate cache: "short/threads/node"
 	trace *bufio.Writer
@@ -234,7 +299,7 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 	if plat == nil {
 		plat = hmp.Default()
 	}
-	resolved, err := sc.resolveAndValidate(plat)
+	resolved, appSpecs, err := sc.resolveAndValidate(plat)
 	if err != nil {
 		return nil, err
 	}
@@ -242,11 +307,19 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ckptCost := sc.Checkpoint.Cost()
+	if sa, ok := policy.(*fleet.SLOAware); ok {
+		// The SLO-aware policy prices migration destinations with the
+		// scenario's checkpoint-cost model.
+		sa.Cost = ckptCost
+	}
 
 	e := &engine{
 		sc: sc, opts: opts, fleetMode: fleetMode,
-		rates: make(map[string]float64),
-		hash:  fnv.New64a(),
+		appSpecs: appSpecs,
+		ckptCost: ckptCost,
+		rates:    make(map[string]float64),
+		hash:     fnv.New64a(),
 	}
 	out := io.Writer(e.hash)
 	if opts.Trace != nil {
@@ -276,12 +349,15 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 		MigrateEvery: migrate,
 	})
 
-	for i := range sc.Apps {
-		spec := &sc.Apps[i]
+	for i := range e.appSpecs {
+		spec := &e.appSpecs[i]
 		a := &appRun{spec: spec, res: AppResult{Name: spec.Name}}
 		a.fapp = &fleet.App{Name: spec.Name, Payload: a}
 		if spec.Node != "" {
 			a.fapp.Pinned = e.nodeRunByName(spec.Node).fn
+		}
+		if spec.SLO != nil {
+			a.fapp.SLO = &fleet.SLO{TargetHPS: spec.SLO.TargetHPS, SlackMS: spec.SLO.SlackMS}
 		}
 		e.apps = append(e.apps, a)
 	}
@@ -453,30 +529,25 @@ func (e *engine) result() *Result {
 	res.QueuedArrivals = stats.Queued
 	res.NodeMigrations = stats.Migrations
 	for _, a := range e.apps {
-		a.res.Beats = a.doneBeats
-		a.res.Work = a.doneWork
-		a.res.Migrations = a.doneMig
-		if a.proc != nil {
-			a.res.Beats += a.proc.HB.Count()
-			a.res.Work += a.proc.WorkDone()
-			for _, t := range a.proc.Threads {
-				a.res.Migrations += t.Migrations()
-			}
-		}
+		a.res.Beats = a.beats()
+		a.res.Work = a.work()
+		a.res.Migrations = a.threadMigrations()
 		a.res.Queued = a.fapp.EverQueued()
 		a.res.NodeMigrations = a.fapp.Migrations()
-		if a.node != nil {
-			a.res.Node = a.node.rn.name
-		}
+		a.res.MigrationDelayUS = a.delayUS
+		a.res.SLOSamples = a.sloSamples
+		a.res.SLOMisses = a.sloMisses
 		// Skipped = the app never ran at all: no live incarnation at the
-		// end, no departure, and nothing banked by a torn-down one (an
-		// app evicted mid-migration and never re-admitted is not
+		// end, no departure, and no run state frozen by a move (an app
+		// checkpointed mid-migration and never re-admitted is not
 		// "skipped" — it ran; its Queued flag records the stall).
-		if a.res.Arrived && a.proc == nil && !a.res.Departed &&
-			a.doneBeats == 0 && a.doneWork == 0 {
+		if a.res.Arrived && a.proc == nil && a.ckpt == nil && !a.res.Departed {
 			a.res.Skipped = true
 			res.DroppedArrivals++
 		}
+		res.MigrationDelayUS += a.delayUS
+		res.SLOSamples += a.sloSamples
+		res.SLOMisses += a.sloMisses
 		res.Apps = append(res.Apps, a.res)
 	}
 	for _, a := range e.apps {
@@ -548,12 +619,18 @@ func (e *engine) apply(act action) {
 	}
 }
 
-// Admit implements fleet.Host: spawn the application on the chosen node and
-// attach its runtime management. Called by the scheduler at arrival, at
-// queue drain, and on the destination side of a migration.
+// Admit implements fleet.Host: place the application on the chosen node
+// and attach its runtime management. A first admission spawns the program;
+// an admission of a checkpointed app (the destination side of a
+// work-conserving migration, or a queue drain after a failed move)
+// restores the held run state instead. Called by the scheduler at arrival,
+// at queue drain, and during the migrate pass.
 func (e *engine) Admit(n *fleet.Node, app *fleet.App) bool {
 	a := app.Payload.(*appRun)
 	nr := e.nodes[n.ID]
+	if a.ckpt != nil {
+		return e.admitRestored(nr, app, a)
+	}
 	b, _ := workload.ByShort(a.spec.Bench)
 	threads := a.spec.Threads
 	if threads <= 0 {
@@ -588,6 +665,7 @@ func (e *engine) Admit(n *fleet.Node, app *fleet.App) bool {
 		a.proc = nr.m.Spawn(a.spec.Name, a.prog, window)
 		nr.mp.Register(nr.m, a.proc, tgt, initB, initL)
 		a.node = nr
+		a.res.Node = nr.rn.name
 		app.Proc = a.proc
 		// No applyAffinity here: validation rejects affinity masks on
 		// managed candidate nodes — MP-HARS owns its apps' masks.
@@ -598,6 +676,7 @@ func (e *engine) Admit(n *fleet.Node, app *fleet.App) bool {
 	a.applyPhaseScale()
 	a.proc = nr.m.Spawn(a.spec.Name, a.prog, window)
 	a.node = nr
+	a.res.Node = nr.rn.name
 	app.Proc = a.proc
 	switch nr.rn.manager {
 	case ManagerHARSI, ManagerHARSE, ManagerHARSEI:
@@ -656,16 +735,79 @@ func (e *engine) applyAffinity(a *appRun) {
 	}
 }
 
-// Evict implements fleet.Host: tear the application down on its node for a
-// migration, banking the incarnation's statistics.
-func (e *engine) Evict(n *fleet.Node, app *fleet.App) {
+// admitRestored continues a checkpointed application on the chosen node:
+// the held run state (program, heartbeat history, thread progress, pending
+// wakeups) resumes once the checkpoint delay — charged from the moment the
+// app was frozen — has elapsed, and the node's runtime management
+// re-attaches without state loss.
+func (e *engine) admitRestored(nr *nodeRun, app *fleet.App, a *appRun) bool {
+	tgtSpec, tgtFrac := a.targetSpec()
+	tgt := e.target(tgtSpec, tgtFrac, a.spec.Bench, threadsOf(a), nr)
+	resume := a.ckptAt + e.ckptCost.Delay()
+	if now := nr.m.Now(); resume < now {
+		resume = now
+	}
+
+	if nr.mp != nil {
+		freeB, freeL := nr.mp.FreeCores(hmp.Big), nr.mp.FreeCores(hmp.Little)
+		if freeB+freeL == 0 {
+			return false
+		}
+		initB := minInt(intOr(a.spec.InitBig, 1), freeB)
+		initL := minInt(intOr(a.spec.InitLittle, 1), freeL)
+		if initB+initL == 0 {
+			if freeL > 0 {
+				initL = 1
+			} else {
+				initB = 1
+			}
+		}
+		a.proc = nr.m.Restore(a.ckpt, resume)
+		nr.mp.Register(nr.m, a.proc, tgt, initB, initL)
+	} else {
+		a.proc = nr.m.Restore(a.ckpt, resume)
+		switch nr.rn.manager {
+		case ManagerHARSI, ManagerHARSE, ManagerHARSEI:
+			v := core.HARSI
+			switch nr.rn.manager {
+			case ManagerHARSE:
+				v = core.HARSE
+			case ManagerHARSEI:
+				v = core.HARSEI
+			}
+			st := hmp.MaxState(nr.rn.plat)
+			bd := core.MachineBounds(nr.m)
+			st.BigCores = minInt(st.BigCores, bd.MaxBigCores)
+			st.LittleCores = minInt(st.LittleCores, bd.MaxLittleCores)
+			st.BigLevel = minInt(st.BigLevel, bd.BigLevelCap-1)
+			st.LittleLevel = minInt(st.LittleLevel, bd.LittleLevelCap-1)
+			a.mgr = core.NewManager(nr.m, a.proc, nr.model, tgt, core.Config{
+				Version:     v,
+				AdaptEvery:  nr.rn.adaptEvery,
+				OverheadCPU: nr.rn.overheadCPU,
+				InitState:   &st,
+			})
+			nr.m.AddDaemon(a.mgr)
+		default:
+			a.proc.HB.SetTarget(tgt)
+			e.applyAffinity(a)
+		}
+	}
+	a.delayUS += resume - a.ckptAt
+	a.ckpt = nil
+	a.node = nr
+	a.res.Node = nr.rn.name
+	app.Proc = a.proc
+	return true
+}
+
+// Checkpoint implements fleet.Host: freeze the application's run state on
+// its node for a work-conserving move — detach its runtime management,
+// capture progress/heartbeat/wakeup state, and tear the local incarnation
+// down. Statistics stay continuous: the next Admit resumes exactly here.
+func (e *engine) Checkpoint(n *fleet.Node, app *fleet.App) {
 	a := app.Payload.(*appRun)
 	nr := e.nodes[n.ID]
-	a.doneBeats += a.proc.HB.Count()
-	a.doneWork += a.proc.WorkDone()
-	for _, t := range a.proc.Threads {
-		a.doneMig += t.Migrations()
-	}
 	if nr.mp != nil {
 		nr.mp.Unregister(nr.m, a.proc)
 	}
@@ -673,7 +815,8 @@ func (e *engine) Evict(n *fleet.Node, app *fleet.App) {
 		nr.m.RemoveDaemon(a.mgr)
 		a.mgr = nil
 	}
-	nr.m.Kill(a.proc)
+	a.ckpt = nr.m.Checkpoint(a.proc)
+	a.ckptAt = nr.m.Now()
 	a.proc = nil
 	a.node = nil
 	app.Proc = nil
@@ -684,9 +827,13 @@ func (e *engine) depart(a *appRun) {
 		return
 	}
 	if a.fapp.Queued() {
-		// Departure of a still-queued arrival cancels it: it never ran, so
-		// it stays "skipped" (dropped), not "departed".
+		// Departure of a still-queued arrival cancels it. A never-admitted
+		// arrival stays "skipped" (dropped); one holding a checkpoint ran
+		// before being parked, so it departs with its frozen statistics.
 		e.sched.Depart(a.fapp)
+		if a.ckpt != nil {
+			a.res.Departed = true
+		}
 		return
 	}
 	if a.proc == nil {
@@ -810,12 +957,45 @@ func (e *engine) maxRate(bench string, threads int, nr *nodeRun) float64 {
 	return r
 }
 
+// scoreSLO scores each SLO'd application at every trace sample: a miss is
+// a delivered heartbeat rate below the SLO target. Delivered rate is the
+// monitor's window rate, forced to zero while the app is waiting in the
+// admission queue or frozen mid-migration (no incarnation), and when the
+// latest beat is more than two target periods stale — so a stalled or
+// long-frozen app cannot coast on its old window rate. Ramp-up samples
+// before the first beat count as misses: the user's SLO does not pause
+// while the app warms up. Pure accounting — nothing is written to the
+// trace, so SLO-less runs stay byte-identical to pre-SLO ones.
+func (e *engine) scoreSLO() {
+	now := e.fl.Now()
+	for _, a := range e.apps {
+		slo := a.spec.SLO
+		if slo == nil || !a.res.Arrived || a.res.Departed {
+			continue
+		}
+		rate := 0.0
+		if a.proc != nil {
+			if rec, ok := a.proc.HB.Latest(); ok {
+				rate = rec.WindowRate
+				if sim.Seconds(now-rec.Time)*slo.TargetHPS > 2 {
+					rate = 0
+				}
+			}
+		}
+		a.sloSamples++
+		if rate < slo.TargetHPS {
+			a.sloMisses++
+		}
+	}
+}
+
 // sample emits one trace sample. Floats are rendered with %x so the trace
 // is exact and byte-stable. The single-machine format is the historical
 // one; multi-node runs emit one "n" (and "h") line per node, node-tagged
 // "a" lines, and an "f" fleet rollup line.
 func (e *engine) sample() {
 	e.samples++
+	e.scoreSLO()
 	tms := e.fl.Now() / sim.Millisecond
 	if !e.fleetMode {
 		nr := e.nodes[0]
@@ -873,13 +1053,9 @@ func (e *engine) sample() {
 		if rec, ok := a.proc.HB.Latest(); ok {
 			rate = rec.WindowRate
 		}
-		mig := a.doneMig
-		for _, t := range a.proc.Threads {
-			mig += t.Migrations()
-		}
 		fmt.Fprintf(e.out, "a,%d,%s,%s,%d,%x,%x,%d,%d\n",
-			tms, a.node.rn.name, a.spec.Name, a.doneBeats+a.proc.HB.Count(),
-			rate, a.doneWork+a.proc.WorkDone(), mig, a.fapp.Migrations())
+			tms, a.node.rn.name, a.spec.Name, a.beats(),
+			rate, a.work(), a.threadMigrations(), a.fapp.Migrations())
 	}
 	stats := e.sched.Stats()
 	fmt.Fprintf(e.out, "f,%d,%d,%d,%x,%x,%d,%d\n",

@@ -26,6 +26,7 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte(`{"manager":"none","duration_ms":100,"apps":[{"name":"a","bench":"SW"}]}`))
 	f.Add([]byte(`{"manager":"mphars-e","duration_ms":50,"apps":[{"name":"a","bench":"FE","target":{"min":1,"avg":2,"max":3}}],"events":[{"at_ms":1,"kind":"hotplug","cpu":3,"online":false}]}`))
 	f.Add([]byte(`{"manager":"hars-e","duration_ms":5000,"apps":[{"name":"a","bench":"SW"}],"thermal":{"enabled":true,"trip_c":80,"release_c":65},"events":[{"at_ms":100,"kind":"phase","app":"a","scale":1.5,"every_ms":500,"repeat":4}]}`))
+	f.Add([]byte(`{"manager":"mphars-i","duration_ms":8000,"placement":"slo-aware","checkpoint":{"freeze_us":5000,"per_mb_us":500,"size_mb":8},"nodes":[{"name":"n0"},{"name":"n1"}],"apps":[{"name":"a","bench":"SW","slo":{"target_hps":3,"slack_ms":150}}],"arrivals":[{"name":"web","node":"n1","bench":"FE","seed":9,"lifetime_ms":2000,"max_apps":4,"rate":[{"until_ms":4000,"per_s":0.8},{"per_s":0.2}]}]}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`null`))
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/fleet"
 	"repro/internal/hmp"
+	"repro/internal/sim"
 	"repro/internal/thermal"
 	"repro/internal/workload"
 )
@@ -38,6 +39,41 @@ type TargetSpec struct {
 	Max float64 `json:"max"`
 }
 
+// SLOSpec is an application's service-level objective: the heartbeat rate
+// it must sustain and the extra placement latency (queueing plus migration
+// freeze) its owner tolerates. SLO-aware placement scores nodes against
+// it, and the engine counts a miss for every trace sample at which the
+// application delivers less than target_hps (a queued or frozen app
+// delivers nothing and always misses).
+type SLOSpec struct {
+	TargetHPS float64 `json:"target_hps"`
+	SlackMS   int64   `json:"slack_ms,omitempty"`
+}
+
+// CheckpointSpec configures the work-conserving migration cost model: a
+// moved application is frozen for freeze_us plus per_mb_us × size_mb and
+// resumes on the destination only once that delay has elapsed on the
+// shared clock. The zero value (or a missing block) is a free move —
+// state transfers within the migrate tick and the trace is bit-for-bit
+// the free-move trace.
+type CheckpointSpec struct {
+	FreezeUS int64   `json:"freeze_us,omitempty"`
+	PerMBUS  int64   `json:"per_mb_us,omitempty"`
+	SizeMB   float64 `json:"size_mb,omitempty"`
+}
+
+// Cost converts the spec to the simulator's cost model (nil = free).
+func (c *CheckpointSpec) Cost() sim.CheckpointCost {
+	if c == nil {
+		return sim.CheckpointCost{}
+	}
+	return sim.CheckpointCost{
+		Freeze: sim.Time(c.FreezeUS) * sim.Microsecond,
+		PerMB:  sim.Time(c.PerMBUS) * sim.Microsecond,
+		SizeMB: c.SizeMB,
+	}
+}
+
 // AppSpec describes one application of a scenario.
 type AppSpec struct {
 	Name       string      `json:"name"`
@@ -65,6 +101,11 @@ type AppSpec struct {
 	// scenarios ("none", "gts") accept it: the HARS and MP-HARS managers
 	// own their applications' affinity masks.
 	Affinity []int `json:"affinity,omitempty"`
+
+	// SLO is the application's service-level objective (optional): the
+	// slo-aware placement policy scores against it, and the result
+	// reports per-sample misses.
+	SLO *SLOSpec `json:"slo,omitempty"`
 }
 
 // NodeSpec describes one machine of a multi-node (fleet) scenario.
@@ -167,6 +208,18 @@ type Scenario struct {
 	// MigrateEveryMS is the period of the fleet scheduler's saturation
 	// check (0 = the 250 ms default, negative disables migration).
 	MigrateEveryMS int64 `json:"migrate_every_ms,omitempty"`
+
+	// Checkpoint is the work-conserving migration cost model (fleet
+	// scenarios only); nil or all-zero means free moves.
+	Checkpoint *CheckpointSpec `json:"checkpoint,omitempty"`
+
+	// Arrivals are declarative per-node traffic traces: each stream
+	// expands — deterministically from its seed — into a sequence of
+	// application arrivals whose rate follows the stream's piecewise-
+	// constant profile. Expansion happens at validation/run time; the
+	// scenario document itself is untouched, so replays stay
+	// byte-identical.
+	Arrivals []ArrivalStream `json:"arrivals,omitempty"`
 }
 
 // Decode parses and validates a scenario document. Unknown fields are
@@ -177,6 +230,24 @@ func Decode(r io.Reader) (*Scenario, error) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sc); err != nil {
 		return nil, fmt.Errorf("scenario: decode: %w", err)
+	}
+	// The optional list fields carry omitempty, so an explicitly-empty
+	// list in the input ("events": []) would be dropped by Encode and
+	// re-decode as nil; normalize to nil up front so Decode∘Encode∘Decode
+	// is the identity (the fuzz target checks exactly that).
+	if len(sc.Events) == 0 {
+		sc.Events = nil
+	}
+	if len(sc.Nodes) == 0 {
+		sc.Nodes = nil
+	}
+	if len(sc.Arrivals) == 0 {
+		sc.Arrivals = nil
+	}
+	for i := range sc.Apps {
+		if len(sc.Apps[i].Affinity) == 0 {
+			sc.Apps[i].Affinity = nil
+		}
 	}
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -342,92 +413,106 @@ func (sc *Scenario) Validate() error { return sc.ValidateOn(hmp.Default()) }
 // the legacy single node only: a scenario declaring nodes owns its
 // platforms and ignores plat).
 func (sc *Scenario) ValidateOn(plat *hmp.Platform) error {
-	_, err := sc.resolveAndValidate(plat)
+	_, _, err := sc.resolveAndValidate(plat)
 	return err
 }
 
 // resolveAndValidate is the shared entry of ValidateOn and the engine: it
-// resolves the node list once and validates the whole scenario against it,
-// returning the resolved nodes so Run does not repeat the work.
-func (sc *Scenario) resolveAndValidate(plat *hmp.Platform) ([]resolvedNode, error) {
+// resolves the node list and the full application list (declared apps plus
+// arrival-stream expansions) once and validates the whole scenario against
+// them, returning both so Run does not repeat the work.
+func (sc *Scenario) resolveAndValidate(plat *hmp.Platform) ([]resolvedNode, []AppSpec, error) {
 	if sc.DurationMS <= 0 {
-		return nil, fmt.Errorf("scenario: duration_ms must be positive, got %d", sc.DurationMS)
+		return nil, nil, fmt.Errorf("scenario: duration_ms must be positive, got %d", sc.DurationMS)
 	}
 	if !validManagers[sc.Manager] {
-		return nil, fmt.Errorf("scenario: unknown manager %q", sc.Manager)
+		return nil, nil, fmt.Errorf("scenario: unknown manager %q", sc.Manager)
 	}
 	if sc.SampleEveryMS < 0 || sc.AdaptEvery < 0 {
-		return nil, fmt.Errorf("scenario: negative sample_every_ms or adapt_every")
-	}
-	if len(sc.Apps) == 0 {
-		return nil, fmt.Errorf("scenario: no apps")
+		return nil, nil, fmt.Errorf("scenario: negative sample_every_ms or adapt_every")
 	}
 	if _, err := fleet.PolicyByName(sc.Placement); err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
+		return nil, nil, fmt.Errorf("scenario: %w", err)
 	}
 	if len(sc.Nodes) == 0 {
 		if sc.Placement != "" {
-			return nil, fmt.Errorf("scenario: placement %q needs a nodes list", sc.Placement)
+			return nil, nil, fmt.Errorf("scenario: placement %q needs a nodes list", sc.Placement)
 		}
 		if sc.MigrateEveryMS != 0 {
-			return nil, fmt.Errorf("scenario: migrate_every_ms needs a nodes list")
+			return nil, nil, fmt.Errorf("scenario: migrate_every_ms needs a nodes list")
 		}
+		if sc.Checkpoint != nil {
+			return nil, nil, fmt.Errorf("scenario: checkpoint needs a nodes list")
+		}
+	}
+	if c := sc.Checkpoint; c != nil && (c.FreezeUS < 0 || c.PerMBUS < 0 || c.SizeMB < 0) {
+		return nil, nil, fmt.Errorf("scenario: negative checkpoint cost")
+	}
+	apps, err := sc.expandApps()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(apps) == 0 {
+		return nil, nil, fmt.Errorf("scenario: no apps")
 	}
 	nodes, err := sc.resolveNodes(plat)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fleetMode := len(sc.Nodes) > 0
 
-	names := make(map[string]bool, len(sc.Apps))
-	for i := range sc.Apps {
-		a := &sc.Apps[i]
+	names := make(map[string]bool, len(apps))
+	for i := range apps {
+		a := &apps[i]
 		if a.Name == "" {
-			return nil, fmt.Errorf("scenario: app %d has no name", i)
+			return nil, nil, fmt.Errorf("scenario: app %d has no name", i)
 		}
 		if names[a.Name] {
-			return nil, fmt.Errorf("scenario: duplicate app name %q", a.Name)
+			return nil, nil, fmt.Errorf("scenario: duplicate app name %q", a.Name)
 		}
 		names[a.Name] = true
 		if _, ok := workload.ByShort(a.Bench); !ok {
-			return nil, fmt.Errorf("scenario: app %q: unknown bench %q", a.Name, a.Bench)
+			return nil, nil, fmt.Errorf("scenario: app %q: unknown bench %q", a.Name, a.Bench)
 		}
 		if a.Threads < 0 {
-			return nil, fmt.Errorf("scenario: app %q: negative threads", a.Name)
+			return nil, nil, fmt.Errorf("scenario: app %q: negative threads", a.Name)
 		}
 		if a.StartMS < 0 || a.StartMS >= sc.DurationMS {
-			return nil, fmt.Errorf("scenario: app %q: start_ms %d outside [0, %d)", a.Name, a.StartMS, sc.DurationMS)
+			return nil, nil, fmt.Errorf("scenario: app %q: start_ms %d outside [0, %d)", a.Name, a.StartMS, sc.DurationMS)
 		}
 		if a.StopMS != 0 && (a.StopMS <= a.StartMS || a.StopMS > sc.DurationMS) {
-			return nil, fmt.Errorf("scenario: app %q: stop_ms %d outside (start, duration]", a.Name, a.StopMS)
+			return nil, nil, fmt.Errorf("scenario: app %q: stop_ms %d outside (start, duration]", a.Name, a.StopMS)
+		}
+		if a.SLO != nil && (a.SLO.TargetHPS <= 0 || a.SLO.SlackMS < 0) {
+			return nil, nil, fmt.Errorf("scenario: app %q: slo needs a positive target_hps and non-negative slack_ms", a.Name)
 		}
 		if a.Target != nil {
 			if !(a.Target.Min > 0 && a.Target.Min <= a.Target.Avg && a.Target.Avg <= a.Target.Max) {
-				return nil, fmt.Errorf("scenario: app %q: malformed target band", a.Name)
+				return nil, nil, fmt.Errorf("scenario: app %q: malformed target band", a.Name)
 			}
 		} else if a.TargetFrac < 0 || a.TargetFrac > 1 {
-			return nil, fmt.Errorf("scenario: app %q: target_frac %v outside [0, 1]", a.Name, a.TargetFrac)
+			return nil, nil, fmt.Errorf("scenario: app %q: target_frac %v outside [0, 1]", a.Name, a.TargetFrac)
 		}
 
 		// The candidate nodes the app may land on: its pin, or all of them.
 		candidates := nodes
 		if a.Node != "" {
 			if !fleetMode {
-				return nil, fmt.Errorf("scenario: app %q: node pin needs a nodes list", a.Name)
+				return nil, nil, fmt.Errorf("scenario: app %q: node pin needs a nodes list", a.Name)
 			}
 			rn := nodeByName(nodes, a.Node)
 			if rn == nil {
-				return nil, fmt.Errorf("scenario: app %q: unknown node %q", a.Name, a.Node)
+				return nil, nil, fmt.Errorf("scenario: app %q: unknown node %q", a.Name, a.Node)
 			}
 			candidates = nodes[rn.idx : rn.idx+1]
 		}
 		initB := intOr(a.InitBig, 1)
 		initL := intOr(a.InitLittle, 1)
 		if initB < 0 || initL < 0 {
-			return nil, fmt.Errorf("scenario: app %q: negative initial allocation", a.Name)
+			return nil, nil, fmt.Errorf("scenario: app %q: negative initial allocation", a.Name)
 		}
 		if initB+initL == 0 {
-			return nil, fmt.Errorf("scenario: app %q: initial allocation is empty", a.Name)
+			return nil, nil, fmt.Errorf("scenario: app %q: initial allocation is empty", a.Name)
 		}
 		fits := false
 		for _, rn := range candidates {
@@ -437,24 +522,24 @@ func (sc *Scenario) resolveAndValidate(plat *hmp.Platform) ([]resolvedNode, erro
 			}
 		}
 		if !fits {
-			return nil, fmt.Errorf("scenario: app %q: initial allocation outside every candidate node's platform", a.Name)
+			return nil, nil, fmt.Errorf("scenario: app %q: initial allocation outside every candidate node's platform", a.Name)
 		}
 		if len(a.Affinity) > 0 {
 			seen := make(map[int]bool, len(a.Affinity))
 			for _, cpu := range a.Affinity {
 				if seen[cpu] {
-					return nil, fmt.Errorf("scenario: app %q: duplicate affinity cpu %d", a.Name, cpu)
+					return nil, nil, fmt.Errorf("scenario: app %q: duplicate affinity cpu %d", a.Name, cpu)
 				}
 				seen[cpu] = true
 			}
 			for _, rn := range candidates {
 				if !unmanaged(rn.manager) {
-					return nil, fmt.Errorf("scenario: app %q: affinity needs an unmanaged node (%q runs %q)",
+					return nil, nil, fmt.Errorf("scenario: app %q: affinity needs an unmanaged node (%q runs %q)",
 						a.Name, rn.name, rn.manager)
 				}
 				for _, cpu := range a.Affinity {
 					if cpu < 0 || cpu >= rn.plat.TotalCores() {
-						return nil, fmt.Errorf("scenario: app %q: affinity cpu %d outside candidate node platforms", a.Name, cpu)
+						return nil, nil, fmt.Errorf("scenario: app %q: affinity cpu %d outside candidate node platforms", a.Name, cpu)
 					}
 				}
 			}
@@ -465,20 +550,20 @@ func (sc *Scenario) resolveAndValidate(plat *hmp.Platform) ([]resolvedNode, erro
 	for i := range sc.Events {
 		ev := &sc.Events[i]
 		if ev.AtMS < 0 || ev.AtMS > sc.DurationMS {
-			return nil, fmt.Errorf("scenario: event %d: at_ms %d outside [0, %d]", i, ev.AtMS, sc.DurationMS)
+			return nil, nil, fmt.Errorf("scenario: event %d: at_ms %d outside [0, %d]", i, ev.AtMS, sc.DurationMS)
 		}
 		if ev.EveryMS < 0 {
-			return nil, fmt.Errorf("scenario: event %d: negative every_ms %d", i, ev.EveryMS)
+			return nil, nil, fmt.Errorf("scenario: event %d: negative every_ms %d", i, ev.EveryMS)
 		}
 		if ev.Repeat < 0 {
-			return nil, fmt.Errorf("scenario: event %d: negative repeat %d", i, ev.Repeat)
+			return nil, nil, fmt.Errorf("scenario: event %d: negative repeat %d", i, ev.Repeat)
 		}
 		if ev.Repeat > 0 && ev.EveryMS == 0 {
-			return nil, fmt.Errorf("scenario: event %d: repeat without every_ms", i)
+			return nil, nil, fmt.Errorf("scenario: event %d: repeat without every_ms", i)
 		}
 		occurrences += ev.occurrenceCount(sc.DurationMS)
 		if occurrences > maxOccurrences {
-			return nil, fmt.Errorf("scenario: events expand to more than %d occurrences", maxOccurrences)
+			return nil, nil, fmt.Errorf("scenario: events expand to more than %d occurrences", maxOccurrences)
 		}
 		// Platform events address a node; app events address an app.
 		var target *resolvedNode
@@ -486,64 +571,64 @@ func (sc *Scenario) resolveAndValidate(plat *hmp.Platform) ([]resolvedNode, erro
 		case KindHotplug, KindDVFSCap:
 			if fleetMode {
 				if ev.Node == "" {
-					return nil, fmt.Errorf("scenario: event %d: %s needs a node in a multi-node scenario", i, ev.Kind)
+					return nil, nil, fmt.Errorf("scenario: event %d: %s needs a node in a multi-node scenario", i, ev.Kind)
 				}
 				if target = nodeByName(nodes, ev.Node); target == nil {
-					return nil, fmt.Errorf("scenario: event %d: unknown node %q", i, ev.Node)
+					return nil, nil, fmt.Errorf("scenario: event %d: unknown node %q", i, ev.Node)
 				}
 			} else {
 				if ev.Node != "" {
-					return nil, fmt.Errorf("scenario: event %d: node %q needs a nodes list", i, ev.Node)
+					return nil, nil, fmt.Errorf("scenario: event %d: node %q needs a nodes list", i, ev.Node)
 				}
 				target = &nodes[0]
 			}
 		default:
 			if ev.Node != "" {
-				return nil, fmt.Errorf("scenario: event %d: %s events address an app, not a node", i, ev.Kind)
+				return nil, nil, fmt.Errorf("scenario: event %d: %s events address an app, not a node", i, ev.Kind)
 			}
 		}
 		switch ev.Kind {
 		case KindHotplug:
 			if ev.CPU < 0 || ev.CPU >= target.plat.TotalCores() {
-				return nil, fmt.Errorf("scenario: event %d: cpu %d outside the platform", i, ev.CPU)
+				return nil, nil, fmt.Errorf("scenario: event %d: cpu %d outside the platform", i, ev.CPU)
 			}
 			if ev.Online == nil {
-				return nil, fmt.Errorf("scenario: event %d: hotplug needs explicit \"online\"", i)
+				return nil, nil, fmt.Errorf("scenario: event %d: hotplug needs explicit \"online\"", i)
 			}
 		case KindDVFSCap:
 			if target.thermalOn() {
-				return nil, fmt.Errorf("scenario: event %d: dvfs_cap conflicts with the enabled thermal governor (it owns the ceilings)", i)
+				return nil, nil, fmt.Errorf("scenario: event %d: dvfs_cap conflicts with the enabled thermal governor (it owns the ceilings)", i)
 			}
 			k, err := parseCluster(ev.Cluster)
 			if err != nil {
-				return nil, fmt.Errorf("scenario: event %d: %w", i, err)
+				return nil, nil, fmt.Errorf("scenario: event %d: %w", i, err)
 			}
 			if ev.MaxLevel < 0 || ev.MaxLevel > target.plat.Clusters[k].MaxLevel() {
-				return nil, fmt.Errorf("scenario: event %d: max_level %d outside the %s grid", i, ev.MaxLevel, ev.Cluster)
+				return nil, nil, fmt.Errorf("scenario: event %d: max_level %d outside the %s grid", i, ev.MaxLevel, ev.Cluster)
 			}
 		case KindTarget:
 			if !names[ev.App] {
-				return nil, fmt.Errorf("scenario: event %d: unknown app %q", i, ev.App)
+				return nil, nil, fmt.Errorf("scenario: event %d: unknown app %q", i, ev.App)
 			}
 			if ev.Target != nil {
 				if !(ev.Target.Min > 0 && ev.Target.Min <= ev.Target.Avg && ev.Target.Avg <= ev.Target.Max) {
-					return nil, fmt.Errorf("scenario: event %d: malformed target band", i)
+					return nil, nil, fmt.Errorf("scenario: event %d: malformed target band", i)
 				}
 			} else if ev.Frac <= 0 || ev.Frac > 1 {
-				return nil, fmt.Errorf("scenario: event %d: frac %v outside (0, 1]", i, ev.Frac)
+				return nil, nil, fmt.Errorf("scenario: event %d: frac %v outside (0, 1]", i, ev.Frac)
 			}
 		case KindPhase:
 			if !names[ev.App] {
-				return nil, fmt.Errorf("scenario: event %d: unknown app %q", i, ev.App)
+				return nil, nil, fmt.Errorf("scenario: event %d: unknown app %q", i, ev.App)
 			}
 			if ev.Scale <= 0 {
-				return nil, fmt.Errorf("scenario: event %d: scale %v must be positive", i, ev.Scale)
+				return nil, nil, fmt.Errorf("scenario: event %d: scale %v must be positive", i, ev.Scale)
 			}
 		default:
-			return nil, fmt.Errorf("scenario: event %d: unknown kind %q", i, ev.Kind)
+			return nil, nil, fmt.Errorf("scenario: event %d: unknown kind %q", i, ev.Kind)
 		}
 	}
-	return nodes, sc.checkHotplug(nodes)
+	return nodes, apps, sc.checkHotplug(nodes)
 }
 
 // occurrenceCount returns how many times the event fires within a run of

@@ -1,0 +1,357 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// migrateScenario is the forced-migration fixture of TestFleetMigration: a
+// lone app lands on the saturated tiny node and the saturation check moves
+// it to the empty default node.
+func migrateScenario() *Scenario {
+	return &Scenario{
+		Name:       "wc-migrate",
+		Manager:    ManagerMPHARSI,
+		DurationMS: 6000,
+		Nodes: []NodeSpec{
+			{Name: "tiny", Platform: tinyPlatform()},
+			{Name: "dflt"},
+		},
+		Apps: []AppSpec{{Name: "sw", Bench: "SW", Threads: 4, TargetFrac: 0.4}},
+	}
+}
+
+// TestWorkConservingMigration is the tentpole property test: a fleet
+// migration moves the application's run state, so its cumulative heartbeat
+// and work statistics are continuous across the move — the destination
+// incarnation carries the source's heartbeat monitor and work, nothing is
+// banked or reset, and the free move charges no delay.
+func TestWorkConservingMigration(t *testing.T) {
+	res, err := Run(migrateScenario(), Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Apps[0]
+	if res.NodeMigrations != 1 || a.NodeMigrations != 1 {
+		t.Fatalf("node migrations = %d (app %d), want 1", res.NodeMigrations, a.NodeMigrations)
+	}
+	var dead, live *sim.Process
+	for _, p := range res.Nodes[0].Machine.Procs() {
+		if p.Name == "sw" && p.Exited() {
+			dead = p
+		}
+	}
+	for _, p := range res.Nodes[1].Machine.Procs() {
+		if p.Name == "sw" && !p.Exited() {
+			live = p
+		}
+	}
+	if dead == nil || live == nil {
+		t.Fatalf("incarnations: source dead %v, destination live %v", dead != nil, live != nil)
+	}
+	// The heartbeat monitor moved: one continuous history, not two halves.
+	if live.HB != dead.HB {
+		t.Fatal("heartbeat monitor was not moved across nodes")
+	}
+	if a.Beats != live.HB.Count() {
+		t.Fatalf("reported beats %d != monitor count %d (double counting?)", a.Beats, live.HB.Count())
+	}
+	// The destination's threads carry the source's retired work: the live
+	// incarnation alone accounts for the app's whole total.
+	if a.Work != live.WorkDone() {
+		t.Fatalf("reported work %v != live incarnation's %v", a.Work, live.WorkDone())
+	}
+	if live.WorkDone() <= dead.WorkDone() {
+		t.Fatalf("work not carried: live %v <= dead %v", live.WorkDone(), dead.WorkDone())
+	}
+	if a.MigrationDelayUS != 0 {
+		t.Fatalf("free move charged %d µs", a.MigrationDelayUS)
+	}
+	// Node-level energy statistics stay per-machine and positive on both.
+	if res.Nodes[0].EnergyJ <= 0 || res.Nodes[1].EnergyJ <= 0 {
+		t.Fatalf("node energies %v/%v", res.Nodes[0].EnergyJ, res.Nodes[1].EnergyJ)
+	}
+}
+
+// TestCheckpointCostCharged pins the cost model end to end: an explicit
+// all-zero checkpoint block is bit-for-bit the absent block (trace digests
+// equal), while a real cost charges exactly freeze+transfer per move in
+// MigrationDelayUS and costs the app progress.
+func TestCheckpointCostCharged(t *testing.T) {
+	base, err := Run(migrateScenario(), Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	zero := migrateScenario()
+	zero.Checkpoint = &CheckpointSpec{}
+	zres, err := Run(zero, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zres.TraceDigest != base.TraceDigest {
+		t.Fatalf("zero-cost checkpoint block changed the trace: %016x != %016x",
+			zres.TraceDigest, base.TraceDigest)
+	}
+
+	costly := migrateScenario()
+	costly.Checkpoint = &CheckpointSpec{FreezeUS: 200_000, PerMBUS: 10_000, SizeMB: 30}
+	cres, err := Run(costly, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDelay := sim.Time(200_000 + 10_000*30)
+	if cres.NodeMigrations != 1 || cres.Apps[0].MigrationDelayUS != wantDelay {
+		t.Fatalf("charged delay = %d µs over %d moves, want %d over 1",
+			cres.Apps[0].MigrationDelayUS, cres.NodeMigrations, wantDelay)
+	}
+	if cres.MigrationDelayUS != wantDelay {
+		t.Fatalf("fleet delay total %d != %d", cres.MigrationDelayUS, wantDelay)
+	}
+	// Half a second frozen costs real progress vs the free move.
+	if cres.Apps[0].Work >= base.Apps[0].Work {
+		t.Fatalf("frozen run out-worked the free move: %v >= %v",
+			cres.Apps[0].Work, base.Apps[0].Work)
+	}
+}
+
+// TestArrivalStreams pins the traffic-trace plumbing: a seeded stream
+// expands deterministically (byte-identical replays, identical app sets),
+// honours its rate profile window and lifetime, and the scenario document
+// itself is left untouched by expansion.
+func TestArrivalStreams(t *testing.T) {
+	mk := func() *Scenario {
+		return &Scenario{
+			Name:       "streams",
+			Manager:    ManagerMPHARSI,
+			DurationMS: 8000,
+			Nodes:      []NodeSpec{{Name: "n0"}, {Name: "n1"}},
+			Apps:       []AppSpec{{Name: "base", Bench: "SW", Threads: 4, TargetFrac: 0.4}},
+			Arrivals: []ArrivalStream{{
+				Name: "web", Node: "n1", Bench: "FE", Threads: 4, Seed: 11,
+				TargetFrac: 0.4, LifetimeMS: 2500,
+				Rate: []RateStep{
+					{UntilMS: 1000, PerS: 0},
+					{UntilMS: 4000, PerS: 1.5},
+					{PerS: 0.2},
+				},
+			}},
+		}
+	}
+	sc := mk()
+	apps, err := sc.expandApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) <= 1 {
+		t.Fatalf("stream expanded to %d arrivals", len(apps)-1)
+	}
+	if len(sc.Apps) != 1 {
+		t.Fatal("expansion mutated the scenario document")
+	}
+	prev := int64(0)
+	for i, a := range apps[1:] {
+		if !strings.HasPrefix(a.Name, "web-") || a.Node != "n1" || a.Bench != "FE" {
+			t.Fatalf("arrival %d: %+v", i, a)
+		}
+		if a.StartMS < 1000 || a.StartMS >= 8000 || a.StartMS < prev {
+			t.Fatalf("arrival %d at %d ms out of order or outside the profile", i, a.StartMS)
+		}
+		if a.StopMS != 0 && a.StopMS != a.StartMS+2500 {
+			t.Fatalf("arrival %d lifetime: start %d stop %d", i, a.StartMS, a.StopMS)
+		}
+		prev = a.StartMS
+	}
+
+	r1, err := Run(mk(), Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(mk(), Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TraceDigest != r2.TraceDigest || len(r1.Apps) != len(r2.Apps) {
+		t.Fatalf("stream replay diverged: %016x/%d vs %016x/%d",
+			r1.TraceDigest, len(r1.Apps), r2.TraceDigest, len(r2.Apps))
+	}
+	ran := 0
+	for _, a := range r1.Apps {
+		if a.Work > 0 {
+			ran++
+		}
+	}
+	if ran < 2 {
+		t.Fatalf("only %d of %d apps ever ran", ran, len(r1.Apps))
+	}
+
+	// A different seed draws a different arrival pattern.
+	other := mk()
+	other.Arrivals[0].Seed = 12
+	oapps, err := other.expandApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(oapps) == len(apps)
+	if same {
+		for i := range apps {
+			if apps[i].StartMS != oapps[i].StartMS {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds drew identical arrival patterns")
+	}
+
+	// max_apps caps the expansion.
+	capped := mk()
+	capped.Arrivals[0].MaxApps = 2
+	capps, err := capped.expandApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capps) != 3 { // base + 2
+		t.Fatalf("max_apps 2 expanded to %d arrivals", len(capps)-1)
+	}
+}
+
+// TestArrivalStreamValidation covers the stream error paths.
+func TestArrivalStreamValidation(t *testing.T) {
+	base := func() *Scenario {
+		sc := &Scenario{
+			Name: "sv", Manager: ManagerMPHARSI, DurationMS: 4000,
+			Nodes: []NodeSpec{{Name: "n0"}},
+			Apps:  []AppSpec{{Name: "a", Bench: "SW"}},
+			Arrivals: []ArrivalStream{{
+				Name: "s", Bench: "SW", Rate: []RateStep{{PerS: 1}},
+			}},
+		}
+		return sc
+	}
+	cases := []struct {
+		name string
+		mod  func(*Scenario)
+		want string
+	}{
+		{"no name", func(sc *Scenario) { sc.Arrivals[0].Name = "" }, "has no name"},
+		{"bad bench", func(sc *Scenario) { sc.Arrivals[0].Bench = "XX" }, "unknown bench"},
+		{"no profile", func(sc *Scenario) { sc.Arrivals[0].Rate = nil }, "no rate profile"},
+		{"negative rate", func(sc *Scenario) { sc.Arrivals[0].Rate[0].PerS = -1 }, "negative rate"},
+		{"mid-zero until", func(sc *Scenario) {
+			sc.Arrivals[0].Rate = []RateStep{{UntilMS: 0, PerS: 1}, {UntilMS: 2000, PerS: 2}}
+		}, "only on the last step"},
+		{"descending until", func(sc *Scenario) {
+			sc.Arrivals[0].Rate = []RateStep{{UntilMS: 2000, PerS: 1}, {UntilMS: 1000, PerS: 2}}
+		}, "outside"},
+		{"until past end", func(sc *Scenario) { sc.Arrivals[0].Rate[0].UntilMS = 9000 }, "outside"},
+		{"negative lifetime", func(sc *Scenario) { sc.Arrivals[0].LifetimeMS = -1 }, "negative field"},
+		{"max_apps above cap", func(sc *Scenario) { sc.Arrivals[0].MaxApps = 2_000_000 }, "above the"},
+		{"streams expand too far", func(sc *Scenario) {
+			for i := 0; i < 11; i++ {
+				st := sc.Arrivals[0]
+				st.Name = fmt.Sprintf("s%d", i)
+				st.MaxApps = 1000
+				sc.Arrivals = append(sc.Arrivals, st)
+			}
+		}, "expand to more than"},
+		{"name collision", func(sc *Scenario) {
+			sc.Apps = append(sc.Apps, AppSpec{Name: "s-0", Bench: "SW"})
+		}, "duplicate app name"},
+		{"unknown node", func(sc *Scenario) { sc.Arrivals[0].Node = "n9" }, "unknown node"},
+		{"bad slo", func(sc *Scenario) { sc.Arrivals[0].SLO = &SLOSpec{TargetHPS: -1} }, "slo needs"},
+		{"checkpoint without nodes", func(sc *Scenario) {
+			sc.Nodes = nil
+			sc.Arrivals = nil
+			sc.Checkpoint = &CheckpointSpec{FreezeUS: 1}
+		}, "needs a nodes list"},
+		{"negative checkpoint", func(sc *Scenario) { sc.Checkpoint = &CheckpointSpec{FreezeUS: -1} }, "negative checkpoint"},
+	}
+	for _, tc := range cases {
+		sc := base()
+		tc.mod(sc)
+		err := sc.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestSLOAccounting pins the per-sample SLO scoring: an unreachable target
+// misses every scored sample, an easy one settles to mostly hits, and apps
+// without an SLO block are never scored.
+func TestSLOAccounting(t *testing.T) {
+	sc := &Scenario{
+		Name:       "slo",
+		Manager:    ManagerMPHARSI,
+		DurationMS: 10000,
+		Nodes:      []NodeSpec{{Name: "n0"}},
+		Placement:  "slo-aware",
+		Apps: []AppSpec{
+			{Name: "greedy", Bench: "SW", Threads: 4, TargetFrac: 0.4,
+				SLO: &SLOSpec{TargetHPS: 1e6, SlackMS: 100}},
+			{Name: "easy", Bench: "FE", Threads: 4, TargetFrac: 0.4,
+				SLO: &SLOSpec{TargetHPS: 0.5, SlackMS: 100}},
+			{Name: "unscored", Bench: "BO", Threads: 4, TargetFrac: 0.4},
+		},
+	}
+	res, err := Run(sc, Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, easy, un := res.Apps[0], res.Apps[1], res.Apps[2]
+	if greedy.SLOSamples == 0 || greedy.SLOMisses != greedy.SLOSamples {
+		t.Fatalf("unreachable SLO: %d misses of %d samples", greedy.SLOMisses, greedy.SLOSamples)
+	}
+	if easy.SLOSamples == 0 || easy.SLOMisses >= easy.SLOSamples/2 {
+		t.Fatalf("easy SLO: %d misses of %d samples", easy.SLOMisses, easy.SLOSamples)
+	}
+	if un.SLOSamples != 0 || un.SLOMisses != 0 {
+		t.Fatalf("SLO-less app scored: %d/%d", un.SLOMisses, un.SLOSamples)
+	}
+	if res.SLOSamples != greedy.SLOSamples+easy.SLOSamples || res.SLOMisses != greedy.SLOMisses+easy.SLOMisses {
+		t.Fatalf("fleet SLO rollup %d/%d", res.SLOMisses, res.SLOSamples)
+	}
+}
+
+// TestSLOPlacementEndToEnd pins the slo-aware policy through the scenario
+// layer: the arrival lands on the node with the most predicted capacity
+// for its target, where least-loaded would tie-break to the weak first
+// node.
+func TestSLOPlacementEndToEnd(t *testing.T) {
+	mk := func(placement string) *Scenario {
+		return &Scenario{
+			Name:       "slo-place",
+			Manager:    ManagerMPHARSI,
+			DurationMS: 3000,
+			Placement:  placement,
+			// This test pins the arrival decision; keep the saturation
+			// check from moving the app off the weak node afterwards.
+			MigrateEveryMS: -1,
+			Nodes: []NodeSpec{
+				{Name: "weak", Platform: tinyPlatform()},
+				{Name: "strong"},
+			},
+			Apps: []AppSpec{{Name: "a", Bench: "SW", Threads: 4, TargetFrac: 0.4,
+				SLO: &SLOSpec{TargetHPS: 10, SlackMS: 100}}},
+		}
+	}
+	res, err := Run(mk("slo-aware"), Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Apps[0].Node != "strong" {
+		t.Fatalf("slo-aware placed on %q", res.Apps[0].Node)
+	}
+	res, err = Run(mk("least-loaded"), Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Apps[0].Node != "weak" {
+		t.Fatalf("least-loaded tie-break placed on %q, want the weak first node", res.Apps[0].Node)
+	}
+}

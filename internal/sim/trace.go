@@ -30,6 +30,13 @@ const (
 	// accompanying EvCap event records the same ceiling change; EvThrottle
 	// additionally carries the triggering temperature.
 	EvThrottle
+	// EvMigrateOut is a process checkpoint leaving the machine: its run
+	// state was captured for a work-conserving move to another node.
+	EvMigrateOut
+	// EvMigrateIn is a checkpointed process resuming on this machine. T is
+	// the restore time; the event's Until field carries the resume time
+	// after the charged checkpoint delay (equal to T for a free move).
+	EvMigrateIn
 )
 
 // String names the event kind.
@@ -49,6 +56,10 @@ func (k EventKind) String() string {
 		return "temp"
 	case EvThrottle:
 		return "throttle"
+	case EvMigrateOut:
+		return "migrate_out"
+	case EvMigrateIn:
+		return "migrate_in"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
@@ -70,6 +81,10 @@ type Event struct {
 	Online bool
 	// TempC is the modeled cluster temperature (temp, throttle events).
 	TempC float64
+	// Until is the resume time of a checkpointed process (migrate_in): the
+	// restored application runs again once the charged freeze and transfer
+	// delay has elapsed. Equal to T when the move was free.
+	Until Time
 	// Node is the name of the node the event occurred on ("" on a
 	// standalone machine). Stamped by the tracer from its Node tag, so
 	// multi-node traces merged into one stream stay attributable.
@@ -161,6 +176,10 @@ func (tr *Tracer) WriteCSV(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,,%.3f%s\n", e.T, e.Kind, e.Cluster, e.TempC, node(e))
 		case EvThrottle:
 			_, err = fmt.Fprintf(w, "%d,%s,,,,,%s,%d,%.3f%s\n", e.T, e.Kind, e.Cluster, e.KHz, e.TempC, node(e))
+		case EvMigrateOut:
+			_, err = fmt.Fprintf(w, "%d,%s,%s,,,,,,%s\n", e.T, e.Kind, e.Proc, node(e))
+		case EvMigrateIn:
+			_, err = fmt.Fprintf(w, "%d,%s,%s,,,%d,,,%s\n", e.T, e.Kind, e.Proc, e.Until, node(e))
 		}
 		if err != nil {
 			return err
@@ -227,6 +246,15 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 			out = append(out, chromeEvent{
 				Name: prefix + "throttle " + e.Cluster.String(), Phase: "i", TS: e.T, PID: 1,
 				Args: map[string]any{"khz": e.KHz, "celsius": e.TempC},
+			})
+		case EvMigrateOut:
+			out = append(out, chromeEvent{
+				Name: prefix + "migrate_out " + e.Proc, Phase: "i", TS: e.T, PID: 2,
+			})
+		case EvMigrateIn:
+			out = append(out, chromeEvent{
+				Name: prefix + "migrate_in " + e.Proc, Phase: "i", TS: e.T, PID: 2,
+				Args: map[string]any{"resume_us": e.Until},
 			})
 		}
 	}
