@@ -7,9 +7,10 @@
 //
 // Usage:
 //
-//	hars-scenario -in scenario.json [-trace out.csv] [-strict] [-summary json]
+//	hars-scenario -in scenario.json [-trace out.csv] [-strict] [-check]
+//	              [-summary json]
 //	hars-scenario -gen -seed 7 [-manager mphars-i] [-apps 3] [-events 6]
-//	              [-duration 20000] [-nodes 3] [-placement coolest]
+//	              [-duration 20000] [-nodes 3] [-placement coolest] [-faults]
 //	              [-write scenario.json] [-trace out.csv]
 //
 // The trace goes to stdout unless -trace names a file; the run summary goes
@@ -42,9 +43,11 @@ func main() {
 	duration := flag.Int64("duration", 20000, "generated scenario's duration in ms (-gen)")
 	nodes := flag.Int("nodes", 0, "generated scenario's fleet size; 0 = classic single machine (-gen)")
 	placement := flag.String("placement", "", "generated fleet's placement policy; empty draws one from the seed (-gen)")
+	genFaults := flag.Bool("faults", false, "generated fleet scenario gets a seeded faults block (-gen)")
 	write := flag.String("write", "", "save the generated scenario JSON here (-gen)")
 	tracePath := flag.String("trace", "", "trace output file (default stdout)")
 	strict := flag.Bool("strict", false, "verify runtime invariants after every action and sample")
+	check := flag.Bool("check", false, "verify runtime invariants after every tick (debug; slower)")
 	summary := flag.String("summary", "text", `summary format: "text" (stderr) or "json" (stdout, byte-stable field order)`)
 	flag.Parse()
 	if *summary != "text" && *summary != "json" {
@@ -62,6 +65,7 @@ func main() {
 			DurationMS: *duration,
 			Nodes:      *nodes,
 			Placement:  *placement,
+			Faults:     *genFaults,
 		})
 		if *write != "" {
 			f, err := os.Create(*write)
@@ -106,7 +110,7 @@ func main() {
 		trace = f
 	}
 
-	res, err := scenario.Run(sc, scenario.Options{Trace: trace, Strict: *strict})
+	res, err := scenario.Run(sc, scenario.Options{Trace: trace, Strict: *strict, CheckEveryTick: *check})
 	if err != nil {
 		fatal(err)
 	}
@@ -148,6 +152,9 @@ func main() {
 		if a.SLOSamples > 0 {
 			where += fmt.Sprintf(" slo-miss=%d/%d", a.SLOMisses, a.SLOSamples)
 		}
+		if a.Recoveries > 0 {
+			where += fmt.Sprintf(" recoveries=%d lost=%dµs", a.Recoveries, a.LostWorkUS)
+		}
 		fmt.Fprintf(w, "  %-8s beats=%-6d work=%-10.1f migrations=%-5d %s%s\n",
 			a.Name, a.Beats, a.Work, a.Migrations, status, where)
 	}
@@ -160,6 +167,10 @@ func main() {
 	if res.SLOSamples > 0 {
 		fmt.Fprintf(w, "slo: %d misses over %d scored samples (%.1f%%)\n",
 			res.SLOMisses, res.SLOSamples, 100*float64(res.SLOMisses)/float64(res.SLOSamples))
+	}
+	if sc.Faults != nil {
+		fmt.Fprintf(w, "faults: %d node crashes, %d recoveries, %d µs work lost, %d transfer failures, %d apps stranded\n",
+			res.NodeCrashes, res.Recoveries, res.LostWorkUS, res.TransferFails, res.StrandedApps)
 	}
 	for _, nr := range res.Nodes {
 		if fleetRun {
@@ -199,6 +210,9 @@ type appSummary struct {
 	Departed         bool    `json:"departed"`
 	SLOSamples       int     `json:"slo_samples,omitempty"`
 	SLOMisses        int     `json:"slo_misses,omitempty"`
+	Recoveries       int     `json:"recoveries,omitempty"`
+	LostWorkUS       int64   `json:"lost_work_us,omitempty"`
+	Stranded         bool    `json:"stranded,omitempty"`
 }
 
 type thermalSummary struct {
@@ -225,22 +239,29 @@ type nodeSummary struct {
 }
 
 type runSummary struct {
-	Scenario         string        `json:"scenario"`
-	Manager          string        `json:"manager"`
-	Placement        string        `json:"placement,omitempty"`
-	DurationMS       int64         `json:"duration_ms"`
-	Samples          int           `json:"samples"`
-	TraceDigest      string        `json:"trace_digest"`
-	EnergyJ          float64       `json:"energy_j"`
-	OverheadUS       int64         `json:"overhead_us"`
-	QueuedArrivals   int           `json:"queued_arrivals"`
-	DroppedArrivals  int           `json:"dropped_arrivals"`
-	NodeMigrations   int           `json:"node_migrations"`
-	MigrationDelayUS int64         `json:"migration_delay_us"`
-	SLOSamples       int           `json:"slo_samples"`
-	SLOMisses        int           `json:"slo_misses"`
-	Apps             []appSummary  `json:"apps"`
-	Nodes            []nodeSummary `json:"nodes"`
+	Scenario         string  `json:"scenario"`
+	Manager          string  `json:"manager"`
+	Placement        string  `json:"placement,omitempty"`
+	DurationMS       int64   `json:"duration_ms"`
+	Samples          int     `json:"samples"`
+	TraceDigest      string  `json:"trace_digest"`
+	EnergyJ          float64 `json:"energy_j"`
+	OverheadUS       int64   `json:"overhead_us"`
+	QueuedArrivals   int     `json:"queued_arrivals"`
+	DroppedArrivals  int     `json:"dropped_arrivals"`
+	NodeMigrations   int     `json:"node_migrations"`
+	MigrationDelayUS int64   `json:"migration_delay_us"`
+	SLOSamples       int     `json:"slo_samples"`
+	SLOMisses        int     `json:"slo_misses"`
+	// The fault rollups carry omitempty so fault-free summaries stay
+	// byte-identical to pre-fault ones.
+	NodeCrashes   int           `json:"node_crashes,omitempty"`
+	Recoveries    int           `json:"recoveries,omitempty"`
+	LostWorkUS    int64         `json:"lost_work_us,omitempty"`
+	TransferFails int           `json:"transfer_fails,omitempty"`
+	StrandedApps  int           `json:"stranded_apps,omitempty"`
+	Apps          []appSummary  `json:"apps"`
+	Nodes         []nodeSummary `json:"nodes"`
 }
 
 // writeJSONSummary renders the run's fleet/node/app summaries as one
@@ -260,6 +281,11 @@ func writeJSONSummary(w io.Writer, sc *scenario.Scenario, res *scenario.Result) 
 		MigrationDelayUS: int64(res.MigrationDelayUS),
 		SLOSamples:       res.SLOSamples,
 		SLOMisses:        res.SLOMisses,
+		NodeCrashes:      res.NodeCrashes,
+		Recoveries:       res.Recoveries,
+		LostWorkUS:       int64(res.LostWorkUS),
+		TransferFails:    res.TransferFails,
+		StrandedApps:     res.StrandedApps,
 	}
 	if len(sc.Nodes) > 0 {
 		out.Placement = res.Placement
@@ -278,6 +304,9 @@ func writeJSONSummary(w io.Writer, sc *scenario.Scenario, res *scenario.Result) 
 			Departed:         a.Departed,
 			SLOSamples:       a.SLOSamples,
 			SLOMisses:        a.SLOMisses,
+			Recoveries:       a.Recoveries,
+			LostWorkUS:       int64(a.LostWorkUS),
+			Stranded:         a.Stranded,
 		})
 	}
 	for _, nr := range res.Nodes {

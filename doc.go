@@ -96,6 +96,29 @@
 // × migration-cost regimes reporting SLO-miss rates, both on the parallel
 // engine.
 //
+// # Failure model (fault injection & recovery)
+//
+// internal/fault adds a seeded, deterministic failure model on top of the
+// fleet: scenarios declare a "faults" block of scripted node crashes,
+// permanent core failures, a seeded-random (Poisson) crash process, and a
+// transient checkpoint-transfer failure probability, all expanded on the
+// shared clock as a pure function of the spec's seed. A crash kills the
+// node's processes without a clean exit (sim.Machine.Fail/Heal: cores dark,
+// power frozen, clock still in lockstep; EvNodeDown/EvNodeUp trace events);
+// the fleet scheduler detects it by heartbeat timeout, salvages the dead
+// node's applications from their last periodic background snapshot
+// (non-destructive sim.Machine.Snapshot every checkpoint_every_ms — work
+// lost per crash is bounded by the snapshot interval), and re-places them
+// on surviving nodes through the ordinary admission queue, degrading
+// gracefully to queueing when no capacity survives. Failed transfers retry
+// under capped exponential backoff with seeded jitter. Recoveries are
+// marked by EvRecover/"x" trace lines and counted per app
+// (Recoveries/LostWorkUS); the slo-aware policy scores recovery placements
+// like any other move. Everything replays byte-identically, scenarios
+// without a "faults" block are bit-for-bit the pre-fault runs (golden
+// digests pin both), and the "faults" experiments driver sweeps policies ×
+// crash rates × snapshot intervals.
+//
 // See README.md for a guided tour, DESIGN.md for the system inventory and
 // substitution rationale, and EXPERIMENTS.md for the paper-versus-measured
 // record. The benchmarks in bench_test.go regenerate each experiment:

@@ -34,6 +34,7 @@ func Drivers() []Driver {
 		{"thermal", ThermalSweep},
 		{"fleet", FleetSweep},
 		{"slo", SLOSweep},
+		{"faults", FaultsSweep},
 	}
 }
 

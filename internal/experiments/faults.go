@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/fleet"
+	"repro/internal/hmp"
+	"repro/internal/scenario"
+)
+
+// FaultsSweep exercises the fault-injection and recovery layer on the
+// parallel experiments engine: placement policies × crash rates × snapshot
+// intervals over a heterogeneous 3-node fleet running long SLO'd apps under
+// a seeded-random crash process with flaky checkpoint transfers. Each row
+// reports crash/recovery activity, the work rolled back by crashes (the
+// number the snapshot-interval axis exists to move), transfer retries, and
+// the SLO-miss rate (the number the crash-rate axis moves). The fleet keeps
+// enough spare capacity that two surviving nodes can host every app, so the
+// "stranded" column — apps still parked in the admission queue when the run
+// ended — stays zero: recovery re-places every salvaged app.
+func FaultsSweep(e *Env) *Report {
+	rep := &Report{Title: "Faults sweep: policies × crash rates × snapshot intervals (lost work, recovery)"}
+	rep.Table.Header = []string{
+		"policy", "crash/min", "ckpt (ms)", "crashes", "recoveries",
+		"lost (ms)", "xfail", "dropped", "stranded", "miss rate", "digest",
+	}
+
+	littleHeavy := func() *hmp.Platform {
+		p := hmp.Default()
+		p.Clusters[hmp.Big].Cores = 2
+		p.Clusters[hmp.Little].Cores = 6
+		return p
+	}
+	slo := &scenario.SLOSpec{TargetHPS: 3, SlackMS: 150}
+	mkScenario := func(policy string, ratePerMin float64, ckptMS int64) *scenario.Scenario {
+		return &scenario.Scenario{
+			Name:       fmt.Sprintf("faults-%s", policy),
+			Manager:    scenario.ManagerMPHARSI,
+			DurationMS: 12000,
+			AdaptEvery: 2,
+			Placement:  policy,
+			// Roomy boards: any two survivors can host all three apps, so
+			// recovery always finds a home and nothing stays stranded.
+			Nodes: []scenario.NodeSpec{
+				{Name: "n0"},
+				{Name: "n1", Platform: littleHeavy()},
+				{Name: "n2"},
+			},
+			Apps: []scenario.AppSpec{
+				{Name: "sw0", Bench: "SW", Threads: 4, SLO: slo,
+					InitBig: scenario.IntPtr(1), InitLittle: scenario.IntPtr(1),
+					Target: &scenario.TargetSpec{Min: 40, Avg: 50, Max: 60}},
+				{Name: "fe0", Bench: "FE", Threads: 4, StartMS: 500, SLO: slo,
+					InitBig: scenario.IntPtr(1), InitLittle: scenario.IntPtr(1),
+					Target: &scenario.TargetSpec{Min: 40, Avg: 50, Max: 60}},
+				{Name: "bo0", Bench: "BO", Threads: 4, StartMS: 1000, SLO: slo,
+					InitBig: scenario.IntPtr(1), InitLittle: scenario.IntPtr(1),
+					Target: &scenario.TargetSpec{Min: 40, Avg: 50, Max: 60}},
+			},
+			Faults: &fault.Spec{
+				Seed:              41,
+				CheckpointEveryMS: ckptMS,
+				TransferFailProb:  0.15,
+				// One scripted crash pins a recovery in every row; the
+				// seeded-random process layers the crash-rate axis on top.
+				Crashes: []fault.Crash{{Node: "n1", AtMS: 2000, DownMS: 4000}},
+				Random:  &fault.RandomCrashes{RatePerMin: ratePerMin, DownMS: 2500},
+			},
+		}
+	}
+
+	rates := []float64{5, 20}
+	intervals := []int64{500, 2000}
+	type row struct {
+		policy string
+		rate   float64
+		ckptMS int64
+		res    *scenario.Result
+		err    error
+	}
+	var rows []row
+	for _, policy := range fleet.PolicyNames() {
+		for _, rate := range rates {
+			for _, ckptMS := range intervals {
+				rows = append(rows, row{policy: policy, rate: rate, ckptMS: ckptMS})
+			}
+		}
+	}
+	parallelFor(len(rows), func(i int) {
+		r := &rows[i]
+		sc := mkScenario(r.policy, r.rate, r.ckptMS)
+		r.res, r.err = scenario.Run(sc, scenario.Options{Strict: true, CheckEveryTick: true})
+	})
+	for _, r := range rows {
+		if r.err != nil {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("%s/%v/%d: %v", r.policy, r.rate, r.ckptMS, r.err))
+			continue
+		}
+		missRate := 0.0
+		if r.res.SLOSamples > 0 {
+			missRate = float64(r.res.SLOMisses) / float64(r.res.SLOSamples)
+		}
+		rep.Table.AddRow(
+			r.policy,
+			fmt.Sprintf("%.0f", r.rate),
+			fmt.Sprint(r.ckptMS),
+			fmt.Sprint(r.res.NodeCrashes),
+			fmt.Sprint(r.res.Recoveries),
+			fmt.Sprintf("%d", r.res.LostWorkUS/1000),
+			fmt.Sprint(r.res.TransferFails),
+			fmt.Sprint(r.res.DroppedArrivals),
+			fmt.Sprint(r.res.StrandedApps),
+			fmt.Sprintf("%.2f", missRate),
+			fmt.Sprintf("%016x", r.res.TraceDigest),
+		)
+	}
+	rep.Notes = append(rep.Notes,
+		"work lost per crash is bounded by the snapshot interval: halving ckpt halves the rollback, at the cost of more background snapshot traffic",
+		"stranded counts apps still parked in the admission queue at the end; with two survivors able to host everything it must be zero",
+		"transfer failures (xfail) retry under capped exponential backoff with seeded jitter; every number here replays bit-identically",
+		"digests are FNV-64a over the full trace; identical runs ⇒ identical digests")
+	return rep
+}

@@ -1,0 +1,223 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestExpandRandomDeterministic(t *testing.T) {
+	r := &RandomCrashes{RatePerMin: 30, DownMS: 1500}
+	a := r.ExpandRandom(42, 60_000, 4)
+	b := r.ExpandRandom(42, 60_000, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed expanded differently:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatalf("30 crashes/min over 60 s expanded to nothing")
+	}
+	c := r.ExpandRandom(43, 60_000, 4)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds expanded identically: %v", a)
+	}
+	for i, ec := range a {
+		if ec.AtMS < 0 || ec.AtMS >= 60_000 {
+			t.Errorf("crash %d at %d ms outside the run", i, ec.AtMS)
+		}
+		if ec.Node < 0 || ec.Node >= 4 {
+			t.Errorf("crash %d hit node %d outside the fleet", i, ec.Node)
+		}
+		if ec.DownMS != 1500 {
+			t.Errorf("crash %d down %d ms, want 1500", i, ec.DownMS)
+		}
+		if i > 0 && ec.AtMS < a[i-1].AtMS {
+			t.Errorf("crash %d at %d ms before its predecessor at %d ms", i, ec.AtMS, a[i-1].AtMS)
+		}
+	}
+}
+
+func TestExpandRandomCaps(t *testing.T) {
+	r := &RandomCrashes{RatePerMin: 100_000}
+	got := r.ExpandRandom(1, 60_000, 2)
+	if len(got) != DefaultRandomMaxCrashes {
+		t.Fatalf("default cap: got %d crashes, want %d", len(got), DefaultRandomMaxCrashes)
+	}
+	for _, ec := range got {
+		if ec.DownMS != DefaultRandomDownMS {
+			t.Fatalf("zero down_ms resolved to %d, want default %d", ec.DownMS, DefaultRandomDownMS)
+		}
+	}
+	r.MaxCrashes = 3
+	if got := r.ExpandRandom(1, 60_000, 2); len(got) != 3 {
+		t.Fatalf("explicit cap: got %d crashes, want 3", len(got))
+	}
+}
+
+func TestExpandRandomEmpty(t *testing.T) {
+	var nilr *RandomCrashes
+	if got := nilr.ExpandRandom(1, 1000, 3); got != nil {
+		t.Fatalf("nil receiver expanded %v", got)
+	}
+	if got := (&RandomCrashes{}).ExpandRandom(1, 1000, 3); got != nil {
+		t.Fatalf("zero rate expanded %v", got)
+	}
+	if got := (&RandomCrashes{RatePerMin: 10}).ExpandRandom(1, 1000, 0); got != nil {
+		t.Fatalf("empty fleet expanded %v", got)
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	c := Config{RetryBase: 50, RetryMax: 400, RetryJitter: 0, Seed: 7}
+	b := NewBackoff(c)
+	want := []sim.Time{50, 100, 200, 400, 400, 400}
+	for i, w := range want {
+		if got := b.Delay(i + 1); got != w {
+			t.Fatalf("attempt %d: delay %d, want %d", i+1, got, w)
+		}
+	}
+	if got := b.Delay(0); got != 50 {
+		t.Fatalf("attempt 0 clamps to 1: delay %d, want 50", got)
+	}
+}
+
+func TestBackoffJitterSeededAndBounded(t *testing.T) {
+	c := Config{RetryBase: 50, RetryMax: 400, RetryJitter: 25, Seed: 7}
+	a, b := NewBackoff(c), NewBackoff(c)
+	for i := 1; i <= 10; i++ {
+		da, db := a.Delay(i), b.Delay(i)
+		if da != db {
+			t.Fatalf("attempt %d: same seed gave %d vs %d", i, da, db)
+		}
+		base := sim.Time(50)
+		for j := 1; j < i && base < 400; j++ {
+			base *= 2
+		}
+		if base > 400 {
+			base = 400
+		}
+		if da < base || da > base+25 {
+			t.Fatalf("attempt %d: delay %d outside [%d, %d]", i, da, base, base+25)
+		}
+	}
+}
+
+func TestDetectorDeclareAndRecover(t *testing.T) {
+	d := NewDetector(2, 300, 0)
+	// Silence within the timeout is not a failure.
+	if failed, _ := d.Observe(0, false, 300); failed {
+		t.Fatalf("declared down at exactly the timeout")
+	}
+	if d.Down(0) {
+		t.Fatalf("node 0 down before the timeout elapsed")
+	}
+	// One observation past the timeout declares the node down, once.
+	failed, recovered := d.Observe(0, false, 301)
+	if !failed || recovered {
+		t.Fatalf("past the timeout: failed=%v recovered=%v, want true/false", failed, recovered)
+	}
+	if !d.Down(0) || d.Down(1) {
+		t.Fatalf("down state: node0=%v node1=%v, want true/false", d.Down(0), d.Down(1))
+	}
+	if failed, _ := d.Observe(0, false, 500); failed {
+		t.Fatalf("re-declared an already-down node")
+	}
+	// A beat recovers it immediately and resets the silence clock.
+	failed, recovered = d.Observe(0, true, 600)
+	if failed || !recovered {
+		t.Fatalf("on beat: failed=%v recovered=%v, want false/true", failed, recovered)
+	}
+	if d.Down(0) {
+		t.Fatalf("node 0 still down after beating")
+	}
+	if failed, _ := d.Observe(0, false, 900); failed {
+		t.Fatalf("silence clock not reset by the beat")
+	}
+	if failed, _ := d.Observe(0, false, 901); !failed {
+		t.Fatalf("node not re-declared after a fresh timeout")
+	}
+}
+
+func TestCoinZeroProbConsumesNoDraws(t *testing.T) {
+	a := NewCoin(Config{Seed: 3, TransferFailProb: 0})
+	for i := 0; i < 100; i++ {
+		if a.Flip() {
+			t.Fatalf("zero-probability coin failed a transfer")
+		}
+	}
+	// The stream must be untouched: a fresh coin with a real probability
+	// sees the same draws whether or not the zero-prob coin flipped first.
+	b := NewCoin(Config{Seed: 3, TransferFailProb: 0.5})
+	c := NewCoin(Config{Seed: 3, TransferFailProb: 0.5})
+	for i := 0; i < 100; i++ {
+		if b.Flip() != c.Flip() {
+			t.Fatalf("flip %d: same seed diverged", i)
+		}
+	}
+}
+
+func TestRuntimeDefaults(t *testing.T) {
+	c := (&Spec{}).Runtime()
+	if c.HeartbeatTimeout != DefaultHeartbeatTimeoutMS*sim.Millisecond {
+		t.Errorf("heartbeat timeout %d", c.HeartbeatTimeout)
+	}
+	if c.CheckpointEvery != DefaultCheckpointEveryMS*sim.Millisecond {
+		t.Errorf("checkpoint cadence %d", c.CheckpointEvery)
+	}
+	if c.RetryBase != DefaultRetryBaseMS*sim.Millisecond ||
+		c.RetryMax != DefaultRetryMaxMS*sim.Millisecond ||
+		c.RetryJitter != DefaultRetryJitterMS*sim.Millisecond {
+		t.Errorf("retry defaults %d/%d/%d", c.RetryBase, c.RetryMax, c.RetryJitter)
+	}
+	// Negative cadence disables background checkpoints entirely.
+	if c := (&Spec{CheckpointEveryMS: -1}).Runtime(); c.CheckpointEvery > 0 {
+		t.Errorf("negative checkpoint_every_ms resolved to %d", c.CheckpointEvery)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string // substring of the error, "" = valid
+	}{
+		{"empty", Spec{}, ""},
+		{"full", Spec{
+			Seed: 1, HeartbeatTimeoutMS: 200, CheckpointEveryMS: 500,
+			TransferFailProb: 0.3, RetryBaseMS: 10, RetryMaxMS: 100, RetryJitterMS: 5,
+			Crashes:      []Crash{{Node: "n0", AtMS: 100, DownMS: 1000}, {Node: "n1", AtMS: 500}},
+			CoreFailures: []CoreFailure{{Node: "n0", AtMS: 50, CPU: 3}},
+			Random:       &RandomCrashes{RatePerMin: 5, DownMS: 2000},
+		}, ""},
+		{"negative timeout", Spec{HeartbeatTimeoutMS: -1}, "heartbeat_timeout_ms"},
+		{"prob too high", Spec{TransferFailProb: 1}, "transfer_fail_prob"},
+		{"negative backoff", Spec{RetryBaseMS: -1}, "backoff"},
+		{"base over max", Spec{RetryBaseMS: 200, RetryMaxMS: 100}, "exceeds"},
+		{"crash no node", Spec{Crashes: []Crash{{AtMS: 1}}}, "names no node"},
+		{"crash late", Spec{Crashes: []Crash{{Node: "n", AtMS: 2000}}}, "outside run"},
+		{"crash negative down", Spec{Crashes: []Crash{{Node: "n", AtMS: 1, DownMS: -1}}}, "negative down_ms"},
+		{"undetectable blip", Spec{Crashes: []Crash{{Node: "n", AtMS: 1, DownMS: 300}}}, "undetectable"},
+		{"detectable with short timeout", Spec{
+			HeartbeatTimeoutMS: 100,
+			Crashes:            []Crash{{Node: "n", AtMS: 1, DownMS: 300}},
+		}, ""},
+		{"corefail no node", Spec{CoreFailures: []CoreFailure{{AtMS: 1}}}, "names no node"},
+		{"corefail negative cpu", Spec{CoreFailures: []CoreFailure{{Node: "n", AtMS: 1, CPU: -1}}}, "negative cpu"},
+		{"random negative rate", Spec{Random: &RandomCrashes{RatePerMin: -1}}, "rate"},
+		{"random undetectable", Spec{Random: &RandomCrashes{RatePerMin: 1, DownMS: 100}}, "undetectable"},
+		{"random cap", Spec{Random: &RandomCrashes{RatePerMin: 1, MaxCrashes: MaxCrashes + 1}}, "max_crashes"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate(1000)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want one mentioning %q", tc.name, err, tc.want)
+		}
+	}
+}

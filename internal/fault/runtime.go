@@ -1,0 +1,161 @@
+package fault
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Config is the resolved runtime configuration the fleet scheduler consumes:
+// the spec's millisecond knobs converted to simulated time with defaults
+// applied. Build one with Spec.Runtime.
+type Config struct {
+	// HeartbeatTimeout is the silence after which the detector declares a
+	// node failed.
+	HeartbeatTimeout sim.Time
+	// CheckpointEvery is the background snapshot cadence; ≤ 0 disables
+	// background checkpoints.
+	CheckpointEvery sim.Time
+	// TransferFailProb is the per-restore transient transfer failure
+	// probability in [0, 1).
+	TransferFailProb float64
+	// RetryBase, RetryMax, RetryJitter shape the transfer-retry backoff.
+	RetryBase, RetryMax, RetryJitter sim.Time
+	// Seed is the spec seed; derived streams offset it (see NewBackoff,
+	// NewCoin) so the expansion, jitter, and coin draws stay independent.
+	Seed int64
+}
+
+// Runtime resolves the spec into the scheduler-facing configuration.
+func (s *Spec) Runtime() Config {
+	c := Config{
+		HeartbeatTimeout: DefaultHeartbeatTimeoutMS * sim.Millisecond,
+		CheckpointEvery:  DefaultCheckpointEveryMS * sim.Millisecond,
+		TransferFailProb: s.TransferFailProb,
+		RetryBase:        DefaultRetryBaseMS * sim.Millisecond,
+		RetryMax:         DefaultRetryMaxMS * sim.Millisecond,
+		RetryJitter:      DefaultRetryJitterMS * sim.Millisecond,
+		Seed:             s.Seed,
+	}
+	if s.HeartbeatTimeoutMS > 0 {
+		c.HeartbeatTimeout = s.HeartbeatTimeoutMS * sim.Millisecond
+	}
+	if s.CheckpointEveryMS != 0 {
+		c.CheckpointEvery = s.CheckpointEveryMS * sim.Millisecond
+	}
+	if s.RetryBaseMS > 0 {
+		c.RetryBase = s.RetryBaseMS * sim.Millisecond
+	}
+	if s.RetryMaxMS > 0 {
+		c.RetryMax = s.RetryMaxMS * sim.Millisecond
+	}
+	if s.RetryJitterMS > 0 {
+		c.RetryJitter = s.RetryJitterMS * sim.Millisecond
+	}
+	return c
+}
+
+// Detector is the heartbeat-timeout failure detector: each node proves
+// liveness by beating (its machine still stepping); a node silent for
+// longer than the timeout is declared down until it beats again. Detection
+// is therefore delayed by up to the timeout — the window during which a
+// dead node's apps keep losing work.
+type Detector struct {
+	timeout  sim.Time
+	lastBeat []sim.Time
+	down     []bool
+}
+
+// NewDetector builds a detector over `nodes` nodes. Every node starts
+// presumed alive with a fresh beat at time `now`.
+func NewDetector(nodes int, timeout sim.Time, now sim.Time) *Detector {
+	d := &Detector{
+		timeout:  timeout,
+		lastBeat: make([]sim.Time, nodes),
+		down:     make([]bool, nodes),
+	}
+	for i := range d.lastBeat {
+		d.lastBeat[i] = now
+	}
+	return d
+}
+
+// Observe feeds one liveness observation for node i at time now and reports
+// state transitions: failed=true the instant the node is declared down,
+// recovered=true the instant a down node proves alive again.
+func (d *Detector) Observe(i int, alive bool, now sim.Time) (failed, recovered bool) {
+	if alive {
+		d.lastBeat[i] = now
+		if d.down[i] {
+			d.down[i] = false
+			return false, true
+		}
+		return false, false
+	}
+	if !d.down[i] && now-d.lastBeat[i] > d.timeout {
+		d.down[i] = true
+		return true, false
+	}
+	return false, false
+}
+
+// Down reports whether node i is currently declared failed.
+func (d *Detector) Down(i int) bool { return d.down[i] }
+
+// Backoff computes capped exponential retry delays with seeded jitter:
+// attempt n (1-based) waits min(base·2ⁿ⁻¹, max) plus a uniform draw in
+// [0, jitter]. The jitter stream is seeded, so retry schedules replay
+// identically.
+type Backoff struct {
+	base, max, jitter sim.Time
+	rng               *rand.Rand
+}
+
+// NewBackoff builds a backoff from the config (jitter stream seeded at
+// Seed+1 to stay independent of the expansion stream).
+func NewBackoff(c Config) *Backoff {
+	return &Backoff{
+		base:   c.RetryBase,
+		max:    c.RetryMax,
+		jitter: c.RetryJitter,
+		rng:    rand.New(rand.NewSource(c.Seed + 1)),
+	}
+}
+
+// Delay returns the wait before retry attempt `retries` (1-based; values
+// below 1 are treated as 1).
+func (b *Backoff) Delay(retries int) sim.Time {
+	if retries < 1 {
+		retries = 1
+	}
+	d := b.base
+	for i := 1; i < retries && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	if b.jitter > 0 {
+		d += b.rng.Int63n(int64(b.jitter) + 1)
+	}
+	return d
+}
+
+// Coin is the transient transfer-failure source: each Flip fails with the
+// configured probability, drawn from a seeded stream (Seed+2). A zero
+// probability never draws, so fault specs without transfer failures keep
+// the stream untouched.
+type Coin struct {
+	p   float64
+	rng *rand.Rand
+}
+
+// NewCoin builds the transfer-failure coin from the config.
+func NewCoin(c Config) *Coin {
+	return &Coin{p: c.TransferFailProb, rng: rand.New(rand.NewSource(c.Seed + 2))}
+}
+
+// Flip reports whether this transfer fails.
+func (c *Coin) Flip() bool {
+	return c.p > 0 && c.rng.Float64() < c.p
+}

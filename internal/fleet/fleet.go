@@ -51,7 +51,20 @@ type Node struct {
 	// does not model heat. Heat-aware placement reads temperatures from it;
 	// governor-less nodes are assumed to sit at ambient.
 	Gov *thermal.Governor
+
+	// down marks a node the failure detector currently declares failed:
+	// placement skips it until it proves alive again. Maintained by the
+	// fault-aware scheduler; distinct from Machine.Failed (the ground
+	// truth), which the detector only learns after the heartbeat timeout.
+	down bool
 }
+
+// SetDown records the failure detector's verdict for the node.
+func (n *Node) SetDown(down bool) { n.down = down }
+
+// Down reports whether the failure detector currently declares the node
+// failed. Always false without fault-aware scheduling.
+func (n *Node) Down() bool { return n.down }
 
 // FreeCores returns how many cores of cluster k are admissible capacity:
 // the MP-HARS free pool on partitioned nodes, the online core count on
@@ -69,6 +82,9 @@ func (n *Node) FreeCores(k hmp.ClusterKind) int {
 // is pure — call Reconcile first when hotplug or capping may have moved
 // under the partition tables (the scheduler does, once per decision point).
 func (n *Node) CanAdmit() bool {
+	if n.down {
+		return false
+	}
 	if n.MP == nil {
 		return true
 	}

@@ -46,7 +46,7 @@ type testHost struct {
 	moveTimes map[string][]sim.Time
 }
 
-func (h *testHost) Admit(n *fleet.Node, app *fleet.App) bool {
+func (h *testHost) Admit(n *fleet.Node, app *fleet.App) fleet.AdmitResult {
 	var p *sim.Process
 	moved := false
 	if snap := h.snaps[app.Name]; snap != nil {
@@ -70,7 +70,7 @@ func (h *testHost) Admit(n *fleet.Node, app *fleet.App) bool {
 	}
 	app.Proc = p
 	h.admits++
-	return true
+	return fleet.AdmitOK
 }
 
 func (h *testHost) Checkpoint(n *fleet.Node, app *fleet.App) {

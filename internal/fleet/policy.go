@@ -89,14 +89,17 @@ func NewSLOAware(cost sim.CheckpointCost) *SLOAware { return &SLOAware{Cost: cos
 func (p *SLOAware) Name() string { return PolicySLOAware }
 
 // Score implements Policy: predicted target slack minus the normalized
-// migration delay.
+// restore delay when landing on n means replaying a checkpoint — a
+// migration away from the app's current node, or a crash-recovery
+// re-placement (Recovering), which restores the last background snapshot
+// and charges the same transfer cost wherever it lands.
 func (p *SLOAware) Score(n *Node, app *App) float64 {
 	cap := n.CapacityScore()
 	if app == nil || app.SLO == nil || app.SLO.TargetHPS <= 0 {
 		return cap
 	}
 	score := cap/app.SLO.TargetHPS - 1
-	if app.Placed() && app.Node() != n {
+	if (app.Placed() && app.Node() != n) || app.Recovering() {
 		slack := float64(app.SLO.SlackMS)
 		if slack <= 0 {
 			slack = defaultSlackMS

@@ -3,8 +3,25 @@ package fleet
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/hmp"
 	"repro/internal/sim"
+)
+
+// AdmitResult is Host.Admit's outcome, telling the scheduler how to retry.
+type AdmitResult uint8
+
+const (
+	// AdmitOK: the application is running on the node.
+	AdmitOK AdmitResult = iota
+	// AdmitNoCapacity: the node could not take the application right now —
+	// capacity vanished between the check and the registration, or the
+	// machine is dead. The app re-queues and is retried on the next drain.
+	AdmitNoCapacity
+	// AdmitTransferFailed: the node had capacity but the checkpoint
+	// transfer failed transiently. The app re-queues and waits out a
+	// capped exponential backoff before its next attempt.
+	AdmitTransferFailed
 )
 
 // Host is the callback surface through which the scheduler manipulates
@@ -12,13 +29,12 @@ import (
 // harness) owns the programs, targets, and managers, while the scheduler
 // owns the decisions — which node, when to queue, when to move.
 type Host interface {
-	// Admit places the application on node n, setting app.Proc, and
-	// reports success. A first admission spawns the application; an
-	// admission following Checkpoint restores the held run state
-	// (work-conserving migration), charging the host's checkpoint-cost
-	// model. A false return (capacity vanished between the check and the
-	// registration) re-queues the app.
-	Admit(n *Node, app *App) bool
+	// Admit places the application on node n, setting app.Proc on
+	// AdmitOK. A first admission spawns the application; an admission
+	// following Checkpoint (or a crash Salvage) restores the held run
+	// state, charging the host's checkpoint-cost model. Non-OK results
+	// re-queue the app (see AdmitResult).
+	Admit(n *Node, app *App) AdmitResult
 	// Checkpoint freezes the application's run state on node n and tears
 	// the local incarnation down: unregister from the node's manager,
 	// capture progress/heartbeat/wakeup state, and clear app.Proc. The
@@ -26,6 +42,23 @@ type Host interface {
 	// or from the queue if capacity vanished mid-move — resumes that
 	// state instead of respawning.
 	Checkpoint(n *Node, app *App)
+}
+
+// FaultHost extends Host with the crash-recovery surface the fault-aware
+// scheduler needs. Config.Fault requires the host to implement it.
+type FaultHost interface {
+	Host
+	// Snapshot takes a periodic background checkpoint of the application
+	// running on node n, WITHOUT disturbing it: the host retains the
+	// snapshot as the app's crash-recovery restore point. Work lost on a
+	// crash is bounded by the snapshot cadence.
+	Snapshot(n *Node, app *App)
+	// Salvage reacts to node n being declared failed while the application
+	// was placed on it: the host promotes the app's last background
+	// snapshot (if any) to its pending restore state — exactly the state a
+	// post-Checkpoint Admit consumes — and clears app.Proc. The scheduler
+	// re-queues the app immediately after.
+	Salvage(n *Node, app *App)
 }
 
 // appState tracks where an application is in the admission lifecycle.
@@ -75,6 +108,14 @@ type App struct {
 	placedAt   sim.Time
 	everQueued bool
 	migrations int
+
+	// Transfer-retry state (fault-aware scheduling only): after a failed
+	// transfer the app stays queued until nextTryAt, with retries counting
+	// consecutive failures for the exponential backoff. recovering marks an
+	// app salvaged off a dead node and not yet re-placed.
+	retries    int
+	nextTryAt  sim.Time
+	recovering bool
 }
 
 // Node returns the node the application currently runs on (nil while
@@ -95,6 +136,16 @@ func (a *App) EverQueued() bool { return a.everQueued }
 // between nodes.
 func (a *App) Migrations() int { return a.migrations }
 
+// Recovering reports whether the application was salvaged off a failed
+// node and awaits re-placement: its next admission restores the last
+// background snapshot, so placement policies should charge the restore
+// delay (the SLO-aware policy does).
+func (a *App) Recovering() bool { return a.recovering }
+
+// Retries returns the app's consecutive failed-transfer count since its
+// last successful admission.
+func (a *App) Retries() int { return a.retries }
+
 // Config tunes the scheduler. The zero value selects the least-loaded
 // policy, a 250 ms saturation check, and a two-core migration destination
 // floor.
@@ -113,6 +164,14 @@ type Config struct {
 	// before an application is moved to it (default 2): migrating onto a
 	// nearly-full node would just spread the saturation.
 	MigrateMinFree int
+
+	// Fault, when non-nil, arms fault-aware scheduling: a heartbeat-timeout
+	// failure detector over the fleet's nodes, periodic background
+	// checkpoints at the configured cadence, crash recovery (apps salvaged
+	// off detected-dead nodes and re-placed from their last snapshot), and
+	// capped exponential backoff with seeded jitter for failed transfers.
+	// Requires the Host to implement FaultHost.
+	Fault *fault.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +193,12 @@ type Stats struct {
 	Queued     int // arrivals that had to wait for capacity at least once
 	QueueLen   int // applications still waiting right now
 	Migrations int // node-to-node application moves
+
+	// Recovered counts crash salvages: apps pulled off a node declared
+	// failed. TransferFails counts transient transfer failures that put an
+	// app into backoff. Both stay zero without fault-aware scheduling.
+	Recovered     int
+	TransferFails int
 }
 
 // Scheduler is the fleet's admission and migration brain: a per-tick fleet
@@ -152,13 +217,32 @@ type Scheduler struct {
 	queuedTotal int
 	migrations  int
 	nextMigrate sim.Time
+
+	// Fault-aware scheduling state (nil/zero when Config.Fault is nil).
+	fhost         FaultHost
+	detector      *fault.Detector
+	backoff       *fault.Backoff
+	nextCkpt      sim.Time
+	recovered     int
+	transferFails int
 }
 
 // NewScheduler builds a scheduler over the fleet and registers it as a
-// per-tick hook.
+// per-tick hook. A Config with Fault set requires host to implement
+// FaultHost and panics otherwise (a wiring bug, not a runtime condition).
 func NewScheduler(f *Fleet, host Host, cfg Config) *Scheduler {
 	s := &Scheduler{f: f, host: host, cfg: cfg.withDefaults()}
 	s.nextMigrate = f.Now() + s.cfg.MigrateEvery
+	if fc := s.cfg.Fault; fc != nil {
+		fh, ok := host.(FaultHost)
+		if !ok {
+			panic("fleet: Config.Fault requires the host to implement FaultHost")
+		}
+		s.fhost = fh
+		s.detector = fault.NewDetector(len(f.Nodes()), fc.HeartbeatTimeout, f.Now())
+		s.backoff = fault.NewBackoff(*fc)
+		s.nextCkpt = f.Now() + fc.CheckpointEvery
+	}
 	f.AddHook(s)
 	return s
 }
@@ -172,10 +256,12 @@ func (s *Scheduler) Apps() []*App { return s.apps }
 // Stats returns the decision rollup so far.
 func (s *Scheduler) Stats() Stats {
 	return Stats{
-		Admitted:   s.admitted,
-		Queued:     s.queuedTotal,
-		QueueLen:   len(s.queue),
-		Migrations: s.migrations,
+		Admitted:      s.admitted,
+		Queued:        s.queuedTotal,
+		QueueLen:      len(s.queue),
+		Migrations:    s.migrations,
+		Recovered:     s.recovered,
+		TransferFails: s.transferFails,
 	}
 }
 
@@ -236,8 +322,14 @@ func (s *Scheduler) Depart(app *App) {
 // Tick implements Hook: drain the admission queue against freshly freed
 // capacity, then run the periodic saturation/migration pass. Partition
 // tables are reconciled once up front; the per-node checks are pure reads
-// (Register/Unregister keep the tables current within the pass).
+// (Register/Unregister keep the tables current within the pass). With
+// fault-aware scheduling the detector, recovery, and background-checkpoint
+// passes run every tick before the drain.
 func (s *Scheduler) Tick(f *Fleet) {
+	if s.detector != nil {
+		s.faultTick(f)
+		return
+	}
 	due := s.cfg.MigrateEvery > 0 && len(f.Nodes()) > 1 && f.Now() >= s.nextMigrate
 	if len(s.queue) == 0 && !due {
 		return
@@ -250,6 +342,88 @@ func (s *Scheduler) Tick(f *Fleet) {
 	}
 }
 
+// faultTick is the fault-aware per-tick pass: observe node liveness (marking
+// nodes down after the heartbeat timeout and salvaging their apps into the
+// queue), take the periodic background checkpoints, then drain — so an app
+// recovered this tick re-places on a surviving node in the same tick when
+// capacity exists, and simply stays queued when none does.
+func (s *Scheduler) faultTick(f *Fleet) {
+	now := f.Now()
+	s.reconcileAll()
+	s.detectPass(now)
+	if s.cfg.Fault.CheckpointEvery > 0 && now >= s.nextCkpt {
+		s.snapshotPass()
+		s.nextCkpt = now + s.cfg.Fault.CheckpointEvery
+	}
+	s.drain()
+	if s.cfg.MigrateEvery > 0 && len(f.Nodes()) > 1 && now >= s.nextMigrate {
+		s.migratePass()
+		s.nextMigrate = now + s.cfg.MigrateEvery
+	}
+}
+
+// detectPass feeds each node's liveness into the failure detector and acts
+// on transitions: a node silent past the heartbeat timeout is declared down
+// and its applications are salvaged; a down node stepping again is marked
+// back up and becomes placeable.
+func (s *Scheduler) detectPass(now sim.Time) {
+	for i, n := range s.f.Nodes() {
+		failed, recovered := s.detector.Observe(i, !n.Failed(), now)
+		if failed {
+			n.SetDown(true)
+			s.recoverNode(n)
+		}
+		if recovered {
+			n.SetDown(false)
+		}
+	}
+}
+
+// recoverNode salvages every application placed on a node just declared
+// failed: the host promotes each app's last background snapshot to its
+// pending restore state, and the app rejoins the queue — this tick's drain
+// re-places it onto a surviving node, or it degrades gracefully to waiting
+// in the admission queue when no capacity survives.
+func (s *Scheduler) recoverNode(n *Node) {
+	for _, app := range s.apps {
+		if app.state != appPlaced || app.node != n {
+			continue
+		}
+		s.fhost.Salvage(n, app)
+		app.state = appQueued
+		app.node = nil
+		app.recovering = true
+		app.retries = 0
+		app.nextTryAt = 0
+		s.recovered++
+		if !app.everQueued {
+			app.everQueued = true
+			s.queuedTotal++
+		}
+		s.queue = append(s.queue, app)
+	}
+}
+
+// snapshotPass takes the periodic background checkpoint of every placed
+// application on a live machine. Apps on crashed-but-undetected nodes are
+// skipped — there is nothing left to snapshot there.
+func (s *Scheduler) snapshotPass() {
+	for _, app := range s.apps {
+		if app.state != appPlaced || app.node.Failed() {
+			continue
+		}
+		s.fhost.Snapshot(app.node, app)
+	}
+}
+
+// transferFault records a transient transfer failure: the app backs off
+// exponentially (seeded jitter) before its next admission attempt.
+func (s *Scheduler) transferFault(app *App) {
+	s.transferFails++
+	app.retries++
+	app.nextTryAt = s.f.Now() + s.backoff.Delay(app.retries)
+}
+
 // drain admits queued applications FIFO against current capacity (tables
 // already reconciled). While everything is saturated — the common state of
 // a backed-up queue — the O(nodes) admittability check is the whole cost:
@@ -258,9 +432,11 @@ func (s *Scheduler) drain() {
 	if len(s.queue) == 0 || !s.anyAdmittable() {
 		return
 	}
+	now := s.f.Now()
 	kept := s.queue[:0]
 	for _, app := range s.queue {
-		if !s.tryAdmit(app) {
+		// An app backing off after a failed transfer waits out its delay.
+		if app.nextTryAt > now || !s.tryAdmit(app) {
 			kept = append(kept, app)
 		}
 	}
@@ -268,17 +444,27 @@ func (s *Scheduler) drain() {
 }
 
 // tryAdmit places the app on the best admissible node right now, returning
-// false when none exists. The caller has reconciled the partition tables.
+// false when none exists or the admission failed. The caller has reconciled
+// the partition tables.
 func (s *Scheduler) tryAdmit(app *App) bool {
 	n := s.pick(app, nil, 0)
-	if n == nil || !s.host.Admit(n, app) {
+	if n == nil {
 		return false
 	}
-	app.state = appPlaced
-	app.node = n
-	app.placedAt = s.f.Now()
-	s.admitted++
-	return true
+	switch s.host.Admit(n, app) {
+	case AdmitOK:
+		app.state = appPlaced
+		app.node = n
+		app.placedAt = s.f.Now()
+		app.retries = 0
+		app.nextTryAt = 0
+		app.recovering = false
+		s.admitted++
+		return true
+	case AdmitTransferFailed:
+		s.transferFault(app)
+	}
+	return false
 }
 
 // pick returns the admissible node the policy prefers (highest score, ties
@@ -326,7 +512,7 @@ func (s *Scheduler) pick(app *App, exclude *Node, minFree int) *Node {
 func (s *Scheduler) migratePass() {
 	now := s.f.Now()
 	for _, src := range s.f.Nodes() {
-		if src.MP == nil {
+		if src.MP == nil || src.Failed() {
 			continue
 		}
 		if src.MP.FreeCores(hmp.Big)+src.MP.FreeCores(hmp.Little) > 0 {
@@ -348,25 +534,29 @@ func (s *Scheduler) migratePass() {
 			continue
 		}
 		s.host.Checkpoint(src, victim)
-		if s.host.Admit(dest, victim) {
+		res := s.host.Admit(dest, victim)
+		if res == AdmitOK {
 			victim.node = dest
 			victim.placedAt = now
 			victim.migrations++
 			s.migrations++
 			s.admitted++
-		} else {
-			// Capacity vanished mid-move: the app rejoins the queue and the
-			// next tick's drain re-places it. It counts toward queuedTotal
-			// only once per lifetime (Stats.Queued counts arrivals that
-			// waited, not waits).
-			victim.state = appQueued
-			victim.node = nil
-			if !victim.everQueued {
-				victim.everQueued = true
-				s.queuedTotal++
-			}
-			s.queue = append(s.queue, victim)
+			continue
 		}
+		if res == AdmitTransferFailed {
+			s.transferFault(victim)
+		}
+		// Capacity vanished mid-move (or the transfer failed): the app
+		// rejoins the queue and a later drain re-places it. It counts
+		// toward queuedTotal only once per lifetime (Stats.Queued counts
+		// arrivals that waited, not waits).
+		victim.state = appQueued
+		victim.node = nil
+		if !victim.everQueued {
+			victim.everQueued = true
+			s.queuedTotal++
+		}
+		s.queue = append(s.queue, victim)
 	}
 }
 
@@ -440,11 +630,18 @@ func (s *Scheduler) CheckInvariants() error {
 			if app.node == nil {
 				return fmt.Errorf("fleet: placed app %q has no node", app.Name)
 			}
+			if app.node.Down() {
+				return fmt.Errorf("fleet: app %q still placed on node %q after failure detection",
+					app.Name, app.node.Name)
+			}
 			if app.Pinned != nil && app.node != app.Pinned {
 				return fmt.Errorf("fleet: app %q pinned to %q but placed on %q",
 					app.Name, app.Pinned.Name, app.node.Name)
 			}
-			if app.Proc != nil && app.node.MP != nil {
+			// Between a crash and its detection the app is still "placed"
+			// but the crash teardown already unregistered its process, so
+			// the owner check only applies to live machines.
+			if app.Proc != nil && app.node.MP != nil && !app.node.Failed() {
 				if owner[app.Proc] != app.node {
 					return fmt.Errorf("fleet: app %q placed on %q but its process is registered elsewhere",
 						app.Name, app.node.Name)

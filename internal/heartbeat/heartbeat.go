@@ -86,6 +86,19 @@ func NewMonitor(name string, window int) *Monitor {
 	return &Monitor{name: name, window: window}
 }
 
+// Clone returns an independent deep copy of the monitor: same name, window,
+// target, and beat history, sharing no mutable state with the original.
+// Checkpoint snapshots use it so a restored incarnation's rate history
+// diverges from the donor's from the snapshot point on.
+func (m *Monitor) Clone() *Monitor {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &Monitor{name: m.name, window: m.window, target: m.target}
+	c.times = append(c.times, m.times...)
+	c.records = append(c.records, m.records...)
+	return c
+}
+
 // Name returns the application name the monitor was registered with.
 func (m *Monitor) Name() string { return m.name }
 

@@ -178,6 +178,52 @@
 // overhead, migrations) per sample. Single-node scenarios keep the classic
 // byte-identical format.
 //
+// # Fault injection ("faults" block)
+//
+// A fleet scenario may add a seeded fault plan (internal/fault):
+//
+//		"faults": {
+//		  "seed": 7,
+//		  "heartbeat_timeout_ms": 300,
+//		  "checkpoint_every_ms": 1000,
+//		  "transfer_fail_prob": 0.1,
+//		  "retry_base_ms": 50, "retry_max_ms": 2000, "retry_jitter_ms": 25,
+//		  "crashes": [{"node": "n1", "at_ms": 4000, "down_ms": 3000}],
+//		  "core_failures": [{"node": "n0", "at_ms": 2000, "cpu": 5}],
+//		  "random": {"rate_per_min": 6, "down_ms": 2500, "max_crashes": 16}
+//		}
+//
+//	  - crashes: scripted node crashes. A crash kills every resident process
+//	    without a clean exit and powers the node off; it reboots down_ms
+//	    later (0 = never). down_ms, when nonzero, must exceed the heartbeat
+//	    timeout — a blip the detector cannot see would strand apps silently,
+//	    so validation rejects it. Overlapping crash windows extend the
+//	    outage to the latest recovery time.
+//	  - core_failures: permanent core failures — the CPU goes offline at
+//	    at_ms and never returns; a node reboot does not revive it.
+//	    Validation applies the same last-core/affinity rules as scripted
+//	    hotplug.
+//	  - random: a seeded Poisson crash process over the whole fleet
+//	    (exponential inter-arrival gaps at rate_per_min, uniformly drawn
+//	    victim), expanded before the run as a pure function of (seed,
+//	    duration, node count) — replays are byte-identical.
+//	  - Recovery: the fleet scheduler declares a node down after
+//	    heartbeat_timeout_ms of silence, salvages its apps from their last
+//	    background snapshot (taken every checkpoint_every_ms; negative
+//	    disables), and re-places them on surviving nodes through the
+//	    ordinary admission queue — so work lost per crash is bounded by the
+//	    snapshot interval, and recovery degrades gracefully to queueing
+//	    when no capacity survives. Each restore fails transiently with
+//	    probability transfer_fail_prob; failed transfers retry under capped
+//	    exponential backoff (retry_base_ms doubling up to retry_max_ms,
+//	    plus a seeded jitter in [0, retry_jitter_ms]).
+//
+// Fault activity appears in the trace as "x,t_ms,node,event,detail" lines
+// (down, up, corefail, salvage, recover) and in the results as
+// Result.NodeCrashes/Recoveries/LostWorkUS/TransferFails/StrandedApps and
+// the per-app AppResult.Recoveries/LostWorkUS/Stranded. A scenario without
+// a "faults" block is bit-for-bit the pre-fault run.
+//
 // Determinism: the engine is single-threaded over deterministic
 // simulators — nodes step in index order within each shared tick, and
 // scheduler decisions break ties by policy score then node index — so the

@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/gts"
 	"repro/internal/heartbeat"
@@ -57,6 +60,12 @@ type Options struct {
 	// returning an error on the first violation. Property tests run with
 	// Strict on.
 	Strict bool
+
+	// CheckEveryTick runs the same invariant suite as Strict after every
+	// fleet tick, not just at actions and samples (the hars-scenario
+	// -check debug flag; fuzz and property runs turn it on). Costlier, but
+	// it catches violations that self-heal before the next sample.
+	CheckEveryTick bool
 }
 
 // AppResult summarizes one application after the run.
@@ -87,6 +96,20 @@ type AppResult struct {
 	// zero for apps without an "slo" block).
 	SLOSamples int
 	SLOMisses  int
+	// Recoveries counts crash recoveries: how many times the app was
+	// salvaged off a node declared failed (and re-placed from its last
+	// background snapshot, or restarted when none existed yet).
+	Recoveries int
+	// LostWorkUS totals the running time rolled back by crashes: for each
+	// crash, the time since the app's last background snapshot (since its
+	// incarnation start when no snapshot existed). Bounded per crash by
+	// the faults block's checkpoint_every_ms.
+	LostWorkUS sim.Time
+	// Stranded: the run ended with the app parked in the admission queue,
+	// its state frozen in a checkpoint — it ran, was captured off a node
+	// by a migration or a crash, and was never re-admitted. With any
+	// surviving capacity the recovery pass should drain these to zero.
+	Stranded bool
 }
 
 // NodeResult summarizes one node of the run.
@@ -133,6 +156,18 @@ type Result struct {
 	SLOSamples       int
 	SLOMisses        int
 
+	// Fault-injection rollups (all zero without a faults block):
+	// NodeCrashes counts applied node crashes, Recoveries and LostWorkUS
+	// total the per-app counters, TransferFails counts transient transfer
+	// failures that sent an app into retry backoff.
+	NodeCrashes   int
+	Recoveries    int
+	LostWorkUS    sim.Time
+	TransferFails int
+	// StrandedApps counts apps still parked in the admission queue with a
+	// captured checkpoint when the run ended (see AppResult.Stranded).
+	StrandedApps int
+
 	// MP is the MP-HARS manager of legacy mphars-* scenarios (nil
 	// otherwise — multi-node runs carry theirs in Nodes); Managers maps
 	// app name → single-application HARS manager. Tests use these for
@@ -165,8 +200,28 @@ type action struct {
 	at   sim.Time
 	prio int
 	seq  int
-	ev   *Event  // platform and app events
-	app  *appRun // arrivals and departures
+	ev   *Event       // platform and app events
+	app  *appRun      // arrivals and departures
+	fa   *faultAction // fault injections
+}
+
+// faultAction kinds.
+const (
+	faultCrash = iota
+	faultHeal
+	faultCoreFail
+)
+
+// faultAction is one expanded fault-timeline entry: a node crash, the
+// matching recovery, or a permanent core failure.
+type faultAction struct {
+	kind int
+	node int // fleet node index
+	cpu  int // faultCoreFail only
+	// until is the crash's recovery deadline (faultCrash only): the matching
+	// heal applies only once the node's downUntil — the max over overlapping
+	// crash windows — has been reached. math.MaxInt64 = never recovers.
+	until sim.Time
 }
 
 // appRun is the engine's per-application state: the checkpointable
@@ -200,6 +255,15 @@ type appRun struct {
 	// SLO scoring tallies (see scoreSLO).
 	sloSamples int
 	sloMisses  int
+
+	// Crash-recovery state (faults runs only): lastSnap is the retained
+	// background snapshot (the restore point a crash falls back to) and
+	// lastSnapAt the time work up to which it preserves; incarnAt is when
+	// the current incarnation started running, the fallback loss baseline
+	// while no snapshot exists yet.
+	lastSnap   *sim.ProcSnapshot
+	lastSnapAt sim.Time
+	incarnAt   sim.Time
 }
 
 // beats returns the app's cumulative heartbeat count — continuous across
@@ -258,6 +322,11 @@ type nodeRun struct {
 	model *power.LinearModel
 	mp    *mphars.Manager
 	gov   *thermal.Governor
+
+	// downUntil is the node's pending recovery deadline while crashed: the
+	// max over all crash windows covering it, so overlapping crashes extend
+	// the outage instead of healing early.
+	downUntil sim.Time
 }
 
 type daemonFunc func(*sim.Machine)
@@ -284,6 +353,13 @@ type engine struct {
 		Sum64() uint64
 	}
 	samples int
+
+	// Fault-injection state (all nil/zero without a faults block, keeping
+	// fault-free runs on the exact legacy path).
+	faultCfg *fault.Config
+	coin     *fault.Coin
+	crashes  int
+	tickErr  error // first per-tick invariant violation (CheckEveryTick)
 }
 
 // Run executes the scenario and returns its result. The run is fully
@@ -343,11 +419,28 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var fcfg *fault.Config
+	if sc.Faults != nil {
+		c := sc.Faults.Runtime()
+		fcfg = &c
+		e.faultCfg = fcfg
+		e.coin = fault.NewCoin(c)
+	}
 	migrate := sim.Time(sc.MigrateEveryMS) * sim.Millisecond
 	e.sched = fleet.NewScheduler(e.fl, e, fleet.Config{
 		Policy:       policy,
 		MigrateEvery: migrate,
+		Fault:        fcfg,
 	})
+	if opts.CheckEveryTick {
+		// Registered after the scheduler's hook, so each tick is checked in
+		// its settled post-scheduling state.
+		e.fl.AddHook(fleet.HookFunc(func(*fleet.Fleet) {
+			if e.tickErr == nil {
+				e.tickErr = e.checkStrict()
+			}
+		}))
+	}
 
 	for i := range e.appSpecs {
 		spec := &e.appSpecs[i]
@@ -402,6 +495,9 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 			next = nextSample
 		}
 		e.fl.RunUntil(next)
+		if e.tickErr != nil {
+			return nil, e.tickErr
+		}
 	}
 	if e.trace != nil {
 		if err := e.trace.Flush(); err != nil {
@@ -496,6 +592,9 @@ func (e *engine) writeHeader() {
 			break
 		}
 	}
+	if sc.Faults != nil {
+		fmt.Fprintln(e.out, "# x,t_ms,node,event,detail")
+	}
 	fmt.Fprintln(e.out, "# f,t_ms,running,queued,hps,energy,overhead_us,node_migrations")
 }
 
@@ -528,6 +627,8 @@ func (e *engine) result() *Result {
 	stats := e.sched.Stats()
 	res.QueuedArrivals = stats.Queued
 	res.NodeMigrations = stats.Migrations
+	res.NodeCrashes = e.crashes
+	res.TransferFails = stats.TransferFails
 	for _, a := range e.apps {
 		a.res.Beats = a.beats()
 		a.res.Work = a.work()
@@ -541,13 +642,20 @@ func (e *engine) result() *Result {
 		// end, no departure, and no run state frozen by a move (an app
 		// checkpointed mid-migration and never re-admitted is not
 		// "skipped" — it ran; its Queued flag records the stall).
-		if a.res.Arrived && a.proc == nil && a.ckpt == nil && !a.res.Departed {
-			a.res.Skipped = true
-			res.DroppedArrivals++
+		if a.res.Arrived && a.proc == nil && !a.res.Departed {
+			if a.ckpt == nil {
+				a.res.Skipped = true
+				res.DroppedArrivals++
+			} else {
+				a.res.Stranded = true
+				res.StrandedApps++
+			}
 		}
 		res.MigrationDelayUS += a.delayUS
 		res.SLOSamples += a.sloSamples
 		res.SLOMisses += a.sloMisses
+		res.Recoveries += a.res.Recoveries
+		res.LostWorkUS += a.res.LostWorkUS
 		res.Apps = append(res.Apps, a.res)
 	}
 	for _, a := range e.apps {
@@ -594,6 +702,9 @@ func (e *engine) buildActions() []action {
 		}
 		seq++
 	}
+	if e.sc.Faults != nil {
+		seq = e.buildFaultActions(&out, seq)
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].at != out[j].at {
 			return out[i].at < out[j].at
@@ -606,9 +717,50 @@ func (e *engine) buildActions() []action {
 	return out
 }
 
+// buildFaultActions expands the faults block into the action timeline:
+// scripted crashes (each with its recovery, unless down_ms is 0 = forever),
+// scripted permanent core failures, then the seeded-random crash process.
+// Fault actions run at platform priority, like hotplug.
+func (e *engine) buildFaultActions(out *[]action, seq int) int {
+	fs := e.sc.Faults
+	addCrash := func(node int, atMS, downMS int64) {
+		until := sim.Time(math.MaxInt64)
+		if downMS > 0 {
+			until = sim.Time(atMS+downMS) * sim.Millisecond
+		}
+		fa := &faultAction{kind: faultCrash, node: node, until: until}
+		*out = append(*out, action{
+			at: sim.Time(atMS) * sim.Millisecond, prio: prioPlatform, seq: seq, fa: fa,
+		})
+		if downMS > 0 && atMS+downMS <= e.sc.DurationMS {
+			*out = append(*out, action{
+				at: until, prio: prioPlatform, seq: seq,
+				fa: &faultAction{kind: faultHeal, node: node},
+			})
+		}
+		seq++
+	}
+	for _, c := range fs.Crashes {
+		addCrash(e.nodeRunByName(c.Node).rn.idx, c.AtMS, c.DownMS)
+	}
+	for _, cf := range fs.CoreFailures {
+		*out = append(*out, action{
+			at: sim.Time(cf.AtMS) * sim.Millisecond, prio: prioPlatform, seq: seq,
+			fa: &faultAction{kind: faultCoreFail, node: e.nodeRunByName(cf.Node).rn.idx, cpu: cf.CPU},
+		})
+		seq++
+	}
+	for _, c := range fs.Random.ExpandRandom(fs.Seed, e.sc.DurationMS, len(e.nodes)) {
+		addCrash(c.Node, c.AtMS, c.DownMS)
+	}
+	return seq
+}
+
 // apply executes one due action.
 func (e *engine) apply(act action) {
 	switch {
+	case act.fa != nil:
+		e.applyFault(act.fa)
 	case act.app != nil && act.prio == prioArrive:
 		act.app.res.Arrived = true
 		e.sched.Arrive(act.app.fapp)
@@ -625,9 +777,15 @@ func (e *engine) apply(act action) {
 // work-conserving migration, or a queue drain after a failed move)
 // restores the held run state instead. Called by the scheduler at arrival,
 // at queue drain, and during the migrate pass.
-func (e *engine) Admit(n *fleet.Node, app *fleet.App) bool {
+func (e *engine) Admit(n *fleet.Node, app *fleet.App) fleet.AdmitResult {
 	a := app.Payload.(*appRun)
 	nr := e.nodes[n.ID]
+	if nr.m.Failed() {
+		// A crashed-but-undetected node can still be picked (its heartbeat
+		// silence hasn't crossed the detector timeout yet); the admission
+		// itself bounces.
+		return fleet.AdmitNoCapacity
+	}
 	if a.ckpt != nil {
 		return e.admitRestored(nr, app, a)
 	}
@@ -649,7 +807,7 @@ func (e *engine) Admit(n *fleet.Node, app *fleet.App) bool {
 		// change in between, but stay defensive).
 		freeB, freeL := nr.mp.FreeCores(hmp.Big), nr.mp.FreeCores(hmp.Little)
 		if freeB+freeL == 0 {
-			return false
+			return fleet.AdmitNoCapacity
 		}
 		initB := minInt(intOr(a.spec.InitBig, 1), freeB)
 		initL := minInt(intOr(a.spec.InitLittle, 1), freeL)
@@ -666,10 +824,11 @@ func (e *engine) Admit(n *fleet.Node, app *fleet.App) bool {
 		nr.mp.Register(nr.m, a.proc, tgt, initB, initL)
 		a.node = nr
 		a.res.Node = nr.rn.name
+		a.incarnAt = nr.m.Now()
 		app.Proc = a.proc
 		// No applyAffinity here: validation rejects affinity masks on
 		// managed candidate nodes — MP-HARS owns its apps' masks.
-		return true
+		return fleet.AdmitOK
 	}
 
 	a.prog = b.New(threads)
@@ -706,7 +865,8 @@ func (e *engine) Admit(n *fleet.Node, app *fleet.App) bool {
 		a.proc.HB.SetTarget(tgt)
 		e.applyAffinity(a)
 	}
-	return true
+	a.incarnAt = nr.m.Now()
+	return fleet.AdmitOK
 }
 
 // applyPhaseScale re-applies the last scripted workload phase scale to a
@@ -739,22 +899,25 @@ func (e *engine) applyAffinity(a *appRun) {
 // the held run state (program, heartbeat history, thread progress, pending
 // wakeups) resumes once the checkpoint delay — charged from the moment the
 // app was frozen — has elapsed, and the node's runtime management
-// re-attaches without state loss.
-func (e *engine) admitRestored(nr *nodeRun, app *fleet.App, a *appRun) bool {
+// re-attaches without state loss. Under fault injection the transfer may
+// fail transiently (the seeded coin), sending the app into retry backoff,
+// and a crash-recovery re-placement restores via Recover so the trace
+// records it as such.
+func (e *engine) admitRestored(nr *nodeRun, app *fleet.App, a *appRun) fleet.AdmitResult {
 	tgtSpec, tgtFrac := a.targetSpec()
 	tgt := e.target(tgtSpec, tgtFrac, a.spec.Bench, threadsOf(a), nr)
 	resume := a.ckptAt + e.ckptCost.Delay()
 	if now := nr.m.Now(); resume < now {
 		resume = now
 	}
-
+	var initB, initL int
 	if nr.mp != nil {
 		freeB, freeL := nr.mp.FreeCores(hmp.Big), nr.mp.FreeCores(hmp.Little)
 		if freeB+freeL == 0 {
-			return false
+			return fleet.AdmitNoCapacity
 		}
-		initB := minInt(intOr(a.spec.InitBig, 1), freeB)
-		initL := minInt(intOr(a.spec.InitLittle, 1), freeL)
+		initB = minInt(intOr(a.spec.InitBig, 1), freeB)
+		initL = minInt(intOr(a.spec.InitLittle, 1), freeL)
 		if initB+initL == 0 {
 			if freeL > 0 {
 				initL = 1
@@ -762,10 +925,21 @@ func (e *engine) admitRestored(nr *nodeRun, app *fleet.App, a *appRun) bool {
 				initB = 1
 			}
 		}
-		a.proc = nr.m.Restore(a.ckpt, resume)
+	}
+	// The node can take the app; now the checkpoint image must reach it.
+	if e.coin != nil && e.coin.Flip() {
+		return fleet.AdmitTransferFailed
+	}
+	restore := nr.m.Restore
+	if app.Recovering() {
+		restore = nr.m.Recover
+	}
+
+	if nr.mp != nil {
+		a.proc = restore(a.ckpt, resume)
 		nr.mp.Register(nr.m, a.proc, tgt, initB, initL)
 	} else {
-		a.proc = nr.m.Restore(a.ckpt, resume)
+		a.proc = restore(a.ckpt, resume)
 		switch nr.rn.manager {
 		case ManagerHARSI, ManagerHARSE, ManagerHARSEI:
 			v := core.HARSI
@@ -793,12 +967,32 @@ func (e *engine) admitRestored(nr *nodeRun, app *fleet.App, a *appRun) bool {
 			e.applyAffinity(a)
 		}
 	}
+	// Track the restored program object: identical to a.prog for a
+	// migration (Checkpoint moves the live object into the snapshot), but a
+	// crash recovery restores a clone — scripted phase events must mutate
+	// the live incarnation, and a phase change since the snapshot was taken
+	// must be re-applied to it.
+	a.prog = a.ckpt.Prog
+	a.applyPhaseScale()
+	if e.faultCfg != nil {
+		// Promote the consumed checkpoint to the app's crash restore point
+		// (its state right now is identical — nothing has executed since the
+		// restore). Without this, a crash between re-admission and the next
+		// background snapshot could roll back past the checkpointed work.
+		if snap, ok := a.ckpt.Clone(); ok {
+			a.lastSnap, a.lastSnapAt = snap, resume
+		}
+		if app.Recovering() {
+			e.traceFault(nr, "recover", a.spec.Name)
+		}
+	}
 	a.delayUS += resume - a.ckptAt
 	a.ckpt = nil
 	a.node = nr
 	a.res.Node = nr.rn.name
+	a.incarnAt = resume
 	app.Proc = a.proc
-	return true
+	return fleet.AdmitOK
 }
 
 // Checkpoint implements fleet.Host: freeze the application's run state on
@@ -820,6 +1014,136 @@ func (e *engine) Checkpoint(n *fleet.Node, app *fleet.App) {
 	a.proc = nil
 	a.node = nil
 	app.Proc = nil
+}
+
+// Snapshot implements fleet.FaultHost: take the periodic background
+// checkpoint of a running application without disturbing it. The retained
+// snapshot is the restore point a later crash falls back to, bounding the
+// work a crash can lose by the snapshot cadence.
+func (e *engine) Snapshot(n *fleet.Node, app *fleet.App) {
+	a := app.Payload.(*appRun)
+	nr := e.nodes[n.ID]
+	if a.proc == nil || a.proc.Exited() {
+		return
+	}
+	if snap, ok := nr.m.Snapshot(a.proc); ok {
+		a.lastSnap = snap
+		a.lastSnapAt = nr.m.Now()
+	}
+}
+
+// Salvage implements fleet.FaultHost: the node was declared failed with the
+// application placed on it. The machine-side teardown (kill, unregister)
+// already happened at the crash instant; here the app's last background
+// snapshot becomes its pending restore state — a clone, so the retained
+// snapshot survives if the next incarnation crashes too — and the scheduler
+// re-queues it. With no snapshot yet, the app restarts from scratch on its
+// next admission (the loss is still bounded: a first snapshot is at most one
+// cadence after placement).
+func (e *engine) Salvage(n *fleet.Node, app *fleet.App) {
+	a := app.Payload.(*appRun)
+	a.res.Recoveries++
+	a.ckpt = nil
+	a.ckptAt = 0
+	if a.lastSnap != nil {
+		if snap, ok := a.lastSnap.Clone(); ok {
+			a.ckpt = snap
+		} else {
+			a.ckpt = a.lastSnap
+			a.lastSnap = nil
+		}
+		a.ckptAt = e.fl.Now()
+	}
+	a.prog = nil
+	a.proc = nil
+	a.node = nil
+	app.Proc = nil
+	e.traceFault(e.nodes[n.ID], "salvage", a.spec.Name)
+}
+
+// applyFault executes one fault-timeline action.
+func (e *engine) applyFault(fa *faultAction) {
+	nr := e.nodes[fa.node]
+	switch fa.kind {
+	case faultCrash:
+		e.crashNode(nr)
+		if fa.until > nr.downUntil {
+			nr.downUntil = fa.until
+		}
+	case faultHeal:
+		if e.fl.Now() >= nr.downUntil {
+			e.healNode(nr)
+		}
+	case faultCoreFail:
+		// Permanent: SetCoreOnline(false) on a failed machine folds into the
+		// saved mask, so the core stays dead across crash/heal cycles.
+		nr.m.SetCoreOnline(fa.cpu, false)
+		if nr.mp != nil && !nr.m.Failed() {
+			nr.mp.ReconcilePlatform(nr.m)
+		}
+		e.traceFault(nr, "corefail", strconv.Itoa(fa.cpu))
+	}
+}
+
+// crashNode kills a node: every resident application's lost work is charged
+// (time since its restore point — its last background snapshot, or its
+// incarnation start), its runtime management is detached, and the machine
+// fails — all processes killed, all cores offline, but still stepping on the
+// lockstep clock, silently. The fleet detector only learns of the crash after
+// the heartbeat timeout; until then the apps stay nominally placed.
+func (e *engine) crashNode(nr *nodeRun) {
+	if nr.m.Failed() {
+		return // overlapping crash window; applyFault extends downUntil
+	}
+	e.crashes++
+	now := e.fl.Now()
+	for _, a := range e.apps {
+		if a.node != nr || a.proc == nil {
+			continue
+		}
+		base := a.incarnAt
+		if a.lastSnap != nil {
+			base = a.lastSnapAt
+		}
+		if lost := now - base; lost > 0 {
+			a.res.LostWorkUS += lost
+		}
+		if nr.mp != nil && !a.proc.Exited() {
+			nr.mp.Unregister(nr.m, a.proc)
+		}
+		if a.mgr != nil {
+			nr.m.RemoveDaemon(a.mgr)
+			a.mgr = nil
+		}
+	}
+	nr.m.Fail()
+	if nr.mp != nil {
+		nr.mp.ReconcilePlatform(nr.m)
+	}
+	e.traceFault(nr, "down", "")
+}
+
+// healNode brings a crashed node back: the pre-crash online mask (minus any
+// cores that failed permanently in between) is restored and the machine
+// accepts work again. The detector marks it placeable on its next beat.
+func (e *engine) healNode(nr *nodeRun) {
+	if !nr.m.Failed() {
+		return
+	}
+	nr.m.Heal()
+	if nr.mp != nil {
+		nr.mp.ReconcilePlatform(nr.m)
+	}
+	e.traceFault(nr, "up", "")
+}
+
+// traceFault emits one "x" fault-timeline trace line. Gated on the faults
+// block, so fault-free traces stay byte-identical to pre-fault ones.
+func (e *engine) traceFault(nr *nodeRun, what, detail string) {
+	if e.faultCfg == nil {
+		return
+	}
+	fmt.Fprintf(e.out, "x,%d,%s,%s,%s\n", e.fl.Now()/sim.Millisecond, nr.rn.name, what, detail)
 }
 
 func (e *engine) depart(a *appRun) {

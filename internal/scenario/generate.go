@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/hmp"
 	"repro/internal/thermal"
 	"repro/internal/workload"
@@ -36,6 +37,13 @@ type GenConfig struct {
 	// Placement fixes the fleet placement policy; empty draws one from the
 	// seed. Ignored without Nodes.
 	Placement string
+
+	// Faults adds a seeded faults block to a fleet scenario (ignored without
+	// Nodes): scripted crashes, sometimes a random crash process, and a
+	// transfer-failure probability. The extra draws happen strictly after
+	// everything else, so seeds generate the same base scenario with the
+	// flag on or off.
+	Faults bool
 }
 
 func (c GenConfig) withDefaults() GenConfig {
@@ -191,7 +199,44 @@ func Generate(seed int64, cfg GenConfig) *Scenario {
 		}
 		sc.Events = append(sc.Events, ev)
 	}
+	if cfg.Faults && cfg.Nodes > 0 {
+		sc.Faults = genFaults(rng, sc, cfg)
+	}
 	return sc
+}
+
+// genFaults draws a faults block: one or two scripted crashes (occasionally
+// permanent), sometimes a seeded random crash process, and a transfer-failure
+// probability. Every down_ms clears the detectability floor (down longer than
+// the heartbeat timeout) by construction.
+func genFaults(rng *rand.Rand, sc *Scenario, cfg GenConfig) *fault.Spec {
+	fs := &fault.Spec{
+		Seed:              rng.Int63(),
+		CheckpointEveryMS: 500 + 250*rng.Int63n(5),
+		TransferFailProb:  0.2 * rng.Float64(),
+	}
+	half := cfg.DurationMS / 2
+	if half < 1 {
+		half = 1
+	}
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		down := fault.DefaultHeartbeatTimeoutMS + 200 + 100*rng.Int63n(20)
+		if rng.Intn(4) == 0 {
+			down = 0 // never recovers
+		}
+		fs.Crashes = append(fs.Crashes, fault.Crash{
+			Node:   sc.Nodes[rng.Intn(len(sc.Nodes))].Name,
+			AtMS:   1 + rng.Int63n(half),
+			DownMS: down,
+		})
+	}
+	if rng.Intn(2) == 0 {
+		fs.Random = &fault.RandomCrashes{
+			RatePerMin: 2 + 4*rng.Float64(),
+			DownMS:     1000 + 500*rng.Int63n(4),
+		}
+	}
+	return fs
 }
 
 func capEvent(rng *rand.Rand, plat *hmp.Platform, node string, cfg GenConfig, sc *Scenario, at int64) Event {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/hmp"
 	"repro/internal/sim"
@@ -220,6 +221,16 @@ type Scenario struct {
 	// scenario document itself is untouched, so replays stay
 	// byte-identical.
 	Arrivals []ArrivalStream `json:"arrivals,omitempty"`
+
+	// Faults, when present, arms the fault-injection and recovery layer
+	// (fleet scenarios only): scripted and seeded-random node crashes,
+	// permanent core failures, and transient checkpoint-transfer failures,
+	// all expanded deterministically on the shared clock — plus the
+	// recovery machinery (heartbeat-timeout failure detection, periodic
+	// background checkpoints, snapshot re-placement with capped
+	// exponential retry backoff). Absent, nothing fault-related runs and
+	// traces are bit-identical to pre-fault ones.
+	Faults *fault.Spec `json:"faults,omitempty"`
 }
 
 // Decode parses and validates a scenario document. Unknown fields are
@@ -230,6 +241,13 @@ func Decode(r io.Reader) (*Scenario, error) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sc); err != nil {
 		return nil, fmt.Errorf("scenario: decode: %w", err)
+	}
+	// The decoder consumes exactly one JSON value; anything non-whitespace
+	// after it means the document is malformed (a truncated edit, two specs
+	// concatenated), not a scenario followed by noise — reject it instead
+	// of silently running the first value.
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("scenario: decode: trailing data after the scenario document")
 	}
 	// The optional list fields carry omitempty, so an explicitly-empty
 	// list in the input ("events": []) would be dropped by Encode and
@@ -247,6 +265,14 @@ func Decode(r io.Reader) (*Scenario, error) {
 	for i := range sc.Apps {
 		if len(sc.Apps[i].Affinity) == 0 {
 			sc.Apps[i].Affinity = nil
+		}
+	}
+	if sc.Faults != nil {
+		if len(sc.Faults.Crashes) == 0 {
+			sc.Faults.Crashes = nil
+		}
+		if len(sc.Faults.CoreFailures) == 0 {
+			sc.Faults.CoreFailures = nil
 		}
 	}
 	if err := sc.Validate(); err != nil {
@@ -448,6 +474,9 @@ func (sc *Scenario) resolveAndValidate(plat *hmp.Platform) ([]resolvedNode, []Ap
 	if c := sc.Checkpoint; c != nil && (c.FreezeUS < 0 || c.PerMBUS < 0 || c.SizeMB < 0) {
 		return nil, nil, fmt.Errorf("scenario: negative checkpoint cost")
 	}
+	if sc.Faults != nil && len(sc.Nodes) == 0 {
+		return nil, nil, fmt.Errorf("scenario: faults needs a nodes list")
+	}
 	apps, err := sc.expandApps()
 	if err != nil {
 		return nil, nil, err
@@ -628,6 +657,26 @@ func (sc *Scenario) resolveAndValidate(plat *hmp.Platform) ([]resolvedNode, []Ap
 			return nil, nil, fmt.Errorf("scenario: event %d: unknown kind %q", i, ev.Kind)
 		}
 	}
+	if fs := sc.Faults; fs != nil {
+		if err := fs.Validate(sc.DurationMS); err != nil {
+			return nil, nil, fmt.Errorf("scenario: %w", err)
+		}
+		for i, c := range fs.Crashes {
+			if nodeByName(nodes, c.Node) == nil {
+				return nil, nil, fmt.Errorf("scenario: faults: crash %d: unknown node %q", i, c.Node)
+			}
+		}
+		for i, cf := range fs.CoreFailures {
+			rn := nodeByName(nodes, cf.Node)
+			if rn == nil {
+				return nil, nil, fmt.Errorf("scenario: faults: core failure %d: unknown node %q", i, cf.Node)
+			}
+			if cf.CPU >= rn.plat.TotalCores() {
+				return nil, nil, fmt.Errorf("scenario: faults: core failure %d: cpu %d outside node %q's platform",
+					i, cf.CPU, cf.Node)
+			}
+		}
+	}
 	return nodes, apps, sc.checkHotplug(nodes)
 }
 
@@ -699,6 +748,18 @@ func (sc *Scenario) checkHotplug(nodes []resolvedNode) error {
 			}
 			for _, at := range ev.Occurrences(sc.DurationMS) {
 				seq = append(seq, hp{at: at, seq: j, cpu: ev.CPU, on: *ev.Online})
+			}
+		}
+		if sc.Faults != nil {
+			// Scripted core failures participate in the same replay: they
+			// act as hotplug-offs (ordered after same-time events, as the
+			// engine orders them), so a fault plan may not kill a node's
+			// last core or starve a pinned app either.
+			for j, cf := range sc.Faults.CoreFailures {
+				if cf.Node != rn.name {
+					continue
+				}
+				seq = append(seq, hp{at: cf.AtMS, seq: len(sc.Events) + j, cpu: cf.CPU, on: false})
 			}
 		}
 		sort.Slice(seq, func(i, j int) bool {

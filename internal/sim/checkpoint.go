@@ -72,6 +72,34 @@ type ProcSnapshot struct {
 	TakenAt Time
 }
 
+// Cloneable is the optional Program extension background (non-destructive)
+// checkpoints require: CloneProgram returns an independent deep copy of the
+// program's run state, leaving the live program untouched. Both workload
+// templates implement it.
+type Cloneable interface {
+	CloneProgram() Program
+}
+
+// Clone returns an independent deep copy of the snapshot, or ok=false when
+// the program does not implement Cloneable. Crash recovery clones before
+// restoring so the retained snapshot stays valid if the same incarnation
+// crashes again before the next background checkpoint.
+func (s *ProcSnapshot) Clone() (*ProcSnapshot, bool) {
+	cl, ok := s.Prog.(Cloneable)
+	if !ok {
+		return nil, false
+	}
+	c := &ProcSnapshot{
+		Name:    s.Name,
+		Prog:    cl.CloneProgram(),
+		HB:      s.HB.Clone(),
+		Threads: append([]ThreadSnapshot(nil), s.Threads...),
+		Wakeups: append([]WakeupSnapshot(nil), s.Wakeups...),
+		TakenAt: s.TakenAt,
+	}
+	return c, true
+}
+
 // Beats returns the snapshot's cumulative heartbeat count.
 func (s *ProcSnapshot) Beats() int64 { return s.HB.Count() }
 
@@ -155,6 +183,59 @@ func (m *Machine) Checkpoint(p *Process) *ProcSnapshot {
 	return snap
 }
 
+// Snapshot captures a live process's run state WITHOUT disturbing it: the
+// program and heartbeat monitor are deep-copied, thread progress is copied,
+// and pending wakeups are read out of the timer heap but left in place. The
+// process keeps running; the snapshot is a consistent restore point frozen
+// at the capture instant. Returns ok=false when the program does not
+// implement Cloneable (periodic background checkpoints then skip the app).
+// Must not be called from mid-execute program callbacks.
+func (m *Machine) Snapshot(p *Process) (*ProcSnapshot, bool) {
+	if m.inExec {
+		panic("sim: Snapshot called during execute")
+	}
+	if p.exited {
+		panic(fmt.Sprintf("sim: Snapshot of exited process %q", p.Name))
+	}
+	cl, ok := p.prog.(Cloneable)
+	if !ok {
+		return nil, false
+	}
+	snap := &ProcSnapshot{
+		Name:    p.Name,
+		Prog:    cl.CloneProgram(),
+		HB:      p.HB.Clone(),
+		Threads: make([]ThreadSnapshot, len(p.Threads)),
+		TakenAt: m.now,
+	}
+	for i, t := range p.Threads {
+		snap.Threads[i] = ThreadSnapshot{
+			Remaining:  t.remaining,
+			WorkDone:   t.workDone,
+			Migrations: t.migrations,
+			Blocked:    t.blocked,
+		}
+	}
+	// Copy (don't extract) the process's pending wakeups, in the (at, seq)
+	// order the source would fire them.
+	var mine []timerEntry
+	for _, e := range m.timers.entries {
+		if e.proc == p {
+			mine = append(mine, e)
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool {
+		if mine[i].at != mine[j].at {
+			return mine[i].at < mine[j].at
+		}
+		return mine[i].seq < mine[j].seq
+	})
+	for _, e := range mine {
+		snap.Wakeups = append(snap.Wakeups, WakeupSnapshot{Local: e.local, At: e.at, Units: e.units})
+	}
+	return snap, true
+}
+
 // Restore continues a checkpointed process on this machine: a new Process
 // (fresh ID, fresh threads, all-CPU affinity, no placement) resumes the
 // snapshot's program with its heartbeat monitor, per-thread progress, and
@@ -164,6 +245,17 @@ func (m *Machine) Checkpoint(p *Process) *ProcSnapshot {
 // fire on time. The program's Start hook is NOT invoked — the snapshot
 // already holds the started state.
 func (m *Machine) Restore(snap *ProcSnapshot, resumeAt Time) *Process {
+	return m.restore(snap, resumeAt, EvMigrateIn)
+}
+
+// Recover is Restore for crash recovery: identical semantics, but the trace
+// records an EvRecover event so replays distinguish a fault-driven
+// re-placement from an ordinary work-conserving move.
+func (m *Machine) Recover(snap *ProcSnapshot, resumeAt Time) *Process {
+	return m.restore(snap, resumeAt, EvRecover)
+}
+
+func (m *Machine) restore(snap *ProcSnapshot, resumeAt Time, kind EventKind) *Process {
 	if m.inExec {
 		panic("sim: Restore called during execute")
 	}
@@ -232,7 +324,7 @@ func (m *Machine) Restore(snap *ProcSnapshot, resumeAt Time) *Process {
 		m.timers.push(timerEntry{at: at, proc: p, local: w.Local, units: w.Units})
 	}
 	if m.tracer != nil {
-		m.emit(Event{T: m.now, Kind: EvMigrateIn, Proc: p.Name, Until: resumeAt})
+		m.emit(Event{T: m.now, Kind: kind, Proc: p.Name, Until: resumeAt})
 	}
 	return p
 }

@@ -129,6 +129,12 @@ type Machine struct {
 	caps        [hmp.NumClusters]int
 	clusterMask [hmp.NumClusters]hmp.CPUMask
 
+	// failed marks a crashed machine (Fail without a matching Heal): every
+	// process was killed, no core has power, and energy integration is
+	// frozen. preFailOnline is the hotplug state Heal restores.
+	failed        bool
+	preFailOnline hmp.CPUMask
+
 	// runnable holds the Global IDs of runnable threads in ascending order,
 	// maintained incrementally on block/unblock transitions. The per-core
 	// run queues (coreState.run) are the placed subset. Placers iterate
@@ -326,6 +332,23 @@ func (m *Machine) SetCoreOnline(cpu int, online bool) {
 	if m.inExec {
 		panic("sim: SetCoreOnline called during execute")
 	}
+	if m.failed {
+		// The machine is crashed: no core has power, so hotplug acts on the
+		// state Heal will restore rather than on the (empty) live mask. No
+		// threads run on a failed machine, so there is nothing to evict.
+		if m.preFailOnline.Has(cpu) == online {
+			return
+		}
+		if m.tracer != nil {
+			m.emit(Event{T: m.now, Kind: EvHotplug, CPU: cpu, Online: online})
+		}
+		if online {
+			m.preFailOnline = m.preFailOnline.Set(cpu)
+		} else {
+			m.preFailOnline = m.preFailOnline.Clear(cpu)
+		}
+		return
+	}
 	if m.online.Has(cpu) == online {
 		return
 	}
@@ -343,6 +366,65 @@ func (m *Machine) SetCoreOnline(cpu int, online bool) {
 		}
 	}
 }
+
+// Fail crashes the machine: every resident process is killed without exiting
+// cleanly (exactly the state Kill leaves — statistics and digests for the
+// executed portion stay valid), every core loses power, and energy
+// integration freezes at zero draw. The machine keeps stepping so a fleet's
+// shared clock stays in lockstep; it just executes nothing. The hotplug
+// state at the moment of the crash is remembered and restored by Heal.
+// Idempotent; must not be called from mid-execute program callbacks.
+func (m *Machine) Fail() {
+	if m.inExec {
+		panic("sim: Fail called during execute")
+	}
+	if m.failed {
+		return
+	}
+	if m.tracer != nil {
+		m.emit(Event{T: m.now, Kind: EvNodeDown})
+	}
+	m.failed = true
+	for _, p := range m.procs {
+		m.Kill(p)
+	}
+	m.preFailOnline = m.online
+	m.online = 0
+	for _, t := range m.threads {
+		if t.core >= 0 {
+			m.evict(t)
+		}
+	}
+	// A powered-off board draws nothing: report zero instantaneous power and
+	// force a fresh model evaluation after Heal.
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		m.lastPW[k] = 0
+		m.powerValid[k] = false
+	}
+}
+
+// Heal brings a crashed machine back: the pre-crash hotplug state (adjusted
+// by any SetCoreOnline calls made while down) is restored and the machine
+// accepts work again. Processes killed by the crash stay dead — recovery of
+// their state is the fleet layer's job, via snapshots taken before the
+// crash. Idempotent.
+func (m *Machine) Heal() {
+	if m.inExec {
+		panic("sim: Heal called during execute")
+	}
+	if !m.failed {
+		return
+	}
+	m.failed = false
+	m.online = m.preFailOnline
+	m.preFailOnline = 0
+	if m.tracer != nil {
+		m.emit(Event{T: m.now, Kind: EvNodeUp})
+	}
+}
+
+// Failed reports whether the machine is crashed (Fail without Heal).
+func (m *Machine) Failed() bool { return m.failed }
 
 // evict removes a thread from its current core (which must be valid),
 // leaving it unplaced; the mask balancer's repair pass re-places runnable
@@ -724,7 +806,7 @@ func (m *Machine) cacheFactor(t *Thread, k hmp.ClusterKind) float64 {
 }
 
 func (m *Machine) integratePower() {
-	if m.cfg.Power == nil {
+	if m.cfg.Power == nil || m.failed {
 		return
 	}
 	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {

@@ -37,6 +37,16 @@ const (
 	// the restore time; the event's Until field carries the resume time
 	// after the charged checkpoint delay (equal to T for a free move).
 	EvMigrateIn
+	// EvNodeDown is a machine crash: every resident process was killed
+	// without exiting cleanly and all cores lost power (Machine.Fail).
+	EvNodeDown
+	// EvNodeUp is a crashed machine coming back: the pre-crash online mask
+	// is restored and the machine accepts work again (Machine.Heal).
+	EvNodeUp
+	// EvRecover is a process resuming from a crash-recovery snapshot
+	// (Machine.Recover): like EvMigrateIn, Until carries the resume time
+	// after the charged restore delay.
+	EvRecover
 )
 
 // String names the event kind.
@@ -60,6 +70,12 @@ func (k EventKind) String() string {
 		return "migrate_out"
 	case EvMigrateIn:
 		return "migrate_in"
+	case EvNodeDown:
+		return "node_down"
+	case EvNodeUp:
+		return "node_up"
+	case EvRecover:
+		return "recover"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
@@ -180,6 +196,10 @@ func (tr *Tracer) WriteCSV(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "%d,%s,%s,,,,,,%s\n", e.T, e.Kind, e.Proc, node(e))
 		case EvMigrateIn:
 			_, err = fmt.Fprintf(w, "%d,%s,%s,,,%d,,,%s\n", e.T, e.Kind, e.Proc, e.Until, node(e))
+		case EvNodeDown, EvNodeUp:
+			_, err = fmt.Fprintf(w, "%d,%s,,,,,,,%s\n", e.T, e.Kind, node(e))
+		case EvRecover:
+			_, err = fmt.Fprintf(w, "%d,%s,%s,,,%d,,,%s\n", e.T, e.Kind, e.Proc, e.Until, node(e))
 		}
 		if err != nil {
 			return err
@@ -254,6 +274,19 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 		case EvMigrateIn:
 			out = append(out, chromeEvent{
 				Name: prefix + "migrate_in " + e.Proc, Phase: "i", TS: e.T, PID: 2,
+				Args: map[string]any{"resume_us": e.Until},
+			})
+		case EvNodeDown:
+			out = append(out, chromeEvent{
+				Name: prefix + "node_down", Phase: "i", TS: e.T, PID: 1,
+			})
+		case EvNodeUp:
+			out = append(out, chromeEvent{
+				Name: prefix + "node_up", Phase: "i", TS: e.T, PID: 1,
+			})
+		case EvRecover:
+			out = append(out, chromeEvent{
+				Name: prefix + "recover " + e.Proc, Phase: "i", TS: e.T, PID: 2,
 				Args: map[string]any{"resume_us": e.Until},
 			})
 		}

@@ -17,6 +17,11 @@ type PhaseScalable interface {
 var _ PhaseScalable = (*DataParallel)(nil)
 var _ PhaseScalable = (*Pipeline)(nil)
 
+// Both templates support non-destructive snapshots, so every benchmark is
+// eligible for periodic background checkpoints and crash recovery.
+var _ sim.Cloneable = (*DataParallel)(nil)
+var _ sim.Cloneable = (*Pipeline)(nil)
+
 // Benchmark is a named factory for one of the evaluation's applications.
 // Programs carry per-run state, so each run must construct a fresh one.
 type Benchmark struct {

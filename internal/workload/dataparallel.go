@@ -107,6 +107,14 @@ func (d *DataParallel) UnitDone(p *sim.Process, local int) {
 	}
 }
 
+// CloneProgram implements sim.Cloneable: the run state (iteration counter,
+// barrier count, phase scale) is plain values and Unit is stateless, so a
+// shallow copy is a full snapshot.
+func (d *DataParallel) CloneProgram() sim.Program {
+	c := *d
+	return &c
+}
+
 // Iteration returns the number of completed iterations.
 func (d *DataParallel) Iteration() int64 { return d.iter }
 

@@ -86,6 +86,28 @@ func (pl *Pipeline) work(s int) float64 {
 	return w
 }
 
+// CloneProgram implements sim.Cloneable: deep-copies the queue occupancy and
+// blocked-thread bookkeeping so the clone's dataflow evolves independently.
+func (pl *Pipeline) CloneProgram() sim.Program {
+	c := *pl
+	c.stageOf = append([]int(nil), pl.stageOf...)
+	c.queued = append([]int(nil), pl.queued...)
+	c.waiting = cloneNested(pl.waiting)
+	c.blockedPush = cloneNested(pl.blockedPush)
+	return &c
+}
+
+func cloneNested(src [][]int) [][]int {
+	if src == nil {
+		return nil
+	}
+	out := make([][]int, len(src))
+	for i, s := range src {
+		out[i] = append([]int(nil), s...)
+	}
+	return out
+}
+
 // Items returns the number of items retired by the final stage.
 func (pl *Pipeline) Items() int64 { return pl.items }
 
