@@ -182,3 +182,11 @@ func BenchmarkSimSecondPipeline(b *testing.B) { bench.SimSecondPipeline(b) }
 // model + governor daemon) attached; the delta against SimSecond is the
 // per-tick cost of the loop.
 func BenchmarkSimSecondThermal(b *testing.B) { bench.SimSecondThermal(b) }
+
+// BenchmarkFleetQuiescent advances ten simulated seconds of a mostly-idle
+// 128-node fleet through the event-driven core; the Lockstep variant is the
+// per-tick reference, and their ratio is the tracked quiescent speedup.
+func BenchmarkFleetQuiescent(b *testing.B) { bench.FleetQuiescent(b) }
+
+// BenchmarkFleetQuiescentLockstep is the same fleet stepped tick by tick.
+func BenchmarkFleetQuiescentLockstep(b *testing.B) { bench.FleetQuiescentLockstep(b) }

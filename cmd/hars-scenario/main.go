@@ -49,6 +49,8 @@ func main() {
 	strict := flag.Bool("strict", false, "verify runtime invariants after every action and sample")
 	check := flag.Bool("check", false, "verify runtime invariants after every tick (debug; slower)")
 	summary := flag.String("summary", "text", `summary format: "text" (stderr) or "json" (stdout, byte-stable field order)`)
+	lockstep := flag.Bool("lockstep", false, "force the reference per-tick fleet advancement instead of the event-driven core (bit-identical; for benchmarking)")
+	workers := flag.Int("workers", 1, "shard node advancement between fleet decision points across N goroutines (any width is byte-identical)")
 	flag.Parse()
 	if *summary != "text" && *summary != "json" {
 		fmt.Fprintf(os.Stderr, "unknown -summary format %q (want text or json)\n", *summary)
@@ -110,7 +112,10 @@ func main() {
 		trace = f
 	}
 
-	res, err := scenario.Run(sc, scenario.Options{Trace: trace, Strict: *strict, CheckEveryTick: *check})
+	res, err := scenario.Run(sc, scenario.Options{
+		Trace: trace, Strict: *strict, CheckEveryTick: *check,
+		Lockstep: *lockstep, Workers: *workers,
+	})
 	if err != nil {
 		fatal(err)
 	}

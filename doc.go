@@ -57,10 +57,21 @@
 // named machine bundling its platform, power model, thermal governor, and
 // manager daemons behind the shared-clock Ticker interface, with
 // node-tagged trace events — and fleet.Fleet advances any number of Nodes
-// in lockstep on one deterministic clock. Placement is pluggable
-// (least-loaded, big-first for heterogeneity, coolest for heat-aware
-// placement, slo-aware for per-app target-slack scoring against predicted
-// node capacity and migration cost); arrivals with no free partition
+// on one deterministic clock. Advancement is event-driven: a node that
+// provably has nothing to do (sim.Machine.InertUntil certifies every
+// per-tick phase a no-op) jumps its clock to its next event instead of
+// stepping, the fleet advances to the earliest wake time its scheduler
+// hooks report (fleet.Sleeper), and node advancement can shard across
+// workers with a deterministic merge. The fast path is an execution
+// strategy, not a semantic change — traces and digests are bit-for-bit
+// identical to per-tick lockstep, which remains available as a reference
+// (fleet.Fleet.SetLockstep, hars-scenario -lockstep). Placement is
+// pluggable (least-loaded, big-first for heterogeneity, coolest for
+// heat-aware placement, slo-aware for per-app target-slack scoring against
+// predicted node capacity and migration cost — policies take their
+// checkpoint-cost model explicitly via fleet.PolicyByName, and every
+// policy scores a down node -Inf so it can never win placement); arrivals
+// with no free partition
 // anywhere queue FIFO — admitted strictly in arrival order as capacity
 // frees (the same queue upgrades classic MP-HARS scenarios from silently
 // skipping saturated arrivals); saturated nodes shed an application to
@@ -148,6 +159,11 @@
 //   - internal/experiments runs independent figure rows and whole
 //     experiments through worker pools (hars-experiments -parallel N);
 //     reports are identical whatever the pool width.
+//   - internal/fleet advances quiescent nodes by event jump instead of
+//     per-tick stepping (see the fleet layer above), so a mostly-idle
+//     fleet costs wall-clock proportional to its busy nodes and decision
+//     points, not nodes × ticks; BenchmarkFleetQuiescent tracks the
+//     speedup over the lockstep reference on a 128-node fleet.
 //
 // The tracked hot-path benchmarks live in internal/bench and run two ways:
 //

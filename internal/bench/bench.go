@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/heartbeat"
 	"repro/internal/hmp"
 	"repro/internal/power"
@@ -32,6 +33,8 @@ func Cases() []Case {
 		{"SimSecondThermal", SimSecondThermal},
 		{"SearchExhaustive", SearchExhaustive},
 		{"Assign", Assign},
+		{"FleetQuiescent", FleetQuiescent},
+		{"FleetQuiescentLockstep", FleetQuiescentLockstep},
 	}
 }
 
@@ -111,3 +114,54 @@ func Assign(b *testing.B) {
 		}
 	}
 }
+
+// benchHost is the do-nothing fleet host for the quiescent benchmarks: no
+// application ever arrives, so none of its methods is reachable.
+type benchHost struct{}
+
+func (benchHost) Admit(*fleet.Node, *fleet.App) fleet.AdmitResult { return fleet.AdmitOK }
+func (benchHost) Checkpoint(*fleet.Node, *fleet.App)              {}
+
+// fleetQuiescent measures advancing ten simulated seconds of a 128-node
+// mostly-idle fleet — every node power-modeled but unmanaged, one busy
+// 8-thread workload on node 0, the fleet scheduler hooked at its default
+// migration cadence. This is the production-scale shape the event-driven
+// core exists for: wall-clock should track the one busy node plus the
+// decision points, not nodes × ticks. The lockstep variant pins the price
+// of the reference strategy; their ratio is the tracked speedup.
+func fleetQuiescent(b *testing.B, lockstep bool) {
+	const nodes = 128
+	bench, ok := workload.ByShort("SW")
+	if !ok {
+		b.Fatal("unknown benchmark SW")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fnodes := make([]*fleet.Node, nodes)
+		for id := 0; id < nodes; id++ {
+			plat := hmp.Default()
+			sn := sim.NewNode(id, "n", plat, sim.Config{Power: power.DefaultGroundTruth(plat)})
+			fnodes[id] = &fleet.Node{Node: sn}
+		}
+		f, err := fleet.New(fnodes...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.SetLockstep(lockstep)
+		fleet.NewScheduler(f, benchHost{}, fleet.Config{})
+		fnodes[0].Spawn(bench.Name, bench.New(8), 10)
+		b.StartTimer()
+		f.RunUntil(10 * sim.Second)
+		if f.EnergyJ() <= 0 {
+			b.Fatal("no energy accounted")
+		}
+	}
+}
+
+// FleetQuiescent is the event-driven core on the quiescent 128-node fleet.
+func FleetQuiescent(b *testing.B) { fleetQuiescent(b, false) }
+
+// FleetQuiescentLockstep is the same fleet under the reference per-tick
+// strategy — the denominator of the tracked speedup.
+func FleetQuiescentLockstep(b *testing.B) { fleetQuiescent(b, true) }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"repro/internal/heartbeat"
 	"repro/internal/hmp"
 	"repro/internal/power"
@@ -225,6 +227,17 @@ func (mgr *Manager) LearnedRatio() float64 {
 }
 
 // Tick implements sim.Daemon: the main function of Algorithm 1.
+// NextWake implements sim.Sleeper. While the managed process lives the
+// manager polls (and charges overhead) every tick, so the machine must run
+// in lockstep; once the process has exited every Tick call is the no-op
+// early return in Tick and the manager sleeps forever.
+func (mgr *Manager) NextWake(m *sim.Machine) sim.Time {
+	if mgr.proc.Exited() {
+		return sim.Time(math.MaxInt64)
+	}
+	return m.Now()
+}
+
 func (mgr *Manager) Tick(m *sim.Machine) {
 	if mgr.proc.Exited() {
 		return

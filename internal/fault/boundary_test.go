@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateDetectabilityBoundary pins the detectability floor exactly:
+// down_ms equal to the heartbeat timeout is rejected (silence for precisely
+// the timeout never declares the node down — Observe requires now-lastBeat
+// strictly above it), one tick (1 ms) longer is accepted. The event-driven
+// scheduler turns these deadlines into wake times, so an off-by-one here
+// would silently skip or delay detection; the table keeps the boundary from
+// regressing in either direction.
+func TestValidateDetectabilityBoundary(t *testing.T) {
+	cases := []struct {
+		name      string
+		timeoutMS int64 // 0 = default (DefaultHeartbeatTimeoutMS)
+		downMS    int64
+		ok        bool
+	}{
+		{"default timeout, down == timeout", 0, DefaultHeartbeatTimeoutMS, false},
+		{"default timeout, down one tick above", 0, DefaultHeartbeatTimeoutMS + 1, true},
+		{"default timeout, down one tick below", 0, DefaultHeartbeatTimeoutMS - 1, false},
+		{"explicit timeout, down == timeout", 200, 200, false},
+		{"explicit timeout, down one tick above", 200, 201, true},
+		{"explicit timeout, down one tick below", 200, 199, false},
+		{"down forever always detectable", 200, 0, true},
+	}
+	for _, tc := range cases {
+		crash := Spec{
+			HeartbeatTimeoutMS: tc.timeoutMS,
+			Crashes:            []Crash{{Node: "n", AtMS: 1, DownMS: tc.downMS}},
+		}
+		random := Spec{
+			HeartbeatTimeoutMS: tc.timeoutMS,
+			Random:             &RandomCrashes{RatePerMin: 1, DownMS: tc.downMS},
+		}
+		for kind, spec := range map[string]Spec{"crash": crash, "random": random} {
+			if kind == "random" && tc.downMS == 0 {
+				// Random down_ms 0 resolves to the (detectable) default
+				// instead of meaning "forever"; not a boundary case.
+				continue
+			}
+			err := spec.Validate(10000)
+			if tc.ok && err != nil {
+				t.Errorf("%s (%s): unexpected error %v", tc.name, kind, err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Errorf("%s (%s): undetectable blip accepted", tc.name, kind)
+				} else if !strings.Contains(err.Error(), "undetectable") {
+					t.Errorf("%s (%s): wrong error %v", tc.name, kind, err)
+				}
+			}
+		}
+	}
+}
+
+// TestDetectorDeadlineExact pins Deadline against Observe's strict
+// comparison: silence at exactly lastBeat+timeout is still tolerated, one
+// tick past it declares the node down — so Deadline(i)+1 is precisely the
+// first tick an event-driven detection pass must run on a silent node.
+func TestDetectorDeadlineExact(t *testing.T) {
+	const timeout = 300
+	d := NewDetector(1, timeout, 0)
+	if got := d.Deadline(0); got != timeout {
+		t.Fatalf("Deadline = %d, want %d", got, timeout)
+	}
+	if failed, _ := d.Observe(0, false, d.Deadline(0)); failed || d.Down(0) {
+		t.Fatal("declared down at exactly the deadline")
+	}
+	if failed, _ := d.Observe(0, false, d.Deadline(0)+1); !failed || !d.Down(0) {
+		t.Fatal("not declared down one tick past the deadline")
+	}
+	// A fresh beat moves the deadline with it.
+	d2 := NewDetector(1, timeout, 0)
+	d2.Observe(0, true, 42)
+	if got := d2.Deadline(0); got != 42+timeout {
+		t.Fatalf("refreshed Deadline = %d, want %d", got, 42+timeout)
+	}
+}

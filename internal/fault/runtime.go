@@ -102,6 +102,12 @@ func (d *Detector) Observe(i int, alive bool, now sim.Time) (failed, recovered b
 // Down reports whether node i is currently declared failed.
 func (d *Detector) Down(i int) bool { return d.down[i] }
 
+// Deadline returns the last instant at which silence from node i is still
+// tolerated: an Observe(i, false, now) with now > Deadline(i) declares the
+// node down. Event-driven schedulers use Deadline(i)+1 as the earliest
+// wake time at which a detection pass over a silent node can do anything.
+func (d *Detector) Deadline(i int) sim.Time { return d.lastBeat[i] + d.timeout }
+
 // Backoff computes capped exponential retry delays with seeded jitter:
 // attempt n (1-based) waits min(base·2ⁿ⁻¹, max) plus a uniform draw in
 // [0, jitter]. The jitter stream is seeded, so retry schedules replay

@@ -13,19 +13,40 @@
 // unmodified as machine daemons, while the fleet layer only decides *which*
 // node an application lands on and when it should move.
 //
+// # Event-driven advancement
+//
+// The reference semantics are lockstep: every Step advances each node one
+// tick in index order, then runs the fleet-wide hooks. RunUntil, however,
+// is discrete-event: it asks every hook implementing Sleeper for its next
+// wake time, takes the minimum as a barrier, advances each node to the
+// barrier independently (machines jump their own provably-inert stretches
+// via sim.Machine.InertUntil/FastForward, and node advancement can be
+// sharded across workers — see SetWorkers), and runs the hooks once at the
+// barrier. The skipped hook invocations are certified no-ops by the
+// Sleeper contract, so the walk visits exactly the states lockstep would:
+// every digest, counter, and trace byte is bit-for-bit identical. A hook
+// that does not implement Sleeper (or one that wants to run now) drops the
+// fleet back to per-tick lockstep, which is always correct. SetLockstep
+// forces the reference path outright.
+//
 // # Determinism
 //
 // Everything is deterministic: nodes step in index order within one shared
 // tick, scheduler decisions happen at tick boundaries with fixed
 // tie-breaking (policy score, then node index), and the queue drains FIFO.
 // Replaying the same node set and arrival sequence produces bit-identical
-// machines. A fleet of one node is bit-for-bit the bare machine run — the
-// Node wrapper adds no behaviour — which is what lets the scenario engine
-// route every run, single- or multi-node, through this layer.
+// machines — whatever the advancement strategy or worker count, because
+// nodes evolve independently between hook barriers and results merge in
+// index order (the width-independence discipline the experiments engine
+// pins with TestEngineDeterminism). A fleet of one node is bit-for-bit the
+// bare machine run — the Node wrapper adds no behaviour — which is what
+// lets the scenario engine route every run, single- or multi-node, through
+// this layer.
 package fleet
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/hmp"
 	"repro/internal/mphars"
@@ -153,12 +174,29 @@ type HookFunc func(f *Fleet)
 // Tick implements Hook.
 func (fn HookFunc) Tick(f *Fleet) { fn(f) }
 
+// Sleeper is the opt-in contract that lets a Hook participate in
+// event-driven advancement (the fleet-level analogue of sim.Sleeper).
+// NextWake returns the earliest future clock time at which the hook's Tick
+// is anything but a no-op; a return at or before f.Now() means "run me
+// every tick". The contract mirrors sim.Sleeper exactly: skipped Tick
+// invocations strictly before the returned time must be pure no-ops, and
+// NextWake itself must not mutate anything. Hooks that do not implement
+// Sleeper force per-tick lockstep, which is always correct.
+type Sleeper interface {
+	NextWake(f *Fleet) sim.Time
+}
+
 // Fleet advances a set of nodes on one deterministic clock: every Step
 // ticks each node once, in index order, then runs the fleet-wide hooks.
+// RunUntil additionally jumps stretches no hook or node cares about (see
+// the package comment).
 type Fleet struct {
 	nodes []*Node
 	tick  sim.Time
 	hooks []Hook
+
+	lockstep bool
+	workers  int
 }
 
 // New builds a fleet over the given nodes. All nodes must share one tick
@@ -202,6 +240,20 @@ func (f *Fleet) TickLen() sim.Time { return f.tick }
 // order after all nodes have stepped.
 func (f *Fleet) AddHook(h Hook) { f.hooks = append(f.hooks, h) }
 
+// SetLockstep forces the reference per-tick advancement strategy: RunUntil
+// degenerates to Step in a loop. The result is always bit-for-bit what the
+// event-driven walk produces; the switch exists for benchmarking and for
+// the equivalence suite that proves exactly that.
+func (f *Fleet) SetLockstep(on bool) { f.lockstep = on }
+
+// SetWorkers shards node advancement between hook barriers across w
+// goroutines (strided by node index). Nodes evolve independently between
+// barriers, so any width — including 1, the default — produces identical
+// results; the merge back to fleet order is by node index. Ignored while a
+// tracer is shared between nodes (byte order across nodes must then follow
+// the global tick order) and in lockstep mode.
+func (f *Fleet) SetWorkers(w int) { f.workers = w }
+
 // Step advances every node by one tick (index order), then runs the hooks.
 func (f *Fleet) Step() {
 	for _, n := range f.nodes {
@@ -212,11 +264,136 @@ func (f *Fleet) Step() {
 	}
 }
 
-// RunUntil advances the shared clock until it reaches t.
+// RunUntil advances the shared clock until it reaches t: the event-driven
+// core. Each iteration computes the barrier — the earliest time ≤ t any
+// hook wants to run — advances every node there, and runs the hooks once.
+// Hook invocations skipped in between are no-ops by the Sleeper contract;
+// a non-Sleeper hook (or one due now) falls back to one lockstep Step.
 func (f *Fleet) RunUntil(t sim.Time) {
 	for f.Now() < t {
-		f.Step()
+		if f.lockstep {
+			f.Step()
+			continue
+		}
+		now, barrier, wakeNow := f.Now(), t, false
+		for _, h := range f.hooks {
+			s, ok := h.(Sleeper)
+			if !ok {
+				wakeNow = true
+				break
+			}
+			w := s.NextWake(f)
+			if w <= now {
+				wakeNow = true
+				break
+			}
+			if w < barrier {
+				barrier = w
+			}
+		}
+		if wakeNow {
+			f.Step()
+			continue
+		}
+		f.advanceTo(barrier)
+		for _, h := range f.hooks {
+			h.Tick(f)
+		}
 	}
+}
+
+// advanceTo brings every node to the barrier. Nodes are independent between
+// hook barriers, so each machine can run ahead on its own (jumping its
+// inert stretches), sequentially or sharded across workers — except when a
+// tracer is shared between nodes: trace bytes must then interleave in
+// global tick order, so the fleet steps (and collectively fast-forwards)
+// all nodes together.
+func (f *Fleet) advanceTo(to sim.Time) {
+	if f.sharedTracer() {
+		f.advanceInterleaved(to)
+		return
+	}
+	w := f.workers
+	if w > len(f.nodes) {
+		w = len(f.nodes)
+	}
+	if w <= 1 {
+		for _, n := range f.nodes {
+			n.RunUntil(to)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(f.nodes); i += w {
+				f.nodes[i].RunUntil(to)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// advanceInterleaved advances all nodes to the barrier in global tick
+// order: one tick each in index order, with a collective jump whenever
+// every node is provably inert (the jump preserves byte order because an
+// inert machine emits nothing).
+func (f *Fleet) advanceInterleaved(to sim.Time) {
+	for f.Now() < to {
+		min := to
+		for _, n := range f.nodes {
+			if u := n.InertUntil(to); u < min {
+				min = u
+			}
+		}
+		if min > f.Now() {
+			for _, n := range f.nodes {
+				n.FastForward(min)
+			}
+			continue
+		}
+		for _, n := range f.nodes {
+			n.Step()
+		}
+	}
+}
+
+// sharedTracer reports whether any sim.Tracer is attached to two or more
+// nodes.
+func (f *Fleet) sharedTracer() bool {
+	var seen *sim.Tracer
+	for _, n := range f.nodes {
+		tr := n.Tracer()
+		if tr == nil {
+			continue
+		}
+		if seen == tr {
+			return true
+		}
+		if seen != nil {
+			// Two distinct tracers so far; compare every pair the slow way.
+			return f.sharedTracerSlow()
+		}
+		seen = tr
+	}
+	return false
+}
+
+func (f *Fleet) sharedTracerSlow() bool {
+	seen := make(map[*sim.Tracer]bool, len(f.nodes))
+	for _, n := range f.nodes {
+		tr := n.Tracer()
+		if tr == nil {
+			continue
+		}
+		if seen[tr] {
+			return true
+		}
+		seen[tr] = true
+	}
+	return false
 }
 
 // EnergyJ returns the fleet-wide energy rollup: the sum over nodes.

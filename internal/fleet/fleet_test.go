@@ -304,7 +304,7 @@ func TestMigrationCooldownNoConsecutivePingPong(t *testing.T) {
 // queued arrivals are admitted strictly in arrival order — the earliest
 // waiters take the freed capacity and the latest keeps waiting.
 func TestQueueFIFOMultiFree(t *testing.T) {
-	for _, policy := range fleet.Policies() {
+	for _, policy := range fleet.Policies(sim.CheckpointCost{}) {
 		n0 := newMPNode(0, "n0", tinyPlatform())
 		n1 := newMPNode(1, "n1", tinyPlatform())
 		f, err := fleet.New(n0, n1)
@@ -476,16 +476,16 @@ func TestLockstepDeterminism(t *testing.T) {
 
 // TestPolicyRegistry pins name resolution and the default.
 func TestPolicyRegistry(t *testing.T) {
-	if p, err := fleet.PolicyByName(""); err != nil || p.Name() != fleet.PolicyLeastLoaded {
+	if p, err := fleet.PolicyByName("", sim.CheckpointCost{}); err != nil || p.Name() != fleet.PolicyLeastLoaded {
 		t.Fatalf("default policy = %v, %v", p, err)
 	}
 	for _, name := range fleet.PolicyNames() {
-		p, err := fleet.PolicyByName(name)
+		p, err := fleet.PolicyByName(name, sim.CheckpointCost{})
 		if err != nil || p.Name() != name {
 			t.Fatalf("policy %q resolves to %v, %v", name, p, err)
 		}
 	}
-	if _, err := fleet.PolicyByName("nope"); err == nil {
+	if _, err := fleet.PolicyByName("nope", sim.CheckpointCost{}); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
 }
@@ -508,7 +508,7 @@ func TestFleetValidation(t *testing.T) {
 
 func mustPolicy(t *testing.T, name string) fleet.Policy {
 	t.Helper()
-	p, err := fleet.PolicyByName(name)
+	p, err := fleet.PolicyByName(name, sim.CheckpointCost{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/hmp"
@@ -14,6 +15,12 @@ import (
 // policy never has to think about capacity or determinism — only
 // preference. The application being placed is passed so SLO-aware policies
 // can score per app; the classic policies ignore it.
+//
+// Every built-in policy scores a detector-declared-down node (Node.Down) as
+// -Inf, so a down node can never win a score comparison against a live one
+// — defense in depth on top of the scheduler's CanAdmit gate, covering the
+// admission, migration-destination, and crash-recovery candidate paths
+// alike. Custom policies should do the same.
 type Policy interface {
 	// Name is the policy's registry key (the scenario format's "placement"
 	// field).
@@ -37,8 +44,13 @@ const (
 // — the classic load balancer, blind to heterogeneity and heat.
 type leastLoaded struct{}
 
-func (leastLoaded) Name() string                  { return PolicyLeastLoaded }
-func (leastLoaded) Score(n *Node, _ *App) float64 { return -float64(n.Load()) }
+func (leastLoaded) Name() string { return PolicyLeastLoaded }
+func (leastLoaded) Score(n *Node, _ *App) float64 {
+	if n.Down() {
+		return math.Inf(-1)
+	}
+	return -float64(n.Load())
+}
 
 // bigFirst is the heterogeneity-aware policy: it steers arrivals to the
 // node with the most free big-core capacity, falling back on free little
@@ -48,6 +60,9 @@ type bigFirst struct{}
 
 func (bigFirst) Name() string { return PolicyBigFirst }
 func (bigFirst) Score(n *Node, _ *App) float64 {
+	if n.Down() {
+		return math.Inf(-1)
+	}
 	// Weight big capacity far above little so a single free big core beats
 	// any amount of free little capacity (platforms stay well under 64
 	// cores per cluster, the CPU-mask width).
@@ -61,8 +76,13 @@ func (bigFirst) Score(n *Node, _ *App) float64 {
 // score as ambient.
 type coolest struct{}
 
-func (coolest) Name() string                  { return PolicyCoolest }
-func (coolest) Score(n *Node, _ *App) float64 { return -n.MaxTempC() }
+func (coolest) Name() string { return PolicyCoolest }
+func (coolest) Score(n *Node, _ *App) float64 {
+	if n.Down() {
+		return math.Inf(-1)
+	}
+	return -n.MaxTempC()
+}
 
 // defaultSlackMS is the migration-delay budget assumed for SLO'd apps that
 // declare no slack of their own.
@@ -94,6 +114,9 @@ func (p *SLOAware) Name() string { return PolicySLOAware }
 // re-placement (Recovering), which restores the last background snapshot
 // and charges the same transfer cost wherever it lands.
 func (p *SLOAware) Score(n *Node, app *App) float64 {
+	if n.Down() {
+		return math.Inf(-1)
+	}
 	cap := n.CapacityScore()
 	if app == nil || app.SLO == nil || app.SLO.TargetHPS <= 0 {
 		return cap
@@ -109,30 +132,32 @@ func (p *SLOAware) Score(n *Node, app *App) float64 {
 	return score
 }
 
-// Policies returns the built-in policies in presentation order (the
-// SLO-aware entry carries a zero, free-move cost model; use NewSLOAware to
-// price migrations).
-func Policies() []Policy {
-	return []Policy{leastLoaded{}, bigFirst{}, coolest{}, NewSLOAware(sim.CheckpointCost{})}
+// Policies returns the built-in policies in presentation order. The
+// migration cost model is injected here so every consumer of the registry —
+// not just callers that remember to patch the SLO-aware entry afterwards —
+// prices moves with the fleet's real checkpoint cost; pass the zero
+// sim.CheckpointCost for free moves.
+func Policies(cost sim.CheckpointCost) []Policy {
+	return []Policy{leastLoaded{}, bigFirst{}, coolest{}, NewSLOAware(cost)}
 }
 
 // PolicyNames returns the registered policy names, sorted.
 func PolicyNames() []string {
 	var out []string
-	for _, p := range Policies() {
+	for _, p := range Policies(sim.CheckpointCost{}) {
 		out = append(out, p.Name())
 	}
 	sort.Strings(out)
 	return out
 }
 
-// PolicyByName resolves a registered placement policy; the empty name
-// selects least-loaded, the default.
-func PolicyByName(name string) (Policy, error) {
+// PolicyByName resolves a registered placement policy carrying the given
+// migration cost model; the empty name selects least-loaded, the default.
+func PolicyByName(name string, cost sim.CheckpointCost) (Policy, error) {
 	if name == "" {
 		return leastLoaded{}, nil
 	}
-	for _, p := range Policies() {
+	for _, p := range Policies(cost) {
 		if p.Name() == name {
 			return p, nil
 		}

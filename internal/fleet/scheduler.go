@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/fault"
 	"repro/internal/hmp"
@@ -325,6 +326,49 @@ func (s *Scheduler) Depart(app *App) {
 // (Register/Unregister keep the tables current within the pass). With
 // fault-aware scheduling the detector, recovery, and background-checkpoint
 // passes run every tick before the drain.
+// NextWake implements Sleeper: the earliest future clock time at which Tick
+// is anything but a no-op. A non-empty admission queue wakes the scheduler
+// every tick — node-local adaptation can free partition capacity at any
+// tick, and transfer-retry coin draws must land on exactly the ticks the
+// lockstep walk would use. Otherwise the wake time is the earliest of the
+// migration cadence, the snapshot cadence, and — per silent node — the tick
+// the heartbeat detector will declare it down (fault.Detector.Deadline + 1,
+// exactly the first tick a lockstep Observe sequence transitions, because
+// alive observations are last-write-wins and silence keeps the deadline
+// fixed). A node that proved alive while still declared down wakes the
+// scheduler immediately so the recovery transition lands on the next tick,
+// as it would in lockstep.
+func (s *Scheduler) NextWake(f *Fleet) sim.Time {
+	now := f.Now()
+	if len(s.queue) > 0 {
+		return now
+	}
+	wake := sim.Time(math.MaxInt64)
+	if s.cfg.MigrateEvery > 0 && len(f.Nodes()) > 1 {
+		wake = s.nextMigrate
+	}
+	if s.detector != nil {
+		if s.cfg.Fault.CheckpointEvery > 0 && s.nextCkpt < wake {
+			wake = s.nextCkpt
+		}
+		for i, n := range f.Nodes() {
+			failed, down := n.Failed(), s.detector.Down(i)
+			switch {
+			case failed && !down:
+				if d := s.detector.Deadline(i) + 1; d < wake {
+					wake = d
+				}
+			case !failed && down:
+				return now
+			}
+		}
+	}
+	if wake < now {
+		return now
+	}
+	return wake
+}
+
 func (s *Scheduler) Tick(f *Fleet) {
 	if s.detector != nil {
 		s.faultTick(f)

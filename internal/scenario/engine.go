@@ -65,7 +65,23 @@ type Options struct {
 	// fleet tick, not just at actions and samples (the hars-scenario
 	// -check debug flag; fuzz and property runs turn it on). Costlier, but
 	// it catches violations that self-heal before the next sample.
+	// Its hook does not implement fleet.Sleeper, so it also forces the
+	// fleet into per-tick lockstep — which is exactly what per-tick
+	// checking needs.
 	CheckEveryTick bool
+
+	// Lockstep forces the fleet's reference per-tick advancement strategy
+	// instead of the event-driven core. Results are bit-for-bit identical
+	// either way (the equivalence suite proves it); the switch exists for
+	// benchmarking and for that proof.
+	Lockstep bool
+
+	// Workers shards node advancement between fleet decision points across
+	// this many goroutines (fleet.SetWorkers). Any width produces
+	// byte-identical results; values above 1 are ignored when PerTick is
+	// set, because property checkers are shared closures the engine must
+	// not invoke concurrently.
+	Workers int
 }
 
 // AppResult summarizes one application after the run.
@@ -379,15 +395,12 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	policy, err := fleet.PolicyByName(sc.Placement)
+	// The registry injects the scenario's checkpoint-cost model into the
+	// policy (the SLO-aware one prices migration destinations with it).
+	ckptCost := sc.Checkpoint.Cost()
+	policy, err := fleet.PolicyByName(sc.Placement, ckptCost)
 	if err != nil {
 		return nil, err
-	}
-	ckptCost := sc.Checkpoint.Cost()
-	if sa, ok := policy.(*fleet.SLOAware); ok {
-		// The SLO-aware policy prices migration destinations with the
-		// scenario's checkpoint-cost model.
-		sa.Cost = ckptCost
 	}
 
 	e := &engine{
@@ -418,6 +431,10 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 	e.fl, err = fleet.New(fnodes...)
 	if err != nil {
 		return nil, err
+	}
+	e.fl.SetLockstep(opts.Lockstep)
+	if opts.Workers > 1 && opts.PerTick == nil {
+		e.fl.SetWorkers(opts.Workers)
 	}
 	var fcfg *fault.Config
 	if sc.Faults != nil {

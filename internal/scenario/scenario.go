@@ -457,7 +457,7 @@ func (sc *Scenario) resolveAndValidate(plat *hmp.Platform) ([]resolvedNode, []Ap
 	if sc.SampleEveryMS < 0 || sc.AdaptEvery < 0 {
 		return nil, nil, fmt.Errorf("scenario: negative sample_every_ms or adapt_every")
 	}
-	if _, err := fleet.PolicyByName(sc.Placement); err != nil {
+	if _, err := fleet.PolicyByName(sc.Placement, sim.CheckpointCost{}); err != nil {
 		return nil, nil, fmt.Errorf("scenario: %w", err)
 	}
 	if len(sc.Nodes) == 0 {

@@ -1,0 +1,153 @@
+package sim
+
+import "repro/internal/hmp"
+
+// Event-driven advancement: a Machine that provably has nothing to do can
+// jump its clock to the next event instead of stepping tick by tick. The
+// fast path is an execution strategy, not a semantic change — every state a
+// later observer can see (clock, tick counters, energy accumulators, run
+// queues, timers, trace bytes) is bit-for-bit what the equivalent sequence
+// of Step calls would have produced. fleet.Fleet and the scenario engine
+// build on this to jump whole quiescent fleets.
+
+// Sleeper is the opt-in contract that lets a Daemon participate in
+// event-driven advancement. NextWake returns the earliest future tick at
+// which the daemon's Tick call is anything but a no-op; returning a time at
+// or before m.Now() means "run me every tick" and disables the fast path.
+//
+// The contract is strict: if NextWake(m) returns w > m.Now(), then every
+// skipped Tick invocation in (now, w) must have been a no-op — no machine
+// mutation, no internal phase advance (a daemon that counts its own Tick
+// calls must not implement Sleeper), no trace emission. NextWake itself
+// must be pure. Daemons that do not implement Sleeper force full lockstep
+// stepping of their machine, which is always correct.
+type Sleeper interface {
+	NextWake(m *Machine) Time
+}
+
+// QuiescentPlacer is the analogous opt-in for a Placer: Quiescent reports
+// whether the next Place call is certain to be a pure no-op (no migrations,
+// no internal phase advance, no trace events). Placers that keep per-call
+// state (e.g. gts.Scheduler, whose migration pass fires on a count of Place
+// invocations) must not implement it.
+type QuiescentPlacer interface {
+	Placer
+	Quiescent(m *Machine) bool
+}
+
+// InertUntil returns the latest time ≤ limit up to which the machine can be
+// fast-forwarded without any observable difference from per-tick stepping.
+// A return of m.Now() means the machine is not inert and the next tick must
+// run through Step. The bound is conservative: every "maybe" is a "no".
+//
+// A machine is inert when each per-tick phase is a certified no-op:
+//
+//   - fireTimers: no timer due (the first pending timer bounds the jump);
+//   - Place: no runnable or misplaced threads, and the placer is a
+//     QuiescentPlacer reporting quiescence (or nil);
+//   - execute: nothing runnable and no stolen manager overhead, so the only
+//     effect is execTick++ (replayed by FastForward);
+//   - integratePower: the memo is warm and keyed exactly as integratePower
+//     would key it (levels, online-core counts, all-zero tick utilisation),
+//     so the tick adds the memoized lastE — replayed by FastForward;
+//   - daemons: every daemon is a Sleeper whose wake time bounds the jump.
+func (m *Machine) InertUntil(limit Time) Time {
+	if limit <= m.now {
+		return m.now
+	}
+	if len(m.runnable) != 0 || m.misplaced != 0 {
+		return m.now
+	}
+	for i := range m.cores {
+		if m.cores[i].stolen > 0 {
+			return m.now
+		}
+	}
+	if m.placer != nil {
+		qp, ok := m.placer.(QuiescentPlacer)
+		if !ok || !qp.Quiescent(m) {
+			return m.now
+		}
+	}
+	if m.cfg.Power != nil && !m.failed {
+		// The energy memo must be warm and its key unchanged, mirroring
+		// integratePower's `changed` computation: same level, same online
+		// count, and a tick utilisation of zero everywhere (true on an idle
+		// machine, where execute zeroes tickUse and nothing runs).
+		for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+			if !m.powerValid[k] || m.levels[k] != m.lastLevel[k] {
+				return m.now
+			}
+			online := m.plat.Clusters[k].Cores
+			if m.opm != nil && m.online != m.allMask {
+				online = m.OnlineCount(k)
+			}
+			if online != m.lastOnline[k] {
+				return m.now
+			}
+			for _, tu := range m.lastTickUse[k] {
+				if tu != 0 {
+					return m.now
+				}
+			}
+		}
+	}
+	until := limit
+	if m.timers.Len() > 0 {
+		at := m.timers.entries[0].at
+		if at <= m.now {
+			return m.now
+		}
+		if at < until {
+			until = at
+		}
+	}
+	for _, d := range m.daemons {
+		s, ok := d.(Sleeper)
+		if !ok {
+			return m.now
+		}
+		w := s.NextWake(m)
+		if w <= m.now {
+			return m.now
+		}
+		if w < until {
+			until = w
+		}
+	}
+	return until
+}
+
+// FastForward replays the per-tick bookkeeping of an inert machine up to
+// (exactly) until: the memoized per-cluster energy is accumulated in the
+// same order and with the same float additions Step would have performed
+// (no closed-form shortcut — repeated IEEE addition is not multiplication),
+// and the clock, tick and execute counters advance tick by tick. The caller
+// must have established inertness via InertUntil; FastForward itself does
+// not re-check.
+func (m *Machine) FastForward(until Time) {
+	d := until - m.now
+	if d <= 0 {
+		return
+	}
+	steps := int64((d + m.cfg.TickLen - 1) / m.cfg.TickLen) // ceil: RunUntil overshoots to the tick grid
+	if m.cfg.Power != nil && !m.failed {
+		// The float additions replay in registers, in exactly Step's order
+		// (per tick, clusters ascending, cluster accumulator then total);
+		// only the loop bookkeeping is hoisted.
+		e := m.lastE
+		c := m.clusterEnergyJ
+		tot := m.energyJ
+		for i := int64(0); i < steps; i++ {
+			for k := 0; k < int(hmp.NumClusters); k++ {
+				c[k] += e[k]
+				tot += e[k]
+			}
+		}
+		m.clusterEnergyJ = c
+		m.energyJ = tot
+	}
+	m.execTick += steps
+	m.ticks += steps
+	m.now += Time(steps) * m.cfg.TickLen
+}

@@ -20,6 +20,14 @@ type MaskBalancer struct {
 // NewMaskBalancer returns a MaskBalancer.
 func NewMaskBalancer() *MaskBalancer { return &MaskBalancer{} }
 
+// Quiescent implements QuiescentPlacer: with no runnable threads every
+// per-core count is zero, so both the repair pass and the balancing sweep
+// are vacuous and Place is a pure no-op. The balancer keeps no per-call
+// state, so skipping those no-op calls is invisible.
+func (b *MaskBalancer) Quiescent(m *Machine) bool {
+	return len(m.runnable) == 0 && m.misplaced == 0
+}
+
 // Place implements Placer.
 func (b *MaskBalancer) Place(m *Machine) {
 	nc := len(m.cores)
