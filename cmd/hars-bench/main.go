@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	hars-bench [-out BENCH_1.json] [-filter regexp]
+//	hars-bench [-out BENCH_1.json] [-filter regexp] [-quiescent-ratio-floor 10]
+//
+// -quiescent-ratio-floor guards the event-driven core's reason to exist:
+// after the run it computes FleetQuiescentLockstep / FleetQuiescent (how
+// many times faster the event core crosses the quiescent fleet than the
+// per-tick reference walk) and exits non-zero when the speedup falls below
+// the floor. CI runs it at 10x so a regression that quietly drags the event
+// core back toward lockstep cost fails the build.
 package main
 
 import (
@@ -42,6 +49,8 @@ type File struct {
 func main() {
 	out := flag.String("out", "BENCH_1.json", "output JSON path (empty = stdout only)")
 	filter := flag.String("filter", "", "regexp selecting benchmark names (empty = all)")
+	ratioFloor := flag.Float64("quiescent-ratio-floor", 0,
+		"fail unless FleetQuiescentLockstep/FleetQuiescent >= this speedup (0 = no check)")
 	flag.Parse()
 
 	var re *regexp.Regexp
@@ -92,4 +101,37 @@ func main() {
 	} else {
 		os.Stdout.Write(data)
 	}
+
+	if *ratioFloor > 0 {
+		if err := checkQuiescentRatio(f.Results, *ratioFloor); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkQuiescentRatio enforces the event-core speedup floor over the
+// measured results. Both quiescent benchmarks must be present (narrow
+// -filter expressions that drop one are a configuration error, not a pass).
+func checkQuiescentRatio(results []Result, floor float64) error {
+	var event, lockstep float64
+	for _, r := range results {
+		switch r.Name {
+		case "FleetQuiescent":
+			event = r.NsPerOp
+		case "FleetQuiescentLockstep":
+			lockstep = r.NsPerOp
+		}
+	}
+	if event == 0 || lockstep == 0 {
+		return fmt.Errorf("quiescent-ratio check needs both FleetQuiescent and FleetQuiescentLockstep in the run (have event=%v lockstep=%v ns/op)",
+			event, lockstep)
+	}
+	ratio := lockstep / event
+	fmt.Printf("quiescent speedup: %.1fx (lockstep %.0f ns/op / event %.0f ns/op), floor %.1fx\n",
+		ratio, lockstep, event, floor)
+	if ratio < floor {
+		return fmt.Errorf("event-core speedup %.1fx below the %.1fx floor: the event-driven core regressed toward lockstep cost", ratio, floor)
+	}
+	return nil
 }

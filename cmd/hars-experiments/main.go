@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	hars-experiments [-exp all|fig5.1|fig5.2|fig5.3|fig5.4|fig5.5|fig5.6|fig5.7|table3.1|table4.3|power|ablation|extended]
+//	hars-experiments [-exp all|fig5.1|fig5.2|fig5.3|fig5.4|fig5.5|fig5.6|fig5.7|table3.1|table4.3|power|ablation|extended|scenarios|thermal|fleet|slo|faults|decisions]
 //	                 [-scale quick|full] [-parallel N]
 //
 // With -parallel N the independent experiments run through an N-wide worker
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to regenerate (all, fig5.1, fig5.2, fig5.3, fig5.4, fig5.5, fig5.6, fig5.7, table3.1, table4.3, power, ablation, extended, scenarios)")
+	exp := flag.String("exp", "all", "experiment to regenerate (all, fig5.1, fig5.2, fig5.3, fig5.4, fig5.5, fig5.6, fig5.7, table3.1, table4.3, power, ablation, extended, scenarios, thermal, fleet, slo, faults, decisions)")
 	scale := flag.String("scale", "full", "experiment scale: quick or full")
 	parallel := flag.Int("parallel", 1, "experiment-level worker pool width (0 = one per CPU, 1 = serial)")
 	flag.Parse()

@@ -8,10 +8,11 @@
 // Usage:
 //
 //	hars-scenario -in scenario.json [-trace out.csv] [-strict] [-check]
-//	              [-summary json]
+//	              [-summary json] [-trace-decisions]
+//	hars-scenario -in scenario.json -counterfactual <id> [-counterfactual-k 3]
 //	hars-scenario -gen -seed 7 [-manager mphars-i] [-apps 3] [-events 6]
 //	              [-duration 20000] [-nodes 3] [-placement coolest] [-faults]
-//	              [-write scenario.json] [-trace out.csv]
+//	              [-decisions] [-write scenario.json] [-trace out.csv]
 //
 // The trace goes to stdout unless -trace names a file; the run summary goes
 // to stderr. With -summary json the summary is emitted instead as a single
@@ -20,6 +21,15 @@
 // unless -trace names a file. Replaying the same scenario always produces
 // byte-identical trace output (the FNV-64a digest printed in the summary
 // witnesses it), so traces can be diffed across runs and machines.
+//
+// -trace-decisions arms decision tracing (exactly as if the scenario
+// declared an enabled "decisions" block): every scheduler decision is
+// emitted as a "d" trace line with its full scored candidate set. The
+// always-on decision rollup (counts, margins, queue-wait histogram) is in
+// every summary regardless. -counterfactual <id> forks the run at that
+// recorded decision instead: each top-k alternative candidate is forced in
+// a full replay and the per-alternative regret (ΔSLO misses, Δenergy,
+// Δmoves) is reported in the chosen -summary format.
 package main
 
 import (
@@ -51,6 +61,10 @@ func main() {
 	summary := flag.String("summary", "text", `summary format: "text" (stderr) or "json" (stdout, byte-stable field order)`)
 	lockstep := flag.Bool("lockstep", false, "force the reference per-tick fleet advancement instead of the event-driven core (bit-identical; for benchmarking)")
 	workers := flag.Int("workers", 1, "shard node advancement between fleet decision points across N goroutines (any width is byte-identical)")
+	traceDecisions := flag.Bool("trace-decisions", false, "emit every scheduler decision as a d trace line with its scored candidate set")
+	counterfactual := flag.Int64("counterfactual", -1, "fork the run at this decision ID: force each top-k alternative and report per-alternative regret")
+	counterfactualK := flag.Int("counterfactual-k", 3, "how many alternative candidates -counterfactual replays")
+	genDecisions := flag.Bool("decisions", false, "generated scenario gets an enabled decisions block (-gen)")
 	flag.Parse()
 	if *summary != "text" && *summary != "json" {
 		fmt.Fprintf(os.Stderr, "unknown -summary format %q (want text or json)\n", *summary)
@@ -68,6 +82,7 @@ func main() {
 			Nodes:      *nodes,
 			Placement:  *placement,
 			Faults:     *genFaults,
+			Decisions:  *genDecisions,
 		})
 		if *write != "" {
 			f, err := os.Create(*write)
@@ -112,10 +127,28 @@ func main() {
 		trace = f
 	}
 
-	res, err := scenario.Run(sc, scenario.Options{
+	opts := scenario.Options{
 		Trace: trace, Strict: *strict, CheckEveryTick: *check,
 		Lockstep: *lockstep, Workers: *workers,
-	})
+		TraceDecisions: *traceDecisions,
+	}
+
+	if *counterfactual >= 0 {
+		cf, err := scenario.RunCounterfactual(sc, opts, uint64(*counterfactual), *counterfactualK)
+		if err != nil {
+			fatal(err)
+		}
+		if *summary == "json" {
+			if err := writeJSONCounterfactual(os.Stdout, sc, cf); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		writeTextCounterfactual(os.Stderr, sc, cf)
+		return
+	}
+
+	res, err := scenario.Run(sc, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -168,6 +201,14 @@ func main() {
 	if fleetRun {
 		fmt.Fprintf(w, "fleet: %d arrivals queued, %d dropped, %d node migrations (%d µs frozen)\n",
 			res.QueuedArrivals, res.DroppedArrivals, res.NodeMigrations, res.MigrationDelayUS)
+	}
+	d := &res.Decisions
+	fmt.Fprintf(w, "decisions: %d (%d admissions, %d re-placements, %d migrations, %d gated, %d no-candidate), mean margin %.3f\n",
+		d.Decisions, d.Admissions, d.Replacements, d.Migrations, d.GatedMigrations, d.NoCandidate, d.MeanMargin())
+	fmt.Fprintf(w, "queue wait: %s (mean %.0f µs, max %d µs)\n",
+		d.QueueWait.String(), d.QueueWait.MeanUS(), d.QueueWait.MaxUS)
+	if n := len(res.DecisionRecords); n > 0 || res.DecisionsDropped > 0 {
+		fmt.Fprintf(w, "decision trace: %d records kept, %d dropped\n", n, res.DecisionsDropped)
 	}
 	if res.SLOSamples > 0 {
 		fmt.Fprintf(w, "slo: %d misses over %d scored samples (%.1f%%)\n",
@@ -260,13 +301,52 @@ type runSummary struct {
 	SLOMisses        int     `json:"slo_misses"`
 	// The fault rollups carry omitempty so fault-free summaries stay
 	// byte-identical to pre-fault ones.
-	NodeCrashes   int           `json:"node_crashes,omitempty"`
-	Recoveries    int           `json:"recoveries,omitempty"`
-	LostWorkUS    int64         `json:"lost_work_us,omitempty"`
-	TransferFails int           `json:"transfer_fails,omitempty"`
-	StrandedApps  int           `json:"stranded_apps,omitempty"`
-	Apps          []appSummary  `json:"apps"`
-	Nodes         []nodeSummary `json:"nodes"`
+	NodeCrashes   int             `json:"node_crashes,omitempty"`
+	Recoveries    int             `json:"recoveries,omitempty"`
+	LostWorkUS    int64           `json:"lost_work_us,omitempty"`
+	TransferFails int             `json:"transfer_fails,omitempty"`
+	StrandedApps  int             `json:"stranded_apps,omitempty"`
+	Decisions     decisionSummary `json:"decisions"`
+	Apps          []appSummary    `json:"apps"`
+	Nodes         []nodeSummary   `json:"nodes"`
+}
+
+// decisionSummary is the always-on decision rollup: present in every
+// summary whether or not decision tracing ran, so policy sweeps can diff
+// decision counts without paying for candidate recording.
+type decisionSummary struct {
+	Decisions       uint64  `json:"decisions"`
+	Admissions      int     `json:"admissions"`
+	Replacements    int     `json:"replacements"`
+	Migrations      int     `json:"migrations"`
+	GatedMigrations int     `json:"gated_migrations"`
+	NoCandidate     int     `json:"no_candidate"`
+	MeanMargin      float64 `json:"mean_margin"`
+	QueueWait       string  `json:"queue_wait"`
+	QueueWaitMeanUS float64 `json:"queue_wait_mean_us"`
+	QueueWaitMaxUS  int64   `json:"queue_wait_max_us"`
+	// Traced/Dropped describe the opt-in decision trace; both stay zero
+	// (and Dropped is omitted) when tracing is off.
+	Traced  int   `json:"traced"`
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+func summarizeDecisions(res *scenario.Result) decisionSummary {
+	d := &res.Decisions
+	return decisionSummary{
+		Decisions:       d.Decisions,
+		Admissions:      d.Admissions,
+		Replacements:    d.Replacements,
+		Migrations:      d.Migrations,
+		GatedMigrations: d.GatedMigrations,
+		NoCandidate:     d.NoCandidate,
+		MeanMargin:      d.MeanMargin(),
+		QueueWait:       d.QueueWait.String(),
+		QueueWaitMeanUS: d.QueueWait.MeanUS(),
+		QueueWaitMaxUS:  d.QueueWait.MaxUS,
+		Traced:          len(res.DecisionRecords),
+		Dropped:         res.DecisionsDropped,
+	}
 }
 
 // writeJSONSummary renders the run's fleet/node/app summaries as one
@@ -291,6 +371,7 @@ func writeJSONSummary(w io.Writer, sc *scenario.Scenario, res *scenario.Result) 
 		LostWorkUS:       int64(res.LostWorkUS),
 		TransferFails:    res.TransferFails,
 		StrandedApps:     res.StrandedApps,
+		Decisions:        summarizeDecisions(res),
 	}
 	if len(sc.Nodes) > 0 {
 		out.Placement = res.Placement
@@ -342,6 +423,95 @@ func writeJSONSummary(w io.Writer, sc *scenario.Scenario, res *scenario.Result) 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// The -counterfactual JSON schema (declaration order = output order, like
+// the run summary).
+type cfAlternativeSummary struct {
+	Node            string  `json:"node"`
+	Score           float64 `json:"score"`
+	SLOMisses       int     `json:"slo_misses"`
+	EnergyJ         float64 `json:"energy_j"`
+	NodeMigrations  int     `json:"node_migrations"`
+	DSLOMisses      int     `json:"d_slo_misses"`
+	DEnergyJ        float64 `json:"d_energy_j"`
+	DNodeMigrations int     `json:"d_node_migrations"`
+}
+
+type cfSummary struct {
+	Scenario               string                 `json:"scenario"`
+	ID                     uint64                 `json:"id"`
+	Kind                   string                 `json:"kind"`
+	App                    string                 `json:"app"`
+	From                   string                 `json:"from,omitempty"`
+	Chosen                 string                 `json:"chosen,omitempty"`
+	Outcome                string                 `json:"outcome"`
+	BaselineSLOMisses      int                    `json:"baseline_slo_misses"`
+	BaselineEnergyJ        float64                `json:"baseline_energy_j"`
+	BaselineNodeMigrations int                    `json:"baseline_node_migrations"`
+	RegretSLOMisses        int                    `json:"regret_slo_misses"`
+	RegretEnergyJ          float64                `json:"regret_energy_j"`
+	Alternatives           []cfAlternativeSummary `json:"alternatives"`
+}
+
+func writeJSONCounterfactual(w io.Writer, sc *scenario.Scenario, cf *scenario.Counterfactual) error {
+	rm, re := cf.Regret()
+	out := cfSummary{
+		Scenario:               sc.Name,
+		ID:                     cf.ID,
+		Kind:                   cf.Decision.Kind.String(),
+		App:                    cf.Decision.App,
+		From:                   cf.Decision.From,
+		Chosen:                 cf.Decision.Chosen,
+		Outcome:                cf.Decision.Outcome,
+		BaselineSLOMisses:      cf.BaselineSLOMisses,
+		BaselineEnergyJ:        cf.BaselineEnergyJ,
+		BaselineNodeMigrations: cf.BaselineNodeMigrations,
+		RegretSLOMisses:        rm,
+		RegretEnergyJ:          re,
+	}
+	for _, a := range cf.Alternatives {
+		out.Alternatives = append(out.Alternatives, cfAlternativeSummary{
+			Node:            a.Node,
+			Score:           a.Score,
+			SLOMisses:       a.SLOMisses,
+			EnergyJ:         a.EnergyJ,
+			NodeMigrations:  a.NodeMigrations,
+			DSLOMisses:      a.DSLOMisses,
+			DEnergyJ:        a.DEnergyJ,
+			DNodeMigrations: a.DNodeMigrations,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func writeTextCounterfactual(w io.Writer, sc *scenario.Scenario, cf *scenario.Counterfactual) {
+	d := cf.Decision
+	from := d.From
+	if from == "" {
+		from = "-"
+	}
+	to := d.Chosen
+	if to == "" {
+		to = "-"
+	}
+	fmt.Fprintf(w, "counterfactual: scenario %s, decision %d (%s %s %s>%s %s)\n",
+		sc.Name, cf.ID, d.Kind, d.App, from, to, d.Outcome)
+	fmt.Fprintf(w, "baseline: %d slo misses, %.1f J, %d node moves\n",
+		cf.BaselineSLOMisses, cf.BaselineEnergyJ, cf.BaselineNodeMigrations)
+	if len(cf.Alternatives) == 0 {
+		fmt.Fprintln(w, "no alternative candidates to replay")
+		return
+	}
+	for _, a := range cf.Alternatives {
+		fmt.Fprintf(w, "  force %-8s (score %.3f): %d misses (%+d), %.1f J (%+.1f), %d moves (%+d)\n",
+			a.Node, a.Score, a.SLOMisses, a.DSLOMisses, a.EnergyJ, a.DEnergyJ,
+			a.NodeMigrations, a.DNodeMigrations)
+	}
+	rm, re := cf.Regret()
+	fmt.Fprintf(w, "regret: %d slo misses, %.1f J\n", rm, re)
 }
 
 func fatal(err error) {

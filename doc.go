@@ -130,6 +130,33 @@
 // digests pin both), and the "faults" experiments driver sweeps policies ×
 // crash rates × snapshot intervals.
 //
+// # Decision observability & counterfactual replay
+//
+// internal/decision makes every fleet scheduling decision a first-class,
+// inspectable record: each admission, recovery re-placement, migration
+// pick, and declined (gated) migration gets a monotonic decision ID, its
+// full candidate set — every node's score, with -Inf and a reason
+// (source/pinned/down/full/min-free) for excluded nodes — the chosen
+// node, the outcome, and the score margin over the runner-up. A rollup
+// (decision counts by kind, mean margin, admission queue-wait histogram)
+// is always on at plain-counter cost and surfaces in fleet.Stats,
+// scenario.Result, and both hars-scenario summary formats; the full
+// per-decision stream is opt-in ("decisions" scenario block,
+// -trace-decisions) and renders as "d," trace lines and gated
+// decision/detail columns in the sim.Tracer CSV and Chrome exports —
+// scores in hex floats so the stream is byte-stable, and byte-identical
+// whether the fleet runs lockstep, event-driven, or worker-sharded. With
+// tracing disabled every golden digest reproduces bit-for-bit.
+//
+// Because runs are deterministic, a recorded decision can be replayed
+// against its road not taken: hars-scenario -counterfactual <id>
+// (scenario.RunCounterfactual) re-runs the scenario forcing each of the
+// top-k alternative candidates in place of the original choice and
+// reports per-alternative regret — ΔSLO misses, Δenergy, Δmigrations
+// versus the baseline. The "decisions" experiments driver sweeps
+// placement policies over a contended fleet and ranks them by the
+// realized regret of their own decisions.
+//
 // See README.md for a guided tour, DESIGN.md for the system inventory and
 // substitution rationale, and EXPERIMENTS.md for the paper-versus-measured
 // record. The benchmarks in bench_test.go regenerate each experiment:

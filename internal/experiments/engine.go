@@ -35,6 +35,7 @@ func Drivers() []Driver {
 		{"fleet", FleetSweep},
 		{"slo", SLOSweep},
 		{"faults", FaultsSweep},
+		{"decisions", DecisionsSweep},
 	}
 }
 

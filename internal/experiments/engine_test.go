@@ -57,7 +57,7 @@ func TestEngineDeterminism(t *testing.T) {
 // TestSelectDrivers covers the registry filter.
 func TestSelectDrivers(t *testing.T) {
 	all, err := SelectDrivers("all")
-	if err != nil || len(all) != 17 {
+	if err != nil || len(all) != 18 {
 		t.Fatalf("all: %d drivers, err %v", len(all), err)
 	}
 	one, err := SelectDrivers("fig5.3")

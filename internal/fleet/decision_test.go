@@ -1,0 +1,265 @@
+package fleet_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/decision"
+	"repro/internal/fleet"
+	"repro/internal/hmp"
+	"repro/internal/sim"
+)
+
+// TestDecisionRecordsAdmission pins the admission decision stream: every
+// tryAdmit is one decision point with a monotonic ID, the full candidate
+// set in node-index order, the chosen node, and the outcome — including
+// the no-candidate decision a saturated fleet hands an arrival.
+func TestDecisionRecordsAdmission(t *testing.T) {
+	n0 := newMPNode(0, "n0", tinyPlatform())
+	n1 := newMPNode(1, "n1", tinyPlatform())
+	f, err := fleet.New(n0, n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &decision.Log{}
+	host := &testHost{t: t}
+	s := fleet.NewScheduler(f, host, fleet.Config{Observer: log})
+
+	a0, a1, a2 := &fleet.App{Name: "a0"}, &fleet.App{Name: "a1"}, &fleet.App{Name: "a2"}
+	s.Arrive(a0) // both nodes free: 2 scored candidates, tie to n0
+	s.Arrive(a1) // n0 full: lands on n1
+	s.Arrive(a2) // both full: no-candidate, queues
+
+	recs := log.Records()
+	if len(recs) != 3 {
+		t.Fatalf("recorded %d decisions, want 3: %+v", len(recs), recs)
+	}
+	for i, r := range recs {
+		if r.ID != uint64(i) {
+			t.Fatalf("decision %d has ID %d", i, r.ID)
+		}
+		if r.Kind != decision.Admit {
+			t.Fatalf("decision %d kind = %s", i, r.Kind)
+		}
+		if len(r.Candidates) != 2 || r.Candidates[0].Node != "n0" || r.Candidates[1].Node != "n1" {
+			t.Fatalf("decision %d candidates not in node-index order: %+v", i, r.Candidates)
+		}
+	}
+	if recs[0].Chosen != "n0" || recs[0].Outcome != decision.OutcomePlaced {
+		t.Fatalf("a0 decision = %+v", recs[0])
+	}
+	// Both nodes scored finitely and equally: margin 0, but present.
+	if recs[0].Margin != 0 {
+		t.Fatalf("a0 margin = %v", recs[0].Margin)
+	}
+	if recs[1].Chosen != "n1" || recs[1].Candidates[0].Reason != decision.ReasonFull {
+		t.Fatalf("a1 decision = %+v", recs[1])
+	}
+	if !math.IsInf(recs[1].Candidates[0].Score, -1) {
+		t.Fatalf("excluded candidate score = %v, want -Inf", recs[1].Candidates[0].Score)
+	}
+	if recs[2].Chosen != "" || recs[2].Outcome != decision.OutcomeNoCandidate {
+		t.Fatalf("a2 decision = %+v", recs[2])
+	}
+
+	// The always-on rollup agrees with the stream.
+	st := s.Stats()
+	if st.Decisions.Decisions != 3 || st.Decisions.Admissions != 2 || st.Decisions.NoCandidate != 1 {
+		t.Fatalf("rollup = %+v", st.Decisions)
+	}
+	if st.Decisions.QueueWait.Observations() != 2 {
+		t.Fatalf("queue-wait observations = %d, want 2", st.Decisions.QueueWait.Observations())
+	}
+
+	// Free n0; the queued a2 is admitted with a real (nonzero) queue wait.
+	n0.MP.Unregister(n0.Machine, a0.Proc)
+	n0.Kill(a0.Proc)
+	s.Depart(a0)
+	f.RunUntil(10 * sim.Millisecond)
+	if !a2.Placed() {
+		t.Fatal("a2 not admitted after the departure")
+	}
+	st = s.Stats()
+	if st.Decisions.Admissions != 3 || st.Decisions.QueueWait.Observations() != 3 {
+		t.Fatalf("rollup after drain = %+v", st.Decisions)
+	}
+	if st.Decisions.QueueWait.MaxUS == 0 {
+		t.Fatal("queued admission recorded a zero wait")
+	}
+}
+
+// TestDecisionCandidateReasons pins the exclusion taxonomy: pinned and down
+// nodes appear in the candidate set with their reason and a -Inf score.
+func TestDecisionCandidateReasons(t *testing.T) {
+	n0 := newMPNode(0, "n0", tinyPlatform())
+	n1 := newMPNode(1, "n1", tinyPlatform())
+	f, err := fleet.New(n0, n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &decision.Log{}
+	s := fleet.NewScheduler(f, &testHost{t: t}, fleet.Config{Observer: log})
+
+	s.Arrive(&fleet.App{Name: "pinned", Pinned: n1})
+	n1.SetDown(true)
+	s.Arrive(&fleet.App{Name: "free"})
+
+	recs := log.Records()
+	if len(recs) != 2 {
+		t.Fatalf("recorded %d decisions", len(recs))
+	}
+	if c := recs[0].Candidates[0]; c.Reason != decision.ReasonPinned || !math.IsInf(c.Score, -1) {
+		t.Fatalf("pinned exclusion = %+v", c)
+	}
+	// One eligible candidate only: no margin.
+	if recs[0].Margin != 0 {
+		t.Fatalf("single-candidate margin = %v", recs[0].Margin)
+	}
+	if c := recs[1].Candidates[1]; c.Reason != decision.ReasonDown || !math.IsInf(c.Score, -1) {
+		t.Fatalf("down exclusion = %+v", c)
+	}
+	if recs[1].Chosen != "n0" {
+		t.Fatalf("arrival avoided the down node wrongly: %+v", recs[1])
+	}
+}
+
+// TestDecisionRollupAlwaysOn pins pure observation: the rollup is identical
+// with and without an observer attached, and the decision stream's presence
+// never changes a placement.
+func TestDecisionRollupAlwaysOn(t *testing.T) {
+	run := func(obs decision.Sink) (fleet.Stats, []string) {
+		n0 := newMPNode(0, "n0", tinyPlatform())
+		n1 := newMPNode(1, "n1", hmp.Default())
+		f, err := fleet.New(n0, n1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := fleet.NewScheduler(f, &testHost{t: t}, fleet.Config{Observer: obs})
+		apps := []*fleet.App{{Name: "a0"}, {Name: "a1"}, {Name: "a2"}}
+		for _, a := range apps {
+			s.Arrive(a)
+		}
+		f.RunUntil(sim.Second)
+		var nodes []string
+		for _, a := range apps {
+			if a.Node() != nil {
+				nodes = append(nodes, a.Node().Name)
+			} else {
+				nodes = append(nodes, "")
+			}
+		}
+		return s.Stats(), nodes
+	}
+	stOn, nodesOn := run(&decision.Log{})
+	stOff, nodesOff := run(nil)
+	if stOn.Decisions != stOff.Decisions {
+		t.Fatalf("rollup differs with observer:\n on: %+v\noff: %+v", stOn.Decisions, stOff.Decisions)
+	}
+	for i := range nodesOn {
+		if nodesOn[i] != nodesOff[i] {
+			t.Fatalf("placements differ with observer: %v vs %v", nodesOn, nodesOff)
+		}
+	}
+}
+
+// TestDecisionForce pins the counterfactual seam: Config.Force overrides
+// the policy's pick at exactly the forced decision ID, and out-of-range
+// indices are ignored.
+func TestDecisionForce(t *testing.T) {
+	n0 := newMPNode(0, "n0", tinyPlatform())
+	n1 := newMPNode(1, "n1", tinyPlatform())
+	f, err := fleet.New(n0, n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &decision.Log{}
+	s := fleet.NewScheduler(f, &testHost{t: t}, fleet.Config{
+		Observer: log,
+		Force:    map[uint64]int{0: 1, 1: 99}, // decision 0 -> n1; 99 out of range
+	})
+	a0, a1 := &fleet.App{Name: "a0"}, &fleet.App{Name: "a1"}
+	s.Arrive(a0)
+	if a0.Node() != n1 {
+		t.Fatalf("forced decision ignored: a0 on %q", a0.Node().Name)
+	}
+	if recs := log.Records(); recs[0].Chosen != "n1" {
+		t.Fatalf("forced record = %+v", recs[0])
+	}
+	s.Arrive(a1)
+	if a1.Node() != n0 {
+		t.Fatalf("out-of-range force not ignored: a1 on %v", a1.Node())
+	}
+}
+
+// TestDecisionGatedMigration pins satellite work: a migrate-pass move the
+// destination-score gate declines is recorded as an explicit gated no-op
+// decision (kind gated, outcome held, the declined destination in Chosen),
+// counted in the rollup — and forcing that decision ID skips the gate and
+// replays the declined move.
+func TestDecisionGatedMigration(t *testing.T) {
+	// SLO-aware with an enormous checkpoint freeze: every foreign node is
+	// discounted far below the app's current node, so the saturation pass
+	// always wants to move the victim and the gate always declines.
+	costly := fleet.NewSLOAware(sim.CheckpointCost{Freeze: 100 * sim.Second})
+	run := func(force map[uint64]int) (*fleet.App, *decision.Log, fleet.Stats, *fleet.Node) {
+		n0 := newMPNode(0, "n0", tinyPlatform())
+		n1 := newMPNode(1, "n1", hmp.Default())
+		f, err := fleet.New(n0, n1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log := &decision.Log{}
+		s := fleet.NewScheduler(f, &testHost{t: t}, fleet.Config{
+			Policy: costly, Observer: log, Force: force,
+		})
+		app := &fleet.App{Name: "a", Pinned: n0, SLO: &fleet.SLO{TargetHPS: 10, SlackMS: 50}}
+		s.Arrive(app) // saturates the tiny n0
+		app.Pinned = nil
+		f.RunUntil(600 * sim.Millisecond) // past the cooldown: one migrate pass fires
+		return app, log, s.Stats(), n1
+	}
+
+	app, log, st, _ := run(nil)
+	if app.Node().Name != "n0" || app.Migrations() != 0 {
+		t.Fatalf("gated move happened anyway: node=%s", app.Node().Name)
+	}
+	if st.Decisions.GatedMigrations == 0 {
+		t.Fatalf("no gated migrations in rollup: %+v", st.Decisions)
+	}
+	var gated *decision.Record
+	for i := range log.Records() {
+		if log.Records()[i].Kind == decision.Gated {
+			gated = &log.Records()[i]
+			break
+		}
+	}
+	if gated == nil {
+		t.Fatal("no gated decision recorded")
+	}
+	if gated.Outcome != decision.OutcomeHeld || gated.From != "n0" || gated.Chosen != "n1" {
+		t.Fatalf("gated record = %+v", gated)
+	}
+	// The source appears in the candidate set with its REAL score (what the
+	// gate compared against), not -Inf.
+	var src *decision.Candidate
+	for i := range gated.Candidates {
+		if gated.Candidates[i].Reason == decision.ReasonSource {
+			src = &gated.Candidates[i]
+		}
+	}
+	if src == nil || math.IsInf(src.Score, -1) {
+		t.Fatalf("source candidate = %+v", src)
+	}
+
+	// Force the gated decision: the gate is skipped and the declined move
+	// plays out.
+	fApp, _, fSt, n1 := run(map[uint64]int{gated.ID: 1})
+	if fApp.Node() != n1 || fApp.Migrations() != 1 {
+		t.Fatalf("forced gated move did not happen: node=%s migrations=%d",
+			fApp.Node().Name, fApp.Migrations())
+	}
+	if fSt.Decisions.GatedMigrations >= st.Decisions.GatedMigrations {
+		t.Fatalf("forcing did not consume the gated decision: %d vs %d",
+			fSt.Decisions.GatedMigrations, st.Decisions.GatedMigrations)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/decision"
 	"repro/internal/fault"
 	"repro/internal/hmp"
 	"repro/internal/sim"
@@ -117,6 +118,11 @@ type App struct {
 	retries    int
 	nextTryAt  sim.Time
 	recovering bool
+
+	// queuedAt is when the app last joined the admission path (arrival,
+	// requeue after a bounced move, or crash salvage); the queue-wait
+	// histogram measures successful admissions against it.
+	queuedAt sim.Time
 }
 
 // Node returns the node the application currently runs on (nil while
@@ -173,6 +179,26 @@ type Config struct {
 	// capped exponential backoff with seeded jitter for failed transfers.
 	// Requires the Host to implement FaultHost.
 	Fault *fault.Config
+
+	// Observer, when non-nil, receives a decision.Record for every
+	// scheduler decision point — admission picks, migrate-pass picks
+	// (including moves the score gate declined), and crash re-placements —
+	// with the full scored candidate set. Pure observation: attaching one
+	// never changes a decision, and with none attached the candidate
+	// bookkeeping is skipped entirely (the always-on Stats.Decisions
+	// rollup is maintained either way).
+	Observer decision.Sink
+
+	// Force maps decision ID → fleet node index, overriding the policy's
+	// choice at exactly those decision points (the counterfactual replay
+	// seam). The forced node is chosen even when the policy preferred
+	// another or found none, and a forced migrate-pass move skips the
+	// destination-score gate; the admission itself still goes through the
+	// Host and may bounce like any other. Decision IDs are assigned
+	// deterministically whether or not an Observer is attached, so the
+	// same ID addresses the same decision in every replay. Out-of-range
+	// indices are ignored.
+	Force map[uint64]int
 }
 
 func (c Config) withDefaults() Config {
@@ -200,6 +226,12 @@ type Stats struct {
 	// app into backoff. Both stay zero without fault-aware scheduling.
 	Recovered     int
 	TransferFails int
+
+	// Decisions is the always-on decision-observability rollup: decision
+	// counts by kind (admissions, gated migrations, fault re-placements),
+	// score margins, and the admission queue-wait histogram. Maintained
+	// whether or not decision tracing (Config.Observer) is on.
+	Decisions decision.Rollup
 }
 
 // Scheduler is the fleet's admission and migration brain: a per-tick fleet
@@ -226,6 +258,11 @@ type Scheduler struct {
 	nextCkpt      sim.Time
 	recovered     int
 	transferFails int
+
+	// rollup is the always-on decision-observability aggregate; its
+	// Decisions counter doubles as the next decision ID, assigned whether
+	// or not an Observer records the streams.
+	rollup decision.Rollup
 }
 
 // NewScheduler builds a scheduler over the fleet and registers it as a
@@ -263,6 +300,7 @@ func (s *Scheduler) Stats() Stats {
 		Migrations:    s.migrations,
 		Recovered:     s.recovered,
 		TransferFails: s.transferFails,
+		Decisions:     s.rollup,
 	}
 }
 
@@ -273,6 +311,7 @@ func (s *Scheduler) Stats() Stats {
 // departure cannot jump the line.
 func (s *Scheduler) Arrive(app *App) {
 	app.seq = len(s.apps)
+	app.queuedAt = s.f.Now()
 	s.apps = append(s.apps, app)
 	s.reconcileAll()
 	s.drain()
@@ -439,6 +478,7 @@ func (s *Scheduler) recoverNode(n *Node) {
 		app.recovering = true
 		app.retries = 0
 		app.nextTryAt = 0
+		app.queuedAt = s.f.Now()
 		s.recovered++
 		if !app.everQueued {
 			app.everQueued = true
@@ -489,53 +529,158 @@ func (s *Scheduler) drain() {
 
 // tryAdmit places the app on the best admissible node right now, returning
 // false when none exists or the admission failed. The caller has reconciled
-// the partition tables.
+// the partition tables. Every call is one decision point: it consumes one
+// decision ID, honours a forced override at that ID, updates the always-on
+// rollup, and reports the full candidate set to the observer when one is
+// attached.
 func (s *Scheduler) tryAdmit(app *App) bool {
-	n := s.pick(app, nil, 0)
-	if n == nil {
+	kind := decision.Admit
+	if app.recovering {
+		kind = decision.Recover
+	}
+	p := s.pick(app, nil, 0)
+	if forced, ok := s.forcedAt(s.rollup.Decisions); ok {
+		p.best = forced
+	}
+	if p.best == nil {
+		s.record(kind, app, nil, p, decision.OutcomeNoCandidate)
 		return false
 	}
-	switch s.host.Admit(n, app) {
+	queuedAt := app.queuedAt
+	switch s.host.Admit(p.best, app) {
 	case AdmitOK:
 		app.state = appPlaced
-		app.node = n
+		app.node = p.best
 		app.placedAt = s.f.Now()
 		app.retries = 0
 		app.nextTryAt = 0
 		app.recovering = false
 		s.admitted++
+		s.rollup.Admissions++
+		if kind == decision.Recover {
+			s.rollup.Replacements++
+		}
+		s.rollup.QueueWait.Observe(int64(s.f.Now() - queuedAt))
+		s.record(kind, app, nil, p, decision.OutcomePlaced)
 		return true
 	case AdmitTransferFailed:
 		s.transferFault(app)
+		s.record(kind, app, nil, p, decision.OutcomeTransferFailed)
+	default:
+		s.record(kind, app, nil, p, decision.OutcomeNoCapacity)
 	}
 	return false
 }
 
+// pickResult is one pick's full outcome: the winning node plus the
+// decision-observability byproducts — the candidate set (only built when an
+// observer is attached) and the winner's score margin over the runner-up.
+type pickResult struct {
+	best     *Node
+	cands    []decision.Candidate
+	margin   float64
+	marginOK bool // at least two eligible candidates scored finitely
+}
+
 // pick returns the admissible node the policy prefers (highest score, ties
 // to the lowest index), honouring pinning, an optional exclusion, and a
-// free-core floor (migration destinations must offer real headroom).
-func (s *Scheduler) pick(app *App, exclude *Node, minFree int) *Node {
-	var best *Node
-	var bestScore float64
+// free-core floor (migration destinations must offer real headroom). The
+// choice is exactly the historical one; the extra bookkeeping only feeds
+// the observability rollup and the attached observer, and the candidate
+// set is not built at all without one.
+func (s *Scheduler) pick(app *App, exclude *Node, minFree int) pickResult {
+	rec := s.cfg.Observer != nil
+	var p pickResult
+	var bestScore, second float64
+	haveSecond := false
 	for _, n := range s.f.Nodes() {
-		if n == exclude {
-			continue
+		reason := ""
+		switch {
+		case n == exclude:
+			reason = decision.ReasonSource
+		case app.Pinned != nil && n != app.Pinned:
+			reason = decision.ReasonPinned
+		case !n.CanAdmit():
+			if n.Down() {
+				reason = decision.ReasonDown
+			} else {
+				reason = decision.ReasonFull
+			}
+		case minFree > 0 && n.FreeCores(hmp.Big)+n.FreeCores(hmp.Little) < minFree:
+			reason = decision.ReasonMinFree
 		}
-		if app.Pinned != nil && n != app.Pinned {
-			continue
-		}
-		if !n.CanAdmit() {
-			continue
-		}
-		if minFree > 0 && n.FreeCores(hmp.Big)+n.FreeCores(hmp.Little) < minFree {
+		if reason != "" {
+			if rec {
+				// Excluded candidates record -Inf, except the migration
+				// source: its real score is what the gate compares against.
+				score := math.Inf(-1)
+				if reason == decision.ReasonSource {
+					score = s.cfg.Policy.Score(n, app)
+				}
+				p.cands = append(p.cands, decision.Candidate{Node: n.Name, Score: score, Reason: reason})
+			}
 			continue
 		}
 		score := s.cfg.Policy.Score(n, app)
-		if best == nil || score > bestScore {
-			best, bestScore = n, score
+		if rec {
+			p.cands = append(p.cands, decision.Candidate{Node: n.Name, Score: score})
+		}
+		switch {
+		case p.best == nil:
+			p.best, bestScore = n, score
+		case score > bestScore:
+			second, haveSecond = bestScore, true
+			p.best, bestScore = n, score
+		case !haveSecond || score > second:
+			second, haveSecond = score, true
 		}
 	}
-	return best
+	if p.best != nil && haveSecond && !math.IsInf(bestScore, -1) && !math.IsInf(second, -1) {
+		p.margin, p.marginOK = bestScore-second, true
+	}
+	return p
+}
+
+// forcedAt resolves a Config.Force override for the decision about to be
+// made (in-range indices only).
+func (s *Scheduler) forcedAt(id uint64) (*Node, bool) {
+	idx, ok := s.cfg.Force[id]
+	if !ok || idx < 0 || idx >= len(s.f.Nodes()) {
+		return nil, false
+	}
+	return s.f.Nodes()[idx], true
+}
+
+// record closes one decision point: it assigns the decision ID, folds the
+// margin into the always-on rollup, and hands the full record to the
+// observer when one is attached.
+func (s *Scheduler) record(kind decision.Kind, app *App, src *Node, p pickResult, outcome string) {
+	id := s.rollup.Decisions
+	s.rollup.Decisions++
+	if p.marginOK {
+		s.rollup.MarginSum += p.margin
+		s.rollup.MarginCount++
+	}
+	if outcome == decision.OutcomeNoCandidate {
+		s.rollup.NoCandidate++
+	}
+	if s.cfg.Observer == nil {
+		return
+	}
+	r := decision.Record{
+		ID: id, T: s.f.Now(), Kind: kind, App: app.Name,
+		Outcome: outcome, Candidates: p.cands,
+	}
+	if src != nil {
+		r.From = src.Name
+	}
+	if p.best != nil {
+		r.Chosen = p.best.Name
+	}
+	if p.marginOK {
+		r.Margin = p.margin
+	}
+	s.cfg.Observer.Decision(r)
 }
 
 // migratePass moves at most one application off every saturated
@@ -549,7 +694,8 @@ func (s *Scheduler) pick(app *App, exclude *Node, minFree int) *Node {
 // policy does not score the destination below the victim's current node,
 // so a move whose predicted gain does not cover its cost (the SLO-aware
 // policy charges the checkpoint delay against the app's slack here) simply
-// does not happen. The
+// does not happen — though it is recorded as an explicit gated no-op
+// decision, so regret analysis can see the moves the policy declined. The
 // strict-gain rule is also what makes the pass stable: an app that
 // saturates every node it lands on finds no destination better than where
 // it sits, instead of ping-ponging between equally-sized nodes every pass.
@@ -570,11 +716,24 @@ func (s *Scheduler) migratePass() {
 		if alloc+1 > minFree {
 			minFree = alloc + 1
 		}
-		dest := s.pick(victim, src, minFree)
+		// One decision point per destination pick, whatever its outcome —
+		// including the no-op the score gate turns it into. A forced
+		// override (counterfactual replay) takes the pick's place and
+		// skips the gate: the replay exists to see the declined move play
+		// out.
+		p := s.pick(victim, src, minFree)
+		forced, isForced := s.forcedAt(s.rollup.Decisions)
+		if isForced {
+			p.best = forced
+		}
+		dest := p.best
 		if dest == nil {
+			s.record(decision.Migrate, victim, src, p, decision.OutcomeNoCandidate)
 			continue
 		}
-		if s.cfg.Policy.Score(dest, victim) < s.cfg.Policy.Score(src, victim) {
+		if !isForced && s.cfg.Policy.Score(dest, victim) < s.cfg.Policy.Score(src, victim) {
+			s.rollup.GatedMigrations++
+			s.record(decision.Gated, victim, src, p, decision.OutcomeHeld)
 			continue
 		}
 		s.host.Checkpoint(src, victim)
@@ -585,10 +744,15 @@ func (s *Scheduler) migratePass() {
 			victim.migrations++
 			s.migrations++
 			s.admitted++
+			s.rollup.Migrations++
+			s.record(decision.Migrate, victim, src, p, decision.OutcomeMoved)
 			continue
 		}
 		if res == AdmitTransferFailed {
 			s.transferFault(victim)
+			s.record(decision.Migrate, victim, src, p, decision.OutcomeTransferFailed)
+		} else {
+			s.record(decision.Migrate, victim, src, p, decision.OutcomeNoCapacity)
 		}
 		// Capacity vanished mid-move (or the transfer failed): the app
 		// rejoins the queue and a later drain re-places it. It counts
@@ -596,6 +760,7 @@ func (s *Scheduler) migratePass() {
 		// arrivals that waited, not waits).
 		victim.state = appQueued
 		victim.node = nil
+		victim.queuedAt = now
 		if !victim.everQueued {
 			victim.everQueued = true
 			s.queuedTotal++

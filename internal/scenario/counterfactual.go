@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/decision"
+)
+
+// Alternative is one counterfactual replay: the run re-executed from t=0
+// with the scheduler forced to choose Node at the forked decision, every
+// other decision left to the policy. Deltas are alternative minus baseline,
+// so a negative DSLOMisses means the alternative would have missed less.
+type Alternative struct {
+	// Node is the forced choice; Score its policy score as recorded at
+	// the baseline decision.
+	Node  string
+	Score float64
+
+	// Absolute outcomes of the forced replay.
+	SLOMisses      int
+	EnergyJ        float64
+	NodeMigrations int
+
+	// Regret deltas: alternative minus baseline.
+	DSLOMisses      int
+	DEnergyJ        float64
+	DNodeMigrations int
+}
+
+// Counterfactual is the outcome of forking one recorded decision: the
+// decision itself, the baseline run's rollups, and one Alternative per
+// forced top-k candidate, in descending recorded-score order.
+type Counterfactual struct {
+	// ID is the forked decision's ID; Decision its baseline record.
+	ID       uint64
+	Decision decision.Record
+
+	// Baseline rollups of the unforced run.
+	BaselineSLOMisses      int
+	BaselineEnergyJ        float64
+	BaselineNodeMigrations int
+
+	Alternatives []Alternative
+}
+
+// Regret returns the realized regret of the recorded choice: how many SLO
+// misses — and, tie-broken at equal misses, how much energy (J) — the best
+// alternative would have saved over the horizon. Both are zero when no
+// alternative beat the chosen placement.
+func (c *Counterfactual) Regret() (misses int, energyJ float64) {
+	for _, a := range c.Alternatives {
+		saveM, saveE := -a.DSLOMisses, -a.DEnergyJ
+		if saveM > misses || (saveM == misses && saveE > energyJ) {
+			misses, energyJ = saveM, saveE
+		}
+	}
+	return misses, energyJ
+}
+
+// RunCounterfactual forks a deterministic scenario at one recorded
+// decision: it replays the baseline with decision tracing on, locates the
+// decision with the given ID, ranks its non-chosen eligible candidates by
+// recorded score (descending, ties in node-index order), and re-runs the
+// whole scenario once per top-k alternative with that choice forced
+// (Options.ForceDecisions) — everything before the forked decision is
+// bit-identical by determinism, everything after follows the policy under
+// the altered placement. k <= 0 selects 3. The passed Options drive every
+// replay except Trace (suppressed — one run's trace bytes are not k+1
+// runs') and the decision-tracing/forcing fields, which the engine owns.
+func RunCounterfactual(sc *Scenario, opts Options, id uint64, k int) (*Counterfactual, error) {
+	if k <= 0 {
+		k = 3
+	}
+	base := opts
+	base.Trace = nil
+	base.TraceDecisions = true
+	base.ForceDecisions = nil
+	bres, err := Run(sc, base)
+	if err != nil {
+		return nil, err
+	}
+	var rec *decision.Record
+	for i := range bres.DecisionRecords {
+		if bres.DecisionRecords[i].ID == id {
+			rec = &bres.DecisionRecords[i]
+			break
+		}
+	}
+	if rec == nil {
+		return nil, fmt.Errorf("scenario: decision %d not recorded (the run made %d decisions, the log kept %d)",
+			id, bres.Decisions.Decisions, len(bres.DecisionRecords))
+	}
+	// The alternatives: eligible (scored, unexcluded) candidates the
+	// decision did not act on. A placed/moved outcome excludes the chosen
+	// node — re-forcing it only reproduces the baseline — but a gated or
+	// failed outcome excludes nothing: the pick's preferred node never
+	// actually ran the app, so forcing it replays exactly the move the
+	// gate (or the fault) held back, and it ranks first by score.
+	acted := rec.Outcome == decision.OutcomePlaced || rec.Outcome == decision.OutcomeMoved
+	alts := make([]decision.Candidate, 0, len(rec.Candidates))
+	for _, c := range rec.Candidates {
+		if c.Reason != "" || (acted && c.Node == rec.Chosen) {
+			continue
+		}
+		alts = append(alts, c)
+	}
+	sort.SliceStable(alts, func(i, j int) bool { return alts[i].Score > alts[j].Score })
+	if len(alts) > k {
+		alts = alts[:k]
+	}
+	out := &Counterfactual{
+		ID:                     id,
+		Decision:               *rec,
+		BaselineSLOMisses:      bres.SLOMisses,
+		BaselineEnergyJ:        bres.EnergyJ,
+		BaselineNodeMigrations: bres.NodeMigrations,
+	}
+	for _, alt := range alts {
+		fopts := opts
+		fopts.Trace = nil
+		fopts.TraceDecisions = false
+		fopts.ForceDecisions = map[uint64]string{id: alt.Node}
+		fres, err := Run(sc, fopts)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: counterfactual %d -> %s: %w", id, alt.Node, err)
+		}
+		out.Alternatives = append(out.Alternatives, Alternative{
+			Node:            alt.Node,
+			Score:           alt.Score,
+			SLOMisses:       fres.SLOMisses,
+			EnergyJ:         fres.EnergyJ,
+			NodeMigrations:  fres.NodeMigrations,
+			DSLOMisses:      fres.SLOMisses - bres.SLOMisses,
+			DEnergyJ:        fres.EnergyJ - bres.EnergyJ,
+			DNodeMigrations: fres.NodeMigrations - bres.NodeMigrations,
+		})
+	}
+	return out, nil
+}

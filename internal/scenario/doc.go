@@ -224,6 +224,49 @@
 // the per-app AppResult.Recoveries/LostWorkUS/Stranded. A scenario without
 // a "faults" block is bit-for-bit the pre-fault run.
 //
+// # Decision tracing ("decisions" block)
+//
+// A scenario may opt into the scheduler's decision stream
+// (internal/decision):
+//
+//	"decisions": {"enabled": true, "keep": 100000}
+//
+// Every scheduler decision point — admission picks, migrate-pass
+// destination picks (including the gated no-ops the destination-score gate
+// declines), and crash re-placements — then appears in the trace as a
+//
+//	d,t_ms,id,kind,app,from,to,outcome,margin,candidates
+//
+// line: the monotonic decision ID, the kind (admit/migrate/recover/gated),
+// the full scored candidate set ("node:score" per eligible node,
+// "node:score:reason" per excluded one — reasons pinned/down/full/min-free
+// score -Inf; the migration source keeps its real score), the chosen node,
+// the outcome (placed/moved/held/no-candidate/no-capacity/transfer-failed),
+// and the winner's score margin over the runner-up. Scores and margins
+// render as hexadecimal floats, so the lines are byte-stable and exact.
+// The same records land in Result.DecisionRecords (bounded by "keep",
+// default 100,000; overflow counted in Result.DecisionsDropped), and
+// sim.Tracer CSV/Chrome output grows decision/detail columns only when
+// decision events are present. Options.TraceDecisions arms the stream from
+// the command line (hars-scenario -trace-decisions) without touching the
+// document. With the block absent or disabled (and the flag off) the trace
+// is bit-for-bit the undecorated run — every golden digest reproduces
+// exactly — while the always-on rollup (Result.Decisions: decision counts
+// by kind, gated migrations, mean score margin, admission queue-wait
+// histogram) is maintained regardless.
+//
+// Decisions happen inside fleet hook ticks on the main goroutine, so the
+// decision stream is byte-identical across the lockstep, event-driven, and
+// worker-sharded cores, and decision IDs are assigned whether or not the
+// stream is recorded. That is what makes counterfactual replay exact:
+// Options.ForceDecisions (hars-scenario -counterfactual <id>
+// [-counterfactual-k N]) re-runs the scenario forcing one recorded
+// decision to each of its top-k alternative candidates in turn
+// (RunCounterfactual); everything before the forked decision is
+// bit-identical by determinism, and the report carries each alternative's
+// ΔSLO misses, Δenergy, and Δmigrations against the baseline — the
+// realized regret of the choice the policy actually made.
+//
 // Determinism: the engine is single-threaded over deterministic
 // simulators — nodes step in index order within each shared tick, and
 // scheduler decisions break ties by policy score then node index — so the

@@ -10,6 +10,7 @@ import (
 	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/decision"
 	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/gts"
@@ -82,6 +83,19 @@ type Options struct {
 	// set, because property checkers are shared closures the engine must
 	// not invoke concurrently.
 	Workers int
+
+	// TraceDecisions forces decision tracing on, exactly as if the
+	// scenario declared an enabled "decisions" block (the hars-scenario
+	// -trace-decisions flag). The scenario document itself is untouched.
+	TraceDecisions bool
+
+	// ForceDecisions maps decision ID → node name, overriding the
+	// scheduler's choice at exactly those decisions — the counterfactual
+	// replay seam (see RunCounterfactual). Decision IDs are deterministic
+	// whether or not tracing is on, so an ID recorded in one run addresses
+	// the same decision in the forced replay. Unknown node names reject
+	// the run.
+	ForceDecisions map[uint64]string
 }
 
 // AppResult summarizes one application after the run.
@@ -183,6 +197,17 @@ type Result struct {
 	// StrandedApps counts apps still parked in the admission queue with a
 	// captured checkpoint when the run ended (see AppResult.Stranded).
 	StrandedApps int
+
+	// Decisions is the always-on scheduler decision rollup (decision
+	// counts by kind, score margins, queue-wait histogram) — populated
+	// whether or not decision tracing is on. DecisionRecords holds the
+	// recorded decision stream when the scenario's decisions block (or
+	// Options.TraceDecisions) enabled it, up to its Keep cap;
+	// DecisionsDropped counts the records beyond it (they still reached
+	// the trace).
+	Decisions        decision.Rollup
+	DecisionRecords  []decision.Record
+	DecisionsDropped int64
 
 	// MP is the MP-HARS manager of legacy mphars-* scenarios (nil
 	// otherwise — multi-node runs carry theirs in Nodes); Managers maps
@@ -376,6 +401,11 @@ type engine struct {
 	coin     *fault.Coin
 	crashes  int
 	tickErr  error // first per-tick invariant violation (CheckEveryTick)
+
+	// Decision-tracing state (nil/false without a decisions block or
+	// TraceDecisions, keeping untraced runs byte-identical).
+	decOn  bool
+	decLog *decision.Log
 }
 
 // Run executes the scenario and returns its result. The run is fully
@@ -443,11 +473,37 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 		e.faultCfg = fcfg
 		e.coin = fault.NewCoin(c)
 	}
+	// Decision tracing: the scenario's block or the CLI override arms the
+	// observer (a bounded in-memory log teed with the gated "d" trace
+	// lines); a force map resolves node names to fleet indices up front.
+	var obs decision.Sink
+	e.decOn = opts.TraceDecisions || (sc.Decisions != nil && sc.Decisions.Enabled)
+	if e.decOn {
+		keep := 0
+		if sc.Decisions != nil {
+			keep = sc.Decisions.Keep
+		}
+		e.decLog = &decision.Log{Max: keep}
+		obs = decision.Tee(e.decLog, decision.SinkFunc(e.traceDecision))
+	}
+	var force map[uint64]int
+	if len(opts.ForceDecisions) > 0 {
+		force = make(map[uint64]int, len(opts.ForceDecisions))
+		for id, name := range opts.ForceDecisions {
+			nr := e.nodeRunByName(name)
+			if nr == nil {
+				return nil, fmt.Errorf("scenario: force decision %d: unknown node %q", id, name)
+			}
+			force[id] = nr.rn.idx
+		}
+	}
 	migrate := sim.Time(sc.MigrateEveryMS) * sim.Millisecond
 	e.sched = fleet.NewScheduler(e.fl, e, fleet.Config{
 		Policy:       policy,
 		MigrateEvery: migrate,
 		Fault:        fcfg,
+		Observer:     obs,
+		Force:        force,
 	})
 	if opts.CheckEveryTick {
 		// Registered after the scheduler's hook, so each tick is checked in
@@ -597,6 +653,9 @@ func (e *engine) writeHeader() {
 		if e.nodes[0].gov != nil {
 			fmt.Fprintln(e.out, "# h,t_ms,big_temp,little_temp,big_cap,little_cap,throttles,releases")
 		}
+		if e.decOn {
+			fmt.Fprintln(e.out, "# d,t_ms,id,kind,app,from,to,outcome,margin,candidates")
+		}
 		return
 	}
 	fmt.Fprintf(e.out, "# scenario %s seed %d manager %s nodes %d placement %s\n",
@@ -611,6 +670,9 @@ func (e *engine) writeHeader() {
 	}
 	if sc.Faults != nil {
 		fmt.Fprintln(e.out, "# x,t_ms,node,event,detail")
+	}
+	if e.decOn {
+		fmt.Fprintln(e.out, "# d,t_ms,id,kind,app,from,to,outcome,margin,candidates")
 	}
 	fmt.Fprintln(e.out, "# f,t_ms,running,queued,hps,energy,overhead_us,node_migrations")
 }
@@ -646,6 +708,11 @@ func (e *engine) result() *Result {
 	res.NodeMigrations = stats.Migrations
 	res.NodeCrashes = e.crashes
 	res.TransferFails = stats.TransferFails
+	res.Decisions = stats.Decisions
+	if e.decLog != nil {
+		res.DecisionRecords = e.decLog.Records()
+		res.DecisionsDropped = e.decLog.Dropped()
+	}
 	for _, a := range e.apps {
 		a.res.Beats = a.beats()
 		a.res.Work = a.work()
@@ -1161,6 +1228,26 @@ func (e *engine) traceFault(nr *nodeRun, what, detail string) {
 		return
 	}
 	fmt.Fprintf(e.out, "x,%d,%s,%s,%s\n", e.fl.Now()/sim.Millisecond, nr.rn.name, what, detail)
+}
+
+// traceDecision emits one "d" decision trace line, written at decision time
+// from the scheduler's hook on the main goroutine — so the stream
+// interleaves with samples identically under the lockstep, event, and
+// sharded cores. Only installed when decision tracing is on, so untraced
+// runs stay byte-identical. Floats render with %x for exactness; empty
+// from/to render as "-" so the column count is fixed.
+func (e *engine) traceDecision(r decision.Record) {
+	fmt.Fprintf(e.out, "d,%d,%d,%s,%s,%s,%s,%s,%x,%s\n",
+		r.T/sim.Millisecond, r.ID, r.Kind, r.App,
+		orDash(r.From), orDash(r.Chosen), r.Outcome, r.Margin,
+		decision.FormatCandidates(r.Candidates))
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 func (e *engine) depart(a *appRun) {

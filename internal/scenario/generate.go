@@ -44,6 +44,12 @@ type GenConfig struct {
 	// everything else, so seeds generate the same base scenario with the
 	// flag on or off.
 	Faults bool
+
+	// Decisions adds an enabled decisions block (decision tracing). It
+	// consumes no RNG draws at all, so seeds generate the same base
+	// scenario with the flag on or off — the decision stream rides along
+	// without perturbing anything the seed already determined.
+	Decisions bool
 }
 
 func (c GenConfig) withDefaults() GenConfig {
@@ -201,6 +207,9 @@ func Generate(seed int64, cfg GenConfig) *Scenario {
 	}
 	if cfg.Faults && cfg.Nodes > 0 {
 		sc.Faults = genFaults(rng, sc, cfg)
+	}
+	if cfg.Decisions {
+		sc.Decisions = &DecisionSpec{Enabled: true}
 	}
 	return sc
 }

@@ -231,6 +231,28 @@ type Scenario struct {
 	// exponential retry backoff). Absent, nothing fault-related runs and
 	// traces are bit-identical to pre-fault ones.
 	Faults *fault.Spec `json:"faults,omitempty"`
+
+	// Decisions, when present and enabled, opts the run into decision
+	// tracing: every fleet scheduler decision — admission picks,
+	// migrate-pass picks including gated no-ops, crash re-placements — is
+	// recorded with its full scored candidate set, emitted as gated "d"
+	// trace lines, and retained on Result.DecisionRecords. Absent (or
+	// disabled), no decision line is written and traces are bit-identical
+	// to pre-decision ones; the always-on Result.Decisions rollup is
+	// maintained regardless.
+	Decisions *DecisionSpec `json:"decisions,omitempty"`
+}
+
+// DecisionSpec is the scenario's decision-tracing block.
+type DecisionSpec struct {
+	// Enabled turns decision tracing on (a present-but-disabled block is
+	// inert, mirroring the thermal block).
+	Enabled bool `json:"enabled"`
+	// Keep bounds the decision records retained on Result.DecisionRecords;
+	// beyond it, records still reach the trace but are dropped from the
+	// in-memory log and counted on Result.DecisionsDropped. 0 keeps
+	// 100,000.
+	Keep int `json:"keep,omitempty"`
 }
 
 // Decode parses and validates a scenario document. Unknown fields are
@@ -476,6 +498,9 @@ func (sc *Scenario) resolveAndValidate(plat *hmp.Platform) ([]resolvedNode, []Ap
 	}
 	if sc.Faults != nil && len(sc.Nodes) == 0 {
 		return nil, nil, fmt.Errorf("scenario: faults needs a nodes list")
+	}
+	if sc.Decisions != nil && sc.Decisions.Keep < 0 {
+		return nil, nil, fmt.Errorf("scenario: decisions: negative keep")
 	}
 	apps, err := sc.expandApps()
 	if err != nil {
