@@ -190,3 +190,20 @@ func BenchmarkFleetQuiescent(b *testing.B) { bench.FleetQuiescent(b) }
 
 // BenchmarkFleetQuiescentLockstep is the same fleet stepped tick by tick.
 func BenchmarkFleetQuiescentLockstep(b *testing.B) { bench.FleetQuiescentLockstep(b) }
+
+// BenchmarkFleetScale1k advances ten simulated seconds of a 1024-node fleet
+// with a single busy node through the event-driven core — the thousand-node
+// scale target.
+func BenchmarkFleetScale1k(b *testing.B) { bench.FleetScale1k(b) }
+
+// BenchmarkFleetScale1kActive loads ~5% of the 1024 nodes.
+func BenchmarkFleetScale1kActive(b *testing.B) { bench.FleetScale1kActive(b) }
+
+// BenchmarkFleetScale1kFaults crashes and heals a band of idle nodes
+// mid-run with the failure detector armed — the wake index on the measured
+// path.
+func BenchmarkFleetScale1kFaults(b *testing.B) { bench.FleetScale1kFaults(b) }
+
+// BenchmarkFleetScale1kLockstep is the 1024-node fleet stepped tick by
+// tick, the denominator of the tracked scale speedup.
+func BenchmarkFleetScale1kLockstep(b *testing.B) { bench.FleetScale1kLockstep(b) }

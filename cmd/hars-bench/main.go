@@ -5,14 +5,25 @@
 //
 // Usage:
 //
-//	hars-bench [-out BENCH_1.json] [-filter regexp] [-quiescent-ratio-floor 10]
+//	hars-bench [-out BENCH_1.json] [-filter regexp] [-prev BENCH_8.json]
+//	           [-quiescent-ratio-floor 10] [-scale-ratio-floor 30]
+//	           [-alloc-ceiling FleetQuiescent=64] ...
 //
-// -quiescent-ratio-floor guards the event-driven core's reason to exist:
-// after the run it computes FleetQuiescentLockstep / FleetQuiescent (how
-// many times faster the event core crosses the quiescent fleet than the
-// per-tick reference walk) and exits non-zero when the speedup falls below
-// the floor. CI runs it at 10x so a regression that quietly drags the event
-// core back toward lockstep cost fails the build.
+// -prev prints per-benchmark deltas (ns/op and allocs/op) against a previous
+// trajectory file, so a PR's before/after story is one flag away.
+//
+// -quiescent-ratio-floor and -scale-ratio-floor guard the event-driven
+// core's reason to exist: after the run they compute the lockstep/event
+// speedup (FleetQuiescentLockstep / FleetQuiescent and FleetScale1kLockstep
+// / FleetScale1k respectively) and exit non-zero when it falls below the
+// floor. CI runs both, so a regression that quietly drags the event core
+// back toward lockstep cost fails the build.
+//
+// -alloc-ceiling (repeatable, name=N) pins a benchmark's steady-state
+// allocation count: the run fails when the measured allocs/op exceed the
+// ceiling. CI pins FleetQuiescent, so allocations creeping back into the
+// quiescent hot loop fail the build rather than eroding the alloc-free
+// steady state one innocent-looking change at a time.
 package main
 
 import (
@@ -22,6 +33,8 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/bench"
@@ -46,11 +59,42 @@ type File struct {
 	Results   []Result `json:"results"`
 }
 
+// ceilings is the repeatable -alloc-ceiling flag: benchmark name → maximum
+// allowed allocs/op.
+type ceilings map[string]int64
+
+func (c ceilings) String() string {
+	parts := make([]string, 0, len(c))
+	for name, n := range c {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, n))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (c ceilings) Set(v string) error {
+	name, limit, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=N, got %q", v)
+	}
+	n, err := strconv.ParseInt(limit, 10, 64)
+	if err != nil || n < 0 {
+		return fmt.Errorf("bad ceiling %q", limit)
+	}
+	c[name] = n
+	return nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_1.json", "output JSON path (empty = stdout only)")
 	filter := flag.String("filter", "", "regexp selecting benchmark names (empty = all)")
-	ratioFloor := flag.Float64("quiescent-ratio-floor", 0,
+	prev := flag.String("prev", "", "previous trajectory file to print ns/op and allocs/op deltas against")
+	quiescentFloor := flag.Float64("quiescent-ratio-floor", 0,
 		"fail unless FleetQuiescentLockstep/FleetQuiescent >= this speedup (0 = no check)")
+	scaleFloor := flag.Float64("scale-ratio-floor", 0,
+		"fail unless FleetScale1kLockstep/FleetScale1k >= this speedup (0 = no check)")
+	allocCeilings := ceilings{}
+	flag.Var(allocCeilings, "alloc-ceiling",
+		"fail when a benchmark exceeds its allocs/op ceiling, as name=N (repeatable)")
 	flag.Parse()
 
 	var re *regexp.Regexp
@@ -58,6 +102,19 @@ func main() {
 		var err error
 		if re, err = regexp.Compile(*filter); err != nil {
 			fmt.Fprintf(os.Stderr, "bad -filter: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	var prevFile *File
+	if *prev != "" {
+		data, err := os.ReadFile(*prev)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -prev: %v\n", err)
+			os.Exit(2)
+		}
+		prevFile = &File{}
+		if err := json.Unmarshal(data, prevFile); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -prev %s: %v\n", *prev, err)
 			os.Exit(2)
 		}
 	}
@@ -82,8 +139,9 @@ func main() {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		}
 		f.Results = append(f.Results, res)
-		fmt.Printf("%-20s %12d iters %14.1f ns/op %8d B/op %6d allocs/op\n",
-			res.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		fmt.Printf("%-22s %12d iters %14.1f ns/op %8d B/op %6d allocs/op%s\n",
+			res.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp,
+			deltaSuffix(prevFile, res))
 	}
 
 	data, err := json.MarshalIndent(f, "", "  ")
@@ -102,36 +160,90 @@ func main() {
 		os.Stdout.Write(data)
 	}
 
-	if *ratioFloor > 0 {
-		if err := checkQuiescentRatio(f.Results, *ratioFloor); err != nil {
+	failed := false
+	if *quiescentFloor > 0 {
+		if err := checkRatio(f.Results, "FleetQuiescent", "FleetQuiescentLockstep", "quiescent", *quiescentFloor); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			failed = true
 		}
+	}
+	if *scaleFloor > 0 {
+		if err := checkRatio(f.Results, "FleetScale1k", "FleetScale1kLockstep", "1k-scale", *scaleFloor); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+		}
+	}
+	if err := checkAllocCeilings(f.Results, allocCeilings); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 
-// checkQuiescentRatio enforces the event-core speedup floor over the
-// measured results. Both quiescent benchmarks must be present (narrow
-// -filter expressions that drop one are a configuration error, not a pass).
-func checkQuiescentRatio(results []Result, floor float64) error {
+// deltaSuffix formats the change against the previous trajectory file for
+// one benchmark (empty without -prev or when the file lacks the benchmark).
+func deltaSuffix(prev *File, res Result) string {
+	if prev == nil {
+		return ""
+	}
+	for _, p := range prev.Results {
+		if p.Name != res.Name || p.NsPerOp == 0 {
+			continue
+		}
+		return fmt.Sprintf("   [vs prev: %+.1f%% ns/op, %+d allocs/op]",
+			(res.NsPerOp-p.NsPerOp)/p.NsPerOp*100, res.AllocsPerOp-p.AllocsPerOp)
+	}
+	return "   [vs prev: new]"
+}
+
+// checkRatio enforces a lockstep/event speedup floor over the measured
+// results. Both benchmarks must be present (narrow -filter expressions that
+// drop one are a configuration error, not a pass).
+func checkRatio(results []Result, eventName, lockstepName, label string, floor float64) error {
 	var event, lockstep float64
 	for _, r := range results {
 		switch r.Name {
-		case "FleetQuiescent":
+		case eventName:
 			event = r.NsPerOp
-		case "FleetQuiescentLockstep":
+		case lockstepName:
 			lockstep = r.NsPerOp
 		}
 	}
 	if event == 0 || lockstep == 0 {
-		return fmt.Errorf("quiescent-ratio check needs both FleetQuiescent and FleetQuiescentLockstep in the run (have event=%v lockstep=%v ns/op)",
-			event, lockstep)
+		return fmt.Errorf("%s-ratio check needs both %s and %s in the run (have event=%v lockstep=%v ns/op)",
+			label, eventName, lockstepName, event, lockstep)
 	}
 	ratio := lockstep / event
-	fmt.Printf("quiescent speedup: %.1fx (lockstep %.0f ns/op / event %.0f ns/op), floor %.1fx\n",
-		ratio, lockstep, event, floor)
+	fmt.Printf("%s speedup: %.1fx (lockstep %.0f ns/op / event %.0f ns/op), floor %.1fx\n",
+		label, ratio, lockstep, event, floor)
 	if ratio < floor {
-		return fmt.Errorf("event-core speedup %.1fx below the %.1fx floor: the event-driven core regressed toward lockstep cost", ratio, floor)
+		return fmt.Errorf("%s event-core speedup %.1fx below the %.1fx floor: the event-driven core regressed toward lockstep cost", label, ratio, floor)
+	}
+	return nil
+}
+
+// checkAllocCeilings enforces the pinned allocs/op ceilings. A ceiling
+// naming a benchmark absent from the run is a configuration error, not a
+// pass.
+func checkAllocCeilings(results []Result, limits ceilings) error {
+	for name, limit := range limits {
+		found := false
+		for _, r := range results {
+			if r.Name != name {
+				continue
+			}
+			found = true
+			if r.AllocsPerOp > limit {
+				return fmt.Errorf("%s allocated %d allocs/op, above the pinned ceiling of %d: allocations crept back into the steady state",
+					name, r.AllocsPerOp, limit)
+			}
+			fmt.Printf("alloc ceiling: %s %d allocs/op <= %d\n", name, r.AllocsPerOp, limit)
+		}
+		if !found {
+			return fmt.Errorf("alloc-ceiling names %s, which is not in the run", name)
+		}
 	}
 	return nil
 }

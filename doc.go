@@ -190,16 +190,33 @@
 //     per-tick stepping (see the fleet layer above), so a mostly-idle
 //     fleet costs wall-clock proportional to its busy nodes and decision
 //     points, not nodes × ticks; BenchmarkFleetQuiescent tracks the
-//     speedup over the lockstep reference on a 128-node fleet.
+//     speedup over the lockstep reference on a 128-node fleet, and the
+//     BenchmarkFleetScale1k family tracks it at 1024 nodes (idle, ~5%
+//     active, and fault-armed crash/heal variants).
+//   - The fleet core itself is engineered for thousand-node fleets: the
+//     scheduler's NextWake reads an incremental wake index (silent-node
+//     detection deadlines in a min-heap maintained by machine failure
+//     listeners, declared-down nodes in a short heal-probe list) instead
+//     of scanning every node per barrier — the O(nodes) scan survives as
+//     the verification reference (fleet.Scheduler.SetWakeScan /
+//     SetWakeVerify); node advancement between barriers runs on a
+//     persistent worker pool fed by a chunked cursor instead of spawning
+//     goroutines per barrier; and bit-identical idle nodes share one
+//     energy-replay computation per jump through a bit-exact-keyed cache
+//     (sim.JumpCache), collapsing the cost of N idle machines to ~1. The
+//     steady-state barrier loop performs no allocations, pinned by the
+//     hars-bench -alloc-ceiling guard in CI.
 //
 // The tracked hot-path benchmarks live in internal/bench and run two ways:
 //
 //	go test -run '^$' -bench 'SimSecond|SearchExhaustive' -benchmem .
-//	go run ./cmd/hars-bench -out BENCH_N.json
+//	go run ./cmd/hars-bench -out BENCH_N.json -prev BENCH_M.json
 //
 // cmd/hars-bench writes the measurements as BENCH_<n>.json at the
 // repository root (one file per PR, n = PR number) so the performance
-// trajectory is reviewable alongside the code: compare ns_per_op across
-// files to see the trend, and treat a regression in SimSecond or
-// SearchExhaustive as a bug.
+// trajectory is reviewable alongside the code: -prev prints per-benchmark
+// deltas against an earlier file, and CI enforces the
+// -quiescent-ratio-floor, -scale-ratio-floor, and -alloc-ceiling guards so
+// the event core's speedups and alloc-free steady state cannot silently
+// regress. Treat a regression in SimSecond or SearchExhaustive as a bug.
 package repro

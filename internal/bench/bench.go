@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/heartbeat"
 	"repro/internal/hmp"
@@ -35,6 +36,10 @@ func Cases() []Case {
 		{"Assign", Assign},
 		{"FleetQuiescent", FleetQuiescent},
 		{"FleetQuiescentLockstep", FleetQuiescentLockstep},
+		{"FleetScale1k", FleetScale1k},
+		{"FleetScale1kActive", FleetScale1kActive},
+		{"FleetScale1kFaults", FleetScale1kFaults},
+		{"FleetScale1kLockstep", FleetScale1kLockstep},
 	}
 }
 
@@ -116,21 +121,29 @@ func Assign(b *testing.B) {
 }
 
 // benchHost is the do-nothing fleet host for the quiescent benchmarks: no
-// application ever arrives, so none of its methods is reachable.
+// application ever arrives, so none of its methods is reachable. The
+// FaultHost surface is likewise unreachable (the fault-armed benchmarks
+// crash only idle nodes, which host no applications); it exists to satisfy
+// the Config.Fault wiring check.
 type benchHost struct{}
 
 func (benchHost) Admit(*fleet.Node, *fleet.App) fleet.AdmitResult { return fleet.AdmitOK }
 func (benchHost) Checkpoint(*fleet.Node, *fleet.App)              {}
+func (benchHost) Snapshot(*fleet.Node, *fleet.App)                {}
+func (benchHost) Salvage(*fleet.Node, *fleet.App)                 {}
 
-// fleetQuiescent measures advancing ten simulated seconds of a 128-node
-// mostly-idle fleet — every node power-modeled but unmanaged, one busy
-// 8-thread workload on node 0, the fleet scheduler hooked at its default
-// migration cadence. This is the production-scale shape the event-driven
-// core exists for: wall-clock should track the one busy node plus the
-// decision points, not nodes × ticks. The lockstep variant pins the price
-// of the reference strategy; their ratio is the tracked speedup.
-func fleetQuiescent(b *testing.B, lockstep bool) {
-	const nodes = 128
+// fleetScale measures advancing ten simulated seconds of a mostly-idle
+// fleet — every node power-modeled but unmanaged, busy nodes each running
+// an 8-thread workload spread evenly across the fleet, the fleet scheduler
+// hooked at its default migration cadence. This is the production-scale
+// shape the event-driven core exists for: wall-clock should track the busy
+// nodes plus the decision points, not nodes × ticks. With faults armed the
+// run crashes a band of idle nodes mid-flight and heals them later, so the
+// detector deadlines, the down set, and the recovery wakes — the wake
+// index's whole surface — are on the measured path. The lockstep variants
+// pin the price of the reference strategy; the ratios are the tracked
+// speedups.
+func fleetScale(b *testing.B, nodes, busy int, faults, lockstep bool) {
 	bench, ok := workload.ByShort("SW")
 	if !ok {
 		b.Fatal("unknown benchmark SW")
@@ -149,9 +162,27 @@ func fleetQuiescent(b *testing.B, lockstep bool) {
 			b.Fatal(err)
 		}
 		f.SetLockstep(lockstep)
-		fleet.NewScheduler(f, benchHost{}, fleet.Config{})
-		fnodes[0].Spawn(bench.Name, bench.New(8), 10)
+		cfg := fleet.Config{}
+		if faults {
+			cfg.Fault = &fault.Config{HeartbeatTimeout: 100 * sim.Millisecond}
+		}
+		fleet.NewScheduler(f, benchHost{}, cfg)
+		for j := 0; j < busy; j++ {
+			fnodes[j*nodes/busy].Spawn(bench.Name, bench.New(8), 10)
+		}
 		b.StartTimer()
+		if faults {
+			// Crash a band of idle nodes at 2 s, heal them at 6 s: the run
+			// crosses silence, detection, down steady state, and recovery.
+			f.RunUntil(2 * sim.Second)
+			for id := nodes / 2; id < nodes/2+8 && id < nodes; id++ {
+				fnodes[id].Fail()
+			}
+			f.RunUntil(6 * sim.Second)
+			for id := nodes / 2; id < nodes/2+8 && id < nodes; id++ {
+				fnodes[id].Heal()
+			}
+		}
 		f.RunUntil(10 * sim.Second)
 		if f.EnergyJ() <= 0 {
 			b.Fatal("no energy accounted")
@@ -160,8 +191,23 @@ func fleetQuiescent(b *testing.B, lockstep bool) {
 }
 
 // FleetQuiescent is the event-driven core on the quiescent 128-node fleet.
-func FleetQuiescent(b *testing.B) { fleetQuiescent(b, false) }
+func FleetQuiescent(b *testing.B) { fleetScale(b, 128, 1, false, false) }
 
 // FleetQuiescentLockstep is the same fleet under the reference per-tick
 // strategy — the denominator of the tracked speedup.
-func FleetQuiescentLockstep(b *testing.B) { fleetQuiescent(b, true) }
+func FleetQuiescentLockstep(b *testing.B) { fleetScale(b, 128, 1, false, true) }
+
+// FleetScale1k is the thousand-node shape: 1024 nodes, one busy.
+func FleetScale1k(b *testing.B) { fleetScale(b, 1024, 1, false, false) }
+
+// FleetScale1kActive loads ~5% of the 1024 nodes, the busiest shape the
+// barrier-jumping claim is tracked at.
+func FleetScale1kActive(b *testing.B) { fleetScale(b, 1024, 51, false, false) }
+
+// FleetScale1kFaults is FleetScale1k with the failure detector armed and a
+// scripted crash/heal band — the wake index under fire.
+func FleetScale1kFaults(b *testing.B) { fleetScale(b, 1024, 1, true, false) }
+
+// FleetScale1kLockstep is the 1024-node fleet under the reference per-tick
+// strategy — the denominator of the scale speedup.
+func FleetScale1kLockstep(b *testing.B) { fleetScale(b, 1024, 1, false, true) }

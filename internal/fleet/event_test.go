@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/hmp"
 	"repro/internal/power"
@@ -170,5 +171,84 @@ func TestEventCoreMatchesLockstepFleet(t *testing.T) {
 		if got != ref {
 			t.Fatalf("event core (workers=%d) diverged: %+v != %+v", w, got, ref)
 		}
+	}
+}
+
+// faultTestHost extends testHost with the FaultHost surface. The fixtures
+// using it run no applications, so the crash-recovery hooks are never
+// reached; they exist to satisfy the Config.Fault wiring check.
+type faultTestHost struct{ testHost }
+
+func (h *faultTestHost) Snapshot(n *fleet.Node, app *fleet.App) {}
+func (h *faultTestHost) Salvage(n *fleet.Node, app *fleet.App)  {}
+
+// barrierCounter counts fleet hook invocations without ever asking to run:
+// with it registered, every Tick the fleet takes was forced by some OTHER
+// wake source, so the count exposes exactly how often the scheduler's
+// NextWake fires.
+type barrierCounter struct{ ticks int }
+
+func (h *barrierCounter) Tick(*fleet.Fleet) { h.ticks++ }
+func (h *barrierCounter) NextWake(*fleet.Fleet) sim.Time {
+	return sim.Time(math.MaxInt64)
+}
+
+// TestHealWakeDoesNotCollapseJumping pins the recovery-wake fix: a node
+// proving alive while still declared down wakes the scheduler immediately
+// (`!failed && down` → now), and that immediate wake must cost O(1) ticks
+// per heal — not collapse barrier jumping into per-tick lockstep for the
+// rest of the run, stranding the unrelated nodes in slow motion. The same
+// schedule replays in lockstep to prove the event-core outcome is
+// bit-identical, and the wake index is verified against the full scan at
+// every barrier across the crash, detection, and heal transitions.
+func TestHealWakeDoesNotCollapseJumping(t *testing.T) {
+	type outcome struct {
+		energy    float64
+		now       sim.Time
+		recovered int
+	}
+	run := func(lockstep bool) (outcome, int) {
+		nodes := make([]*fleet.Node, 4)
+		for i := range nodes {
+			plat := hmp.Default()
+			sn := sim.NewNode(i, string(rune('a'+i)), plat, sim.Config{Power: power.DefaultGroundTruth(plat)})
+			nodes[i] = &fleet.Node{Node: sn}
+		}
+		f, err := fleet.New(nodes...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.SetLockstep(lockstep)
+		host := &faultTestHost{testHost{t: t}}
+		s := fleet.NewScheduler(f, host, fleet.Config{
+			Fault: &fault.Config{HeartbeatTimeout: 100 * sim.Millisecond},
+		})
+		s.SetWakeVerify(true)
+		ctr := &barrierCounter{}
+		f.AddHook(ctr)
+
+		f.RunUntil(1 * sim.Second)
+		nodes[2].Fail() // silent: detector declares it down after the timeout
+		f.RunUntil(2 * sim.Second)
+		nodes[2].Heal() // alive while declared down: immediate wake, one-tick recovery
+		f.RunUntil(3 * sim.Second)
+		if err := s.WakeVerifyErr(); err != nil {
+			t.Fatal(err)
+		}
+		return outcome{f.EnergyJ(), f.Now(), s.Stats().Recovered}, ctr.ticks
+	}
+
+	ref, lockstepTicks := run(true)
+	got, eventTicks := run(false)
+	if got != ref {
+		t.Fatalf("event core diverged: %+v != %+v", got, ref)
+	}
+	// Lockstep pays one hook invocation per tick. The event core must stay
+	// within the barrier budget: the migrate cadence plus a handful of
+	// extra barriers for the crash deadline, the detection tick, and the
+	// heal — orders of magnitude below per-tick.
+	if eventTicks >= lockstepTicks/10 {
+		t.Fatalf("heal wake collapsed barrier jumping: %d event barriers vs %d lockstep ticks",
+			eventTicks, lockstepTicks)
 	}
 }

@@ -29,6 +29,26 @@
 // fleet back to per-tick lockstep, which is always correct. SetLockstep
 // forces the reference path outright.
 //
+// # Wake index
+//
+// Barrier cost is proportional to activity, not fleet size. The scheduler
+// derives its NextWake from an incremental wake index instead of scanning
+// every node: detector deadlines enter a min-ordered index when a machine
+// crashes (sim.Machine failure listeners notify the scheduler at the
+// transition) and leave it on detection or heal, declared-down nodes sit in
+// a short list consulted for pending heals, and the migrate/checkpoint
+// cadences are scalars — so a barrier on a thousand-node fleet costs
+// O(active), where active counts crashed-undetected and down nodes, not
+// O(nodes). The historical full-scan NextWake survives as the bit-exactness
+// reference (Scheduler.SetWakeScan), and Scheduler.SetWakeVerify runs both
+// per barrier and records the first divergence — the equivalence suite
+// replays generated fault scenarios with it on. Node advancement between
+// barriers reuses a persistent worker pool (no per-barrier goroutine spawn)
+// fed by a chunked atomic counter, and machines route their inert jumps
+// through per-worker sim.JumpCaches, so a barrier over a mostly-idle fleet
+// replays the energy accumulation of each distinct machine state once
+// instead of once per node.
+//
 // # Determinism
 //
 // Everything is deterministic: nodes step in index order within one shared
@@ -46,7 +66,9 @@ package fleet
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/hmp"
 	"repro/internal/mphars"
@@ -195,8 +217,26 @@ type Fleet struct {
 	tick  sim.Time
 	hooks []Hook
 
+	// sleepers caches the Sleeper assertion per hook (nil = the hook does
+	// not implement it and forces lockstep), so the barrier loop does not
+	// re-assert every hook every iteration.
+	sleepers    []Sleeper
+	allSleepers bool
+
 	lockstep bool
 	workers  int
+
+	// shared memoizes the sharedTracer verdict; tracer-attach listeners on
+	// every node invalidate it (sharedValid=false), so the per-barrier check
+	// is one bool read instead of an O(nodes) walk.
+	shared      bool
+	sharedValid bool
+
+	// jump is the inert-stretch replay memo for sequential and interleaved
+	// advancement; pool workers carry their own.
+	jump *sim.JumpCache
+
+	pool *advancePool
 }
 
 // New builds a fleet over the given nodes. All nodes must share one tick
@@ -221,7 +261,12 @@ func New(nodes ...*Node) (*Fleet, error) {
 				n.Name, n.Now(), nodes[0].Name, now)
 		}
 	}
-	return &Fleet{nodes: nodes, tick: tick}, nil
+	f := &Fleet{nodes: nodes, tick: tick, allSleepers: true}
+	invalidate := func() { f.sharedValid = false }
+	for _, n := range nodes {
+		n.Machine.OnTracerChange(invalidate)
+	}
+	return f, nil
 }
 
 // Nodes returns the fleet's nodes in index order.
@@ -238,7 +283,14 @@ func (f *Fleet) TickLen() sim.Time { return f.tick }
 
 // AddHook registers a fleet-wide per-tick hook. Hooks run in registration
 // order after all nodes have stepped.
-func (f *Fleet) AddHook(h Hook) { f.hooks = append(f.hooks, h) }
+func (f *Fleet) AddHook(h Hook) {
+	f.hooks = append(f.hooks, h)
+	s, ok := h.(Sleeper)
+	f.sleepers = append(f.sleepers, s)
+	if !ok {
+		f.allSleepers = false
+	}
+}
 
 // SetLockstep forces the reference per-tick advancement strategy: RunUntil
 // degenerates to Step in a loop. The result is always bit-for-bit what the
@@ -246,12 +298,13 @@ func (f *Fleet) AddHook(h Hook) { f.hooks = append(f.hooks, h) }
 // the equivalence suite that proves exactly that.
 func (f *Fleet) SetLockstep(on bool) { f.lockstep = on }
 
-// SetWorkers shards node advancement between hook barriers across w
-// goroutines (strided by node index). Nodes evolve independently between
-// barriers, so any width — including 1, the default — produces identical
-// results; the merge back to fleet order is by node index. Ignored while a
-// tracer is shared between nodes (byte order across nodes must then follow
-// the global tick order) and in lockstep mode.
+// SetWorkers shards node advancement between hook barriers across a
+// persistent pool of w goroutines fed through a chunked work cursor. Nodes
+// evolve independently between barriers, so any width — including 1, the
+// default — produces identical results; the merge back to fleet order is
+// by node index. Ignored while a tracer is shared between nodes (byte
+// order across nodes must then follow the global tick order) and in
+// lockstep mode.
 func (f *Fleet) SetWorkers(w int) { f.workers = w }
 
 // Step advances every node by one tick (index order), then runs the hooks.
@@ -271,17 +324,12 @@ func (f *Fleet) Step() {
 // a non-Sleeper hook (or one due now) falls back to one lockstep Step.
 func (f *Fleet) RunUntil(t sim.Time) {
 	for f.Now() < t {
-		if f.lockstep {
+		if f.lockstep || !f.allSleepers {
 			f.Step()
 			continue
 		}
 		now, barrier, wakeNow := f.Now(), t, false
-		for _, h := range f.hooks {
-			s, ok := h.(Sleeper)
-			if !ok {
-				wakeNow = true
-				break
-			}
+		for _, s := range f.sleepers {
 			w := s.NextWake(f)
 			if w <= now {
 				wakeNow = true
@@ -304,10 +352,10 @@ func (f *Fleet) RunUntil(t sim.Time) {
 
 // advanceTo brings every node to the barrier. Nodes are independent between
 // hook barriers, so each machine can run ahead on its own (jumping its
-// inert stretches), sequentially or sharded across workers — except when a
-// tracer is shared between nodes: trace bytes must then interleave in
-// global tick order, so the fleet steps (and collectively fast-forwards)
-// all nodes together.
+// inert stretches), sequentially or sharded across the persistent worker
+// pool — except when a tracer is shared between nodes: trace bytes must
+// then interleave in global tick order, so the fleet steps (and
+// collectively fast-forwards) all nodes together.
 func (f *Fleet) advanceTo(to sim.Time) {
 	if f.sharedTracer() {
 		f.advanceInterleaved(to)
@@ -318,29 +366,101 @@ func (f *Fleet) advanceTo(to sim.Time) {
 		w = len(f.nodes)
 	}
 	if w <= 1 {
+		if f.jump == nil {
+			f.jump = sim.NewJumpCache()
+		}
 		for _, n := range f.nodes {
-			n.RunUntil(to)
+			n.RunUntilCached(to, f.jump)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	for g := 0; g < w; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for i := g; i < len(f.nodes); i += w {
-				f.nodes[i].RunUntil(to)
-			}
-		}(g)
+	if f.pool == nil || f.pool.width != w {
+		if f.pool != nil {
+			f.pool.stop()
+		}
+		f.pool = newAdvancePool(f.nodes, w)
+		// The workers reference only the pool, never the Fleet, so an
+		// abandoned fleet stays collectable; its finalizer releases them.
+		runtime.SetFinalizer(f, func(f *Fleet) { f.pool.stop() })
 	}
-	wg.Wait()
+	f.pool.advance(to)
 }
+
+// advancePool is the fleet's persistent node-advancement crew: width
+// long-lived goroutines fed per barrier through a chunked atomic cursor
+// (dynamic feeding — a worker stuck on the one busy node does not strand
+// the idle tail behind a static stride) instead of spawning goroutines
+// every barrier. Nodes mutate only themselves and the cursor hand-off
+// happens-before each chunk, so any width and any chunk interleaving
+// produce identical machines; each worker keeps a private sim.JumpCache,
+// which affects wall-clock only.
+type advancePool struct {
+	width int
+	chunk int
+	nodes []*Node
+	next  atomic.Int64
+	wg    sync.WaitGroup
+	work  chan sim.Time
+}
+
+func newAdvancePool(nodes []*Node, width int) *advancePool {
+	p := &advancePool{width: width, nodes: nodes, work: make(chan sim.Time)}
+	// ~4 chunks per worker: coarse enough that the cursor is not contended,
+	// fine enough that one busy node cannot serialize a whole stride.
+	p.chunk = len(nodes) / (width * 4)
+	if p.chunk < 1 {
+		p.chunk = 1
+	}
+	for g := 0; g < width; g++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *advancePool) worker() {
+	jc := sim.NewJumpCache()
+	for to := range p.work {
+		for {
+			lo := int(p.next.Add(int64(p.chunk))) - p.chunk
+			if lo >= len(p.nodes) {
+				break
+			}
+			hi := lo + p.chunk
+			if hi > len(p.nodes) {
+				hi = len(p.nodes)
+			}
+			for _, n := range p.nodes[lo:hi] {
+				n.RunUntilCached(to, jc)
+			}
+		}
+		p.wg.Done()
+	}
+}
+
+// advance brings every node to the barrier using the pool and returns when
+// all have arrived. Allocation-free: the barrier hand-off is one channel
+// send per worker.
+func (p *advancePool) advance(to sim.Time) {
+	p.next.Store(0)
+	p.wg.Add(p.width)
+	for g := 0; g < p.width; g++ {
+		p.work <- to
+	}
+	p.wg.Wait()
+}
+
+// stop releases the pool's goroutines. Idempotence is not needed: the fleet
+// replaces the pool pointer whenever it stops one.
+func (p *advancePool) stop() { close(p.work) }
 
 // advanceInterleaved advances all nodes to the barrier in global tick
 // order: one tick each in index order, with a collective jump whenever
 // every node is provably inert (the jump preserves byte order because an
 // inert machine emits nothing).
 func (f *Fleet) advanceInterleaved(to sim.Time) {
+	if f.jump == nil {
+		f.jump = sim.NewJumpCache()
+	}
 	for f.Now() < to {
 		min := to
 		for _, n := range f.nodes {
@@ -350,7 +470,7 @@ func (f *Fleet) advanceInterleaved(to sim.Time) {
 		}
 		if min > f.Now() {
 			for _, n := range f.nodes {
-				n.FastForward(min)
+				n.FastForwardCached(min, f.jump)
 			}
 			continue
 		}
@@ -361,8 +481,18 @@ func (f *Fleet) advanceInterleaved(to sim.Time) {
 }
 
 // sharedTracer reports whether any sim.Tracer is attached to two or more
-// nodes.
+// nodes. The verdict is memoized — every node's machine invalidates it
+// through its tracer-attach listener — so the per-barrier cost is one bool
+// read, not an O(nodes) walk.
 func (f *Fleet) sharedTracer() bool {
+	if !f.sharedValid {
+		f.shared = f.computeSharedTracer()
+		f.sharedValid = true
+	}
+	return f.shared
+}
+
+func (f *Fleet) computeSharedTracer() bool {
 	var seen *sim.Tracer
 	for _, n := range f.nodes {
 		tr := n.Tracer()
@@ -419,6 +549,9 @@ func (f *Fleet) Overhead() sim.Time {
 func (f *Fleet) HPS() float64 {
 	var sum float64
 	for _, n := range f.nodes {
+		if n.NumProcs() == 0 {
+			continue // never hosted anything: nothing to sum
+		}
 		for _, p := range n.Procs() {
 			if p.Exited() {
 				continue

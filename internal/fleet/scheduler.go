@@ -259,6 +259,15 @@ type Scheduler struct {
 	recovered     int
 	transferFails int
 
+	// Wake-index state: idx is the incremental NextWake source (nil when
+	// Config.Fault is nil — without a detector there is nothing per-node
+	// to index), wakeScan selects the full-scan reference instead, and
+	// wakeVerify runs both and records the first divergence in wakeErr.
+	idx        *wakeIndex
+	wakeScan   bool
+	wakeVerify bool
+	wakeErr    error
+
 	// rollup is the always-on decision-observability aggregate; its
 	// Decisions counter doubles as the next decision ID, assigned whether
 	// or not an Observer records the streams.
@@ -280,6 +289,11 @@ func NewScheduler(f *Fleet, host Host, cfg Config) *Scheduler {
 		s.detector = fault.NewDetector(len(f.Nodes()), fc.HeartbeatTimeout, f.Now())
 		s.backoff = fault.NewBackoff(*fc)
 		s.nextCkpt = f.Now() + fc.CheckpointEvery
+		s.idx = newWakeIndex(len(f.Nodes()))
+		for i, n := range f.Nodes() {
+			i := i
+			n.Machine.OnFailureChange(func(bool) { s.idx.noteDirty(i) })
+		}
 	}
 	f.AddHook(s)
 	return s
@@ -378,6 +392,26 @@ func (s *Scheduler) Depart(app *App) {
 // scheduler immediately so the recovery transition lands on the next tick,
 // as it would in lockstep.
 func (s *Scheduler) NextWake(f *Fleet) sim.Time {
+	if s.wakeVerify {
+		scan, indexed := s.nextWakeScan(f), s.nextWakeIndexed(f)
+		if scan != indexed && s.wakeErr == nil {
+			s.wakeErr = fmt.Errorf("fleet: wake index diverged at t=%d: scan=%d indexed=%d", f.Now(), scan, indexed)
+		}
+		if s.wakeScan {
+			return scan
+		}
+		return indexed
+	}
+	if s.wakeScan || s.idx == nil {
+		return s.nextWakeScan(f)
+	}
+	return s.nextWakeIndexed(f)
+}
+
+// nextWakeScan is the O(nodes) full-scan reference implementation of
+// NextWake, kept verbatim as the bit-exactness oracle for the wake index
+// (SetWakeScan selects it, SetWakeVerify checks the index against it).
+func (s *Scheduler) nextWakeScan(f *Fleet) sim.Time {
 	now := f.Now()
 	if len(s.queue) > 0 {
 		return now
@@ -407,6 +441,53 @@ func (s *Scheduler) NextWake(f *Fleet) sim.Time {
 	}
 	return wake
 }
+
+// nextWakeIndexed computes the same wake time from the incremental index:
+// the silent heap replaces the per-node deadline scan, and the pending-heal
+// probe touches only declared-down nodes. O(dirty + down + 1) per call.
+func (s *Scheduler) nextWakeIndexed(f *Fleet) sim.Time {
+	now := f.Now()
+	if len(s.queue) > 0 {
+		return now
+	}
+	wake := sim.Time(math.MaxInt64)
+	if s.cfg.MigrateEvery > 0 && len(f.Nodes()) > 1 {
+		wake = s.nextMigrate
+	}
+	if s.detector != nil {
+		if s.cfg.Fault.CheckpointEvery > 0 && s.nextCkpt < wake {
+			wake = s.nextCkpt
+		}
+		s.idx.sync(s)
+		for _, i := range s.idx.down {
+			if !f.Node(i).Failed() {
+				return now
+			}
+		}
+		if d, ok := s.idx.minSilent(); ok && d < wake {
+			wake = d
+		}
+	}
+	if wake < now {
+		return now
+	}
+	return wake
+}
+
+// SetWakeScan switches NextWake to the full-scan reference implementation
+// instead of the incremental wake index. Both produce identical wake times
+// (the equivalence suite proves it); the switch exists for benchmarking
+// and verification.
+func (s *Scheduler) SetWakeScan(on bool) { s.wakeScan = on }
+
+// SetWakeVerify makes every NextWake compute both the scan and the index
+// answer and record the first divergence, retrievable via WakeVerifyErr.
+// For tests; doubles the wake cost.
+func (s *Scheduler) SetWakeVerify(on bool) { s.wakeVerify = on }
+
+// WakeVerifyErr returns the first scan/index divergence observed under
+// SetWakeVerify, or nil.
+func (s *Scheduler) WakeVerifyErr() error { return s.wakeErr }
 
 func (s *Scheduler) Tick(f *Fleet) {
 	if s.detector != nil {
@@ -454,10 +535,12 @@ func (s *Scheduler) detectPass(now sim.Time) {
 		failed, recovered := s.detector.Observe(i, !n.Failed(), now)
 		if failed {
 			n.SetDown(true)
+			s.idx.setDown(i, true)
 			s.recoverNode(n)
 		}
 		if recovered {
 			n.SetDown(false)
+			s.idx.setDown(i, false)
 		}
 	}
 }

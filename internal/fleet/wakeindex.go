@@ -1,0 +1,166 @@
+package fleet
+
+import "repro/internal/sim"
+
+// wakeIndex is the scheduler's incremental view of its per-node wake
+// sources, replacing the O(nodes) scan in NextWake with O(active) work:
+//
+//   - Silent nodes — crashed but not yet declared down by the failure
+//     detector — sit in a min-heap keyed by the tick the detector will
+//     declare them (fault.Detector.Deadline + 1). The deadline is frozen
+//     while a node is silent (alive observations are last-write-wins, and
+//     a silent node produces none), so the value indexed when the crash
+//     was noticed stays exactly the value the full scan would recompute.
+//   - Declared-down nodes sit in a short membership list, scanned each
+//     barrier for a pending heal (a node stepping again while still
+//     declared down must wake the scheduler immediately so the recovery
+//     transition lands on the next tick, as it would in lockstep).
+//
+// Machines notify the index through sim.Machine failure listeners, which
+// fire only on real Fail/Heal transitions — always at engine action
+// boundaries, never inside RunUntil — so the dirty list is consumed
+// single-threaded before the next barrier computation. Heap removal is
+// lazy: an entry is live only while it matches the node's current
+// silentAt, so reclassification never searches the heap.
+type wakeIndex struct {
+	silentAt []sim.Time    // per node: indexed deadline while silent, 0 = not silent
+	heap     []silentEntry // min-heap on at; stale entries dropped on peek
+	down     []int         // nodes the detector currently declares down
+	downPos  []int         // per node: position in down, -1 when absent
+	dirty    []int         // nodes whose classification may have changed
+	inDirty  []bool
+}
+
+type silentEntry struct {
+	at   sim.Time
+	node int
+}
+
+// newWakeIndex returns an index over n nodes with every node marked dirty,
+// so the first sync classifies pre-existing failures.
+func newWakeIndex(n int) *wakeIndex {
+	x := &wakeIndex{
+		silentAt: make([]sim.Time, n),
+		downPos:  make([]int, n),
+		dirty:    make([]int, 0, n),
+		inDirty:  make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		x.downPos[i] = -1
+		x.noteDirty(i)
+	}
+	return x
+}
+
+// noteDirty queues node i for reclassification at the next sync.
+func (x *wakeIndex) noteDirty(i int) {
+	if x.inDirty[i] {
+		return
+	}
+	x.inDirty[i] = true
+	x.dirty = append(x.dirty, i)
+}
+
+// sync reclassifies every dirty node: crashed-but-undetected nodes enter
+// the silent heap at the tick the detector will declare them; everything
+// else leaves it. O(dirty) — zero in the steady state.
+func (x *wakeIndex) sync(s *Scheduler) {
+	if len(x.dirty) == 0 {
+		return
+	}
+	for _, i := range x.dirty {
+		x.inDirty[i] = false
+		if s.f.Node(i).Failed() && x.downPos[i] < 0 {
+			x.setSilent(i, s.detector.Deadline(i)+1)
+		} else {
+			x.clearSilent(i)
+		}
+	}
+	x.dirty = x.dirty[:0]
+}
+
+// setDown records a detector verdict transition for node i, mirroring
+// fault.Detector.Down membership. A freshly declared-down node leaves the
+// silent heap; a recovered node is reclassified on the next sync.
+func (x *wakeIndex) setDown(i int, down bool) {
+	if down {
+		if x.downPos[i] < 0 {
+			x.downPos[i] = len(x.down)
+			x.down = append(x.down, i)
+		}
+		x.clearSilent(i)
+		return
+	}
+	if p := x.downPos[i]; p >= 0 {
+		last := len(x.down) - 1
+		x.down[p] = x.down[last]
+		x.downPos[x.down[p]] = p
+		x.down = x.down[:last]
+		x.downPos[i] = -1
+		x.noteDirty(i)
+	}
+}
+
+// setSilent indexes node i's detection deadline. Deadlines are strictly
+// positive (lastBeat + timeout + 1 on a non-negative clock), so 0 in
+// silentAt unambiguously means "not silent".
+func (x *wakeIndex) setSilent(i int, at sim.Time) {
+	if x.silentAt[i] == at {
+		return
+	}
+	x.silentAt[i] = at
+	x.push(silentEntry{at: at, node: i})
+}
+
+func (x *wakeIndex) clearSilent(i int) { x.silentAt[i] = 0 }
+
+// minSilent returns the earliest live silent deadline, discarding stale
+// heap entries (whose node was since detected, healed, or re-indexed).
+func (x *wakeIndex) minSilent() (sim.Time, bool) {
+	for len(x.heap) > 0 {
+		e := x.heap[0]
+		if x.silentAt[e.node] == e.at {
+			return e.at, true
+		}
+		x.pop()
+	}
+	return 0, false
+}
+
+// push and pop are a hand-rolled binary min-heap on at: container/heap
+// would box every entry through its interface, and the wake path must not
+// allocate in the steady state.
+func (x *wakeIndex) push(e silentEntry) {
+	x.heap = append(x.heap, e)
+	i := len(x.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if x.heap[p].at <= x.heap[i].at {
+			break
+		}
+		x.heap[p], x.heap[i] = x.heap[i], x.heap[p]
+		i = p
+	}
+}
+
+func (x *wakeIndex) pop() {
+	last := len(x.heap) - 1
+	x.heap[0] = x.heap[last]
+	x.heap = x.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= len(x.heap) {
+			return
+		}
+		c := l
+		if r < len(x.heap) && x.heap[r].at < x.heap[l].at {
+			c = r
+		}
+		if x.heap[i].at <= x.heap[c].at {
+			return
+		}
+		x.heap[i], x.heap[c] = x.heap[c], x.heap[i]
+		i = c
+	}
+}

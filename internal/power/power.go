@@ -76,15 +76,20 @@ func (g *GroundTruth) buildTables() {
 
 // DefaultGroundTruth returns Exynos-5422-flavoured parameters: a big cluster
 // drawing ≈6–7 W fully loaded at 1.6 GHz and a little cluster drawing
-// ≈1.5 W at 1.3 GHz.
+// ≈1.5 W at 1.3 GHz. The per-level tables are built eagerly (the parameters
+// are fixed here, so the "no mutation after first use" rule is trivially
+// met): construction pays the allocations, and the first tick of a run —
+// possibly deep inside a fleet's timed hot loop, once per node — does not.
 func DefaultGroundTruth(p *hmp.Platform) *GroundTruth {
-	return &GroundTruth{
+	g := &GroundTruth{
 		Plat: p,
 		Params: [hmp.NumClusters]ClusterParams{
 			hmp.Little: {DynCoeff: 0.20, LeakPerVolt: 0.030, Uncore: 0.10, UncoreIdleFrac: 0.25},
 			hmp.Big:    {DynCoeff: 0.85, LeakPerVolt: 0.180, Uncore: 0.35, UncoreIdleFrac: 0.25},
 		},
 	}
+	g.tablesOnce.Do(g.buildTables)
+	return g
 }
 
 // effUtil is the mild non-linearity of dynamic power in utilization

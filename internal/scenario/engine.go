@@ -77,6 +77,16 @@ type Options struct {
 	// benchmarking and for that proof.
 	Lockstep bool
 
+	// WakeScan switches the fleet scheduler's NextWake to the full-scan
+	// reference implementation instead of the incremental wake index.
+	// Identical wake times either way (the equivalence suite proves it);
+	// the switch exists for benchmarking and for that proof.
+	WakeScan bool
+
+	// VerifyWake makes every NextWake compute both the scan and the index
+	// answer; the run fails with the first divergence. For tests.
+	VerifyWake bool
+
 	// Workers shards node advancement between fleet decision points across
 	// this many goroutines (fleet.SetWorkers). Any width produces
 	// byte-identical results; values above 1 are ignored when PerTick is
@@ -505,6 +515,8 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 		Observer:     obs,
 		Force:        force,
 	})
+	e.sched.SetWakeScan(opts.WakeScan)
+	e.sched.SetWakeVerify(opts.VerifyWake)
 	if opts.CheckEveryTick {
 		// Registered after the scheduler's hook, so each tick is checked in
 		// its settled post-scheduling state.
@@ -575,6 +587,11 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 	if e.trace != nil {
 		if err := e.trace.Flush(); err != nil {
 			return nil, fmt.Errorf("scenario: trace: %w", err)
+		}
+	}
+	if e.opts.VerifyWake {
+		if err := e.sched.WakeVerifyErr(); err != nil {
+			return nil, err
 		}
 	}
 	return e.result(), nil

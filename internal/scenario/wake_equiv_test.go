@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWakeIndexMatchesScan is the property suite for the scheduler's
+// incremental wake index: generated multi-node scenarios with thermal
+// loops, SLO'd apps, and seeded fault injection replay through the
+// full-scan NextWake reference and the wake index — across the lockstep,
+// event-driven, and worker-sharded cores — and every variant must produce
+// byte-identical traces and digests. VerifyWake additionally checks the
+// two NextWake implementations against each other at every single wake
+// computation, so a divergence fails the run even when it would not have
+// moved a barrier. The suite runs under -race in CI.
+func TestWakeIndexMatchesScan(t *testing.T) {
+	policies := []string{"least-loaded", "big-first", "coolest", "slo-aware"}
+	maxRate := func(string, int) float64 { return 50 }
+
+	for seed := int64(1); seed <= 4; seed++ {
+		placement := policies[(seed-1)%int64(len(policies))]
+		sc := Generate(seed+100, GenConfig{
+			Nodes:      3,
+			MaxApps:    3,
+			Events:     5,
+			DurationMS: 6000,
+			Placement:  placement,
+			Thermal:    seed%2 == 0,
+			Periodic:   true,
+			Faults:     true,
+		})
+		sc.Checkpoint = &CheckpointSpec{FreezeUS: 30_000, PerMBUS: 1_000, SizeMB: 8}
+		for i := range sc.Apps {
+			sc.Apps[i].SLO = &SLOSpec{TargetHPS: 20, SlackMS: 150}
+		}
+
+		run := func(label string, opts Options) (string, uint64) {
+			var buf bytes.Buffer
+			opts.Trace = &buf
+			opts.MaxRate = maxRate
+			opts.Strict = true
+			res, err := Run(sc, opts)
+			if err != nil {
+				t.Fatalf("seed %d (%s, %s): %v", seed, placement, label, err)
+			}
+			return buf.String(), res.TraceDigest
+		}
+
+		refTrace, refDigest := run("lockstep+scan", Options{Lockstep: true, WakeScan: true})
+		for _, v := range []struct {
+			name string
+			opts Options
+		}{
+			{"lockstep+index", Options{Lockstep: true, VerifyWake: true}},
+			{"event+index", Options{VerifyWake: true}},
+			{"event+scan", Options{WakeScan: true}},
+			{"event-sharded+index", Options{Workers: 4, VerifyWake: true}},
+		} {
+			trace, digest := run(v.name, v.opts)
+			if digest != refDigest {
+				t.Errorf("seed %d (%s): %s digest %016x != reference %016x",
+					seed, placement, v.name, digest, refDigest)
+			}
+			if trace != refTrace {
+				t.Errorf("seed %d (%s): %s trace diverged (%s)",
+					seed, placement, v.name, firstDiff(trace, refTrace))
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package sim_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hmp"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// TestJumpCacheBitExact is the memoization-correctness property: a machine
+// advanced through RunUntilCached — where a cache hit copies another
+// bit-identical machine's replayed energy instead of re-running the per-tick
+// additions — must land bit-for-bit where the uncached walk lands, with the
+// cache shared across many machines and across repeated jumps of different
+// lengths. The cache key is the exact bit pattern of the energy registers
+// plus the step count, so a hit can only ever substitute a computation for
+// itself.
+func TestJumpCacheBitExact(t *testing.T) {
+	build := func() *sim.Machine {
+		plat := hmp.Default()
+		m := sim.New(plat, sim.Config{Power: power.DefaultGroundTruth(plat)})
+		return m
+	}
+
+	// A fleet-shaped population: many idle machines sharing one cache, one
+	// desynchronized by a different warm-up so its registers differ.
+	const n = 8
+	jc := sim.NewJumpCache()
+	cached := make([]*sim.Machine, n)
+	plain := make([]*sim.Machine, n)
+	for i := range cached {
+		cached[i], plain[i] = build(), build()
+	}
+	// Desynchronize the last pair: extra stepped ticks shift its energy
+	// registers, so cache entries from the idle majority must not apply.
+	for i := 0; i < 7; i++ {
+		cached[n-1].Step()
+		plain[n-1].Step()
+	}
+
+	// Jump in irregular segments so the cache sees repeated hits, varying
+	// step counts, and interleaved machines.
+	segments := []sim.Time{
+		137 * sim.Millisecond,
+		400 * sim.Millisecond,
+		1 * sim.Second,
+		2500 * sim.Millisecond,
+	}
+	for _, end := range segments {
+		for i := range cached {
+			cached[i].RunUntilCached(end, jc)
+			plain[i].RunUntil(end)
+		}
+	}
+
+	for i := range cached {
+		if cached[i].Now() != plain[i].Now() {
+			t.Fatalf("machine %d: clocks diverged: %d != %d", i, cached[i].Now(), plain[i].Now())
+		}
+		cb, pb := math.Float64bits(cached[i].EnergyJ()), math.Float64bits(plain[i].EnergyJ())
+		if cb != pb {
+			t.Fatalf("machine %d: energy diverged: %x != %x (%v vs %v)",
+				i, cb, pb, cached[i].EnergyJ(), plain[i].EnergyJ())
+		}
+		for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+			if cached[i].ClusterEnergyJ(k) != plain[i].ClusterEnergyJ(k) {
+				t.Fatalf("machine %d cluster %v: energy diverged: %v != %v",
+					i, k, cached[i].ClusterEnergyJ(k), plain[i].ClusterEnergyJ(k))
+			}
+		}
+	}
+}

@@ -20,6 +20,17 @@ type MaskBalancer struct {
 // NewMaskBalancer returns a MaskBalancer.
 func NewMaskBalancer() *MaskBalancer { return &MaskBalancer{} }
 
+// Prime pre-sizes the balancer's per-core scratch for a machine with nc
+// cores, so the first Place call of a run does not allocate — on a
+// thousand-node fleet those first-tick growths are the difference between an
+// alloc-free steady state and one allocation per node inside the hot loop.
+// Optional: Place grows the scratch on demand either way.
+func (b *MaskBalancer) Prime(nc int) {
+	if cap(b.counts) < nc {
+		b.counts = make([]int, nc)
+	}
+}
+
 // Quiescent implements QuiescentPlacer: with no runnable threads every
 // per-core count is zero, so both the repair pass and the balancing sweep
 // are vacuous and Place is a pure no-op. The balancer keeps no per-call

@@ -180,6 +180,14 @@ type Machine struct {
 	daemons []Daemon
 	timers  timerHeap
 
+	// failListeners fire on every Fail/Heal transition; event-driven
+	// schedulers keep their wake indexes current through them instead of
+	// rescanning every machine's failed state each barrier. tracerListeners
+	// fire on SetTracer; the fleet invalidates its shared-tracer memo
+	// through them.
+	failListeners   []func(failed bool)
+	tracerListeners []func()
+
 	energyJ        float64
 	clusterEnergyJ [hmp.NumClusters]float64
 	overhead       Time
@@ -211,7 +219,9 @@ func New(plat *hmp.Platform, cfg Config) *Machine {
 	if cfg.MaxUnitsPerTick <= 0 {
 		cfg.MaxUnitsPerTick = 10000
 	}
-	m := &Machine{plat: plat, cfg: cfg, placer: NewMaskBalancer()}
+	balancer := NewMaskBalancer()
+	balancer.Prime(plat.TotalCores())
+	m := &Machine{plat: plat, cfg: cfg, placer: balancer}
 	if o, ok := cfg.Power.(OnlinePowerModel); ok {
 		m.opm = o
 	}
@@ -401,6 +411,9 @@ func (m *Machine) Fail() {
 		m.lastPW[k] = 0
 		m.powerValid[k] = false
 	}
+	for _, fn := range m.failListeners {
+		fn(true)
+	}
 }
 
 // Heal brings a crashed machine back: the pre-crash hotplug state (adjusted
@@ -421,10 +434,21 @@ func (m *Machine) Heal() {
 	if m.tracer != nil {
 		m.emit(Event{T: m.now, Kind: EvNodeUp})
 	}
+	for _, fn := range m.failListeners {
+		fn(false)
+	}
 }
 
 // Failed reports whether the machine is crashed (Fail without Heal).
 func (m *Machine) Failed() bool { return m.failed }
+
+// OnFailureChange registers fn to run at the end of every Fail and Heal
+// transition (idempotent repeats do not fire). Event-driven fleet
+// schedulers subscribe so their wake indexes learn about crashes and heals
+// the moment they happen, instead of rescanning every machine per barrier.
+func (m *Machine) OnFailureChange(fn func(failed bool)) {
+	m.failListeners = append(m.failListeners, fn)
+}
 
 // evict removes a thread from its current core (which must be valid),
 // leaving it unplaced; the mask balancer's repair pass re-places runnable
@@ -459,6 +483,12 @@ func (m *Machine) Kill(p *Process) {
 
 // Procs returns the processes spawned on the machine.
 func (m *Machine) Procs() []*Process { return m.procs }
+
+// NumProcs returns how many processes have ever been spawned or restored on
+// the machine (exited ones included), in O(1). Fleet-wide rollups use it to
+// skip the per-process walk on the many nodes of a large fleet that have
+// never hosted anything.
+func (m *Machine) NumProcs() int { return len(m.procs) }
 
 // Threads returns every thread on the machine in spawn order.
 func (m *Machine) Threads() []*Thread { return m.threads }
@@ -636,10 +666,16 @@ func (m *Machine) Run(d Time) { m.RunUntil(m.now + d) }
 // during which the machine is provably inert (see InertUntil) are jumped in
 // one FastForward instead of stepped tick by tick; the resulting state is
 // bit-for-bit identical either way.
-func (m *Machine) RunUntil(t Time) {
+func (m *Machine) RunUntil(t Time) { m.runUntil(t, nil) }
+
+// RunUntilCached is RunUntil with inert jumps routed through a JumpCache
+// (see FastForwardCached): identical resulting state, shared replay work.
+func (m *Machine) RunUntilCached(t Time, jc *JumpCache) { m.runUntil(t, jc) }
+
+func (m *Machine) runUntil(t Time, jc *JumpCache) {
 	for m.now < t {
 		if until := m.InertUntil(t); until > m.now {
-			m.FastForward(until)
+			m.fastForward(until, jc)
 			continue
 		}
 		m.Step()
