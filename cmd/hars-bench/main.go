@@ -6,18 +6,25 @@
 // Usage:
 //
 //	hars-bench [-out BENCH_1.json] [-filter regexp] [-prev BENCH_8.json]
-//	           [-quiescent-ratio-floor 10] [-scale-ratio-floor 30]
-//	           [-alloc-ceiling FleetQuiescent=64] ...
+//	           [-count 5] [-quiescent-ratio-floor 10] [-scale-ratio-floor 30]
+//	           [-steady-ratio-floor 2] [-alloc-ceiling FleetQuiescent=64]
+//	           [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz] ...
 //
 // -prev prints per-benchmark deltas (ns/op and allocs/op) against a previous
 // trajectory file, so a PR's before/after story is one flag away.
+//
+// -count N runs every benchmark N times and records the median run (by
+// ns/op) in the trajectory file, printing the min/max spread alongside —
+// the defense against declaring a regression (or a win) off one noisy run.
 //
 // -quiescent-ratio-floor and -scale-ratio-floor guard the event-driven
 // core's reason to exist: after the run they compute the lockstep/event
 // speedup (FleetQuiescentLockstep / FleetQuiescent and FleetScale1kLockstep
 // / FleetScale1k respectively) and exit non-zero when it falls below the
-// floor. CI runs both, so a regression that quietly drags the event core
-// back toward lockstep cost fails the build.
+// floor. -steady-ratio-floor guards the steady-phase turbo path the same
+// way (FleetScale1kSteadyOff / FleetScale1kSteady). CI runs all three, so a
+// regression that quietly drags either fast path back toward reference cost
+// fails the build.
 //
 // -alloc-ceiling (repeatable, name=N) pins a benchmark's steady-state
 // allocation count: the run fails when the measured allocs/op exceed the
@@ -33,6 +40,8 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -92,10 +101,19 @@ func main() {
 		"fail unless FleetQuiescentLockstep/FleetQuiescent >= this speedup (0 = no check)")
 	scaleFloor := flag.Float64("scale-ratio-floor", 0,
 		"fail unless FleetScale1kLockstep/FleetScale1k >= this speedup (0 = no check)")
+	steadyFloor := flag.Float64("steady-ratio-floor", 0,
+		"fail unless FleetScale1kSteadyOff/FleetScale1kSteady >= this speedup (0 = no check)")
+	count := flag.Int("count", 1, "runs per benchmark; the median run (by ns/op) is reported and recorded, with the min/max spread printed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the runs")
 	allocCeilings := ceilings{}
 	flag.Var(allocCeilings, "alloc-ceiling",
 		"fail when a benchmark exceeds its allocs/op ceiling, as name=N (repeatable)")
 	flag.Parse()
+	if *count < 1 {
+		fmt.Fprintf(os.Stderr, "bad -count %d: want >= 1\n", *count)
+		os.Exit(2)
+	}
 
 	var re *regexp.Regexp
 	if *filter != "" {
@@ -119,6 +137,19 @@ func main() {
 		}
 	}
 
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	f := File{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -130,18 +161,33 @@ func main() {
 		if re != nil && !re.MatchString(c.Name) {
 			continue
 		}
-		r := testing.Benchmark(c.F)
-		res := Result{
-			Name:        c.Name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
+		// With -count > 1 the recorded measurement is a real run — the
+		// median by ns/op — not an average that no run actually produced;
+		// the min/max spread goes to the console so noisy environments are
+		// visible in the log, while the trajectory file stays one number
+		// per benchmark.
+		runs := make([]Result, *count)
+		for i := range runs {
+			r := testing.Benchmark(c.F)
+			runs[i] = Result{
+				Name:        c.Name,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			}
+		}
+		sort.Slice(runs, func(i, j int) bool { return runs[i].NsPerOp < runs[j].NsPerOp })
+		res := runs[(len(runs)-1)/2]
+		spread := ""
+		if *count > 1 {
+			spread = fmt.Sprintf("   [median of %d; min %.1f, max %.1f ns/op]",
+				*count, runs[0].NsPerOp, runs[len(runs)-1].NsPerOp)
 		}
 		f.Results = append(f.Results, res)
-		fmt.Printf("%-22s %12d iters %14.1f ns/op %8d B/op %6d allocs/op%s\n",
+		fmt.Printf("%-22s %12d iters %14.1f ns/op %8d B/op %6d allocs/op%s%s\n",
 			res.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp,
-			deltaSuffix(prevFile, res))
+			deltaSuffix(prevFile, res), spread)
 	}
 
 	data, err := json.MarshalIndent(f, "", "  ")
@@ -173,9 +219,28 @@ func main() {
 			failed = true
 		}
 	}
+	if *steadyFloor > 0 {
+		if err := checkRatio(f.Results, "FleetScale1kSteady", "FleetScale1kSteadyOff", "steady", *steadyFloor); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+		}
+	}
 	if err := checkAllocCeilings(f.Results, allocCeilings); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		failed = true
+	}
+	if *memprofile != "" {
+		pf, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(pf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+		}
+		pf.Close()
 	}
 	if failed {
 		os.Exit(1)
@@ -198,28 +263,29 @@ func deltaSuffix(prev *File, res Result) string {
 	return "   [vs prev: new]"
 }
 
-// checkRatio enforces a lockstep/event speedup floor over the measured
-// results. Both benchmarks must be present (narrow -filter expressions that
-// drop one are a configuration error, not a pass).
-func checkRatio(results []Result, eventName, lockstepName, label string, floor float64) error {
-	var event, lockstep float64
+// checkRatio enforces a reference/fast-path speedup floor over the measured
+// results (lockstep vs event core, general loop vs steady turbo). Both
+// benchmarks must be present (narrow -filter expressions that drop one are
+// a configuration error, not a pass).
+func checkRatio(results []Result, fastName, refName, label string, floor float64) error {
+	var fast, ref float64
 	for _, r := range results {
 		switch r.Name {
-		case eventName:
-			event = r.NsPerOp
-		case lockstepName:
-			lockstep = r.NsPerOp
+		case fastName:
+			fast = r.NsPerOp
+		case refName:
+			ref = r.NsPerOp
 		}
 	}
-	if event == 0 || lockstep == 0 {
-		return fmt.Errorf("%s-ratio check needs both %s and %s in the run (have event=%v lockstep=%v ns/op)",
-			label, eventName, lockstepName, event, lockstep)
+	if fast == 0 || ref == 0 {
+		return fmt.Errorf("%s-ratio check needs both %s and %s in the run (have %v and %v ns/op)",
+			label, fastName, refName, fast, ref)
 	}
-	ratio := lockstep / event
-	fmt.Printf("%s speedup: %.1fx (lockstep %.0f ns/op / event %.0f ns/op), floor %.1fx\n",
-		label, ratio, lockstep, event, floor)
+	ratio := ref / fast
+	fmt.Printf("%s speedup: %.1fx (%s %.0f ns/op / %s %.0f ns/op), floor %.1fx\n",
+		label, ratio, refName, ref, fastName, fast, floor)
 	if ratio < floor {
-		return fmt.Errorf("%s event-core speedup %.1fx below the %.1fx floor: the event-driven core regressed toward lockstep cost", label, ratio, floor)
+		return fmt.Errorf("%s speedup %.1fx below the %.1fx floor: %s regressed toward %s cost", label, ratio, floor, fastName, refName)
 	}
 	return nil
 }

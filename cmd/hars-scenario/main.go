@@ -8,7 +8,8 @@
 // Usage:
 //
 //	hars-scenario -in scenario.json [-trace out.csv] [-strict] [-check]
-//	              [-summary json] [-trace-decisions]
+//	              [-summary json] [-trace-decisions] [-lockstep]
+//	              [-steady=false] [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //	hars-scenario -in scenario.json -counterfactual <id> [-counterfactual-k 3]
 //	hars-scenario -gen -seed 7 [-manager mphars-i] [-apps 3] [-events 6]
 //	              [-duration 20000] [-nodes 3] [-placement coolest] [-faults]
@@ -38,6 +39,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/hmp"
 	"repro/internal/scenario"
@@ -60,6 +63,9 @@ func main() {
 	check := flag.Bool("check", false, "verify runtime invariants after every tick (debug; slower)")
 	summary := flag.String("summary", "text", `summary format: "text" (stderr) or "json" (stdout, byte-stable field order)`)
 	lockstep := flag.Bool("lockstep", false, "force the reference per-tick fleet advancement instead of the event-driven core (bit-identical; for benchmarking)")
+	steady := flag.Bool("steady", true, "steady-phase turbo path on busy machines; -steady=false forces the general per-tick loop (bit-identical; for benchmarking)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	workers := flag.Int("workers", 1, "shard node advancement between fleet decision points across N goroutines (any width is byte-identical)")
 	traceDecisions := flag.Bool("trace-decisions", false, "emit every scheduler decision as a d trace line with its scored candidate set")
 	counterfactual := flag.Int64("counterfactual", -1, "fork the run at this decision ID: force each top-k alternative and report per-alternative regret")
@@ -69,6 +75,33 @@ func main() {
 	if *summary != "text" && *summary != "json" {
 		fmt.Fprintf(os.Stderr, "unknown -summary format %q (want text or json)\n", *summary)
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Written on the way out of every non-error return path; fatal()
+		// exits without profiles, which is fine — those runs produced no
+		// result worth profiling.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 
 	var sc *scenario.Scenario
@@ -129,7 +162,7 @@ func main() {
 
 	opts := scenario.Options{
 		Trace: trace, Strict: *strict, CheckEveryTick: *check,
-		Lockstep: *lockstep, Workers: *workers,
+		Lockstep: *lockstep, NoSteady: !*steady, Workers: *workers,
 		TraceDecisions: *traceDecisions,
 	}
 

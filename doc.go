@@ -206,6 +206,25 @@
 //     (sim.JumpCache), collapsing the cost of N idle machines to ~1. The
 //     steady-state barrier loop performs no allocations, pinned by the
 //     hars-bench -alloc-ceiling guard in CI.
+//   - Busy machines get the same treatment as idle ones: when a machine's
+//     runnable set, placement, per-thread speeds, and platform state
+//     provably cannot change — threads mid-unit, managers in-band, the
+//     governor between actuations — sim.Machine.SteadyUntil certifies the
+//     window and RunSteady executes it as a tight loop, accruing per-tick
+//     progress and the memoized energy additions in registers with the
+//     same IEEE operations in the same order as the general path, skipping
+//     the runnable scan, placer dispatch, daemon walk, and trace checks.
+//     Daemons opt in via sim.SteadyDaemon (core.Manager, mphars.Manager,
+//     and thermal.Governor do; anything else bounds or vetoes the window),
+//     placers via sim.SteadyPlacer. Unit completions, heartbeats, timer
+//     wakeups, and governor actuations always run through the general
+//     per-tick loop, which survives as the bit-exactness reference
+//     (sim.Machine.SetSteady, scenario Options.NoSteady, hars-scenario
+//     -steady=false) pinned by the golden digests, the steady boundary
+//     tests, and the steady-vs-general property suite. The
+//     BenchmarkFleetScale1kSteady pair tracks the speedup over the general
+//     loop on a managed busy fleet, guarded by hars-bench
+//     -steady-ratio-floor in CI.
 //
 // The tracked hot-path benchmarks live in internal/bench and run two ways:
 //
@@ -215,8 +234,11 @@
 // cmd/hars-bench writes the measurements as BENCH_<n>.json at the
 // repository root (one file per PR, n = PR number) so the performance
 // trajectory is reviewable alongside the code: -prev prints per-benchmark
-// deltas against an earlier file, and CI enforces the
-// -quiescent-ratio-floor, -scale-ratio-floor, and -alloc-ceiling guards so
-// the event core's speedups and alloc-free steady state cannot silently
+// deltas against an earlier file, -count N records the median of N runs
+// with the min/max spread printed, -cpuprofile/-memprofile capture pprof
+// profiles of the run (hars-scenario takes the same two flags), and CI
+// enforces the -quiescent-ratio-floor, -scale-ratio-floor,
+// -steady-ratio-floor, and -alloc-ceiling guards so the event core's and
+// steady path's speedups and the alloc-free steady state cannot silently
 // regress. Treat a regression in SimSecond or SearchExhaustive as a bug.
 package repro

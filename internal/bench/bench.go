@@ -40,6 +40,8 @@ func Cases() []Case {
 		{"FleetScale1kActive", FleetScale1kActive},
 		{"FleetScale1kFaults", FleetScale1kFaults},
 		{"FleetScale1kLockstep", FleetScale1kLockstep},
+		{"FleetScale1kSteady", FleetScale1kSteady},
+		{"FleetScale1kSteadyOff", FleetScale1kSteadyOff},
 	}
 }
 
@@ -190,6 +192,52 @@ func fleetScale(b *testing.B, nodes, busy int, faults, lockstep bool) {
 	}
 }
 
+// fleetScaleSteady is the steady-phase shape: 1024 nodes, 51 of them busy,
+// each busy node running a managed 8-thread workload under a HARS-E manager
+// that adapts whenever the heartbeat rate leaves the band (a few times per
+// simulated second at this target). Between completions, heartbeats, and
+// adaptations every busy machine sits in a long certified steady phase —
+// runnable set, placement, levels, and per-thread speeds all frozen — which
+// is exactly what Machine.RunSteady turbo-executes. The steady=false twin
+// runs the identical fleet through the general per-tick loop; the ratio is
+// the tracked steady speedup (cmd/hars-bench -steady-ratio-floor guards it).
+func fleetScaleSteady(b *testing.B, steady bool) {
+	const nodes, busy = 1024, 51
+	bench, ok := workload.ByShort("SW")
+	if !ok {
+		b.Fatal("unknown benchmark SW")
+	}
+	tgt := heartbeat.Target{Min: 5.0, Avg: 6.0, Max: 7.0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fnodes := make([]*fleet.Node, nodes)
+		for id := 0; id < nodes; id++ {
+			plat := hmp.Default()
+			sn := sim.NewNode(id, "n", plat, sim.Config{Power: power.DefaultGroundTruth(plat)})
+			fnodes[id] = &fleet.Node{Node: sn}
+		}
+		f, err := fleet.New(fnodes...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fleet.NewScheduler(f, benchHost{}, fleet.Config{})
+		for j := 0; j < busy; j++ {
+			n := fnodes[j*nodes/busy]
+			p := n.Spawn(bench.Name, bench.New(8), 10)
+			lm := power.SyntheticLinearModel(n.Machine.Platform())
+			mgr := core.NewManager(n.Machine, p, lm, tgt, core.Config{Version: core.HARSE, OverheadCPU: 4})
+			n.Machine.AddDaemon(mgr)
+		}
+		f.SetSteady(steady)
+		b.StartTimer()
+		f.RunUntil(10 * sim.Second)
+		if f.EnergyJ() <= 0 {
+			b.Fatal("no energy accounted")
+		}
+	}
+}
+
 // FleetQuiescent is the event-driven core on the quiescent 128-node fleet.
 func FleetQuiescent(b *testing.B) { fleetScale(b, 128, 1, false, false) }
 
@@ -211,3 +259,11 @@ func FleetScale1kFaults(b *testing.B) { fleetScale(b, 1024, 1, true, false) }
 // FleetScale1kLockstep is the 1024-node fleet under the reference per-tick
 // strategy — the denominator of the scale speedup.
 func FleetScale1kLockstep(b *testing.B) { fleetScale(b, 1024, 1, false, true) }
+
+// FleetScale1kSteady is the managed-busy 1024-node fleet with the
+// steady-phase turbo path on (the default everywhere).
+func FleetScale1kSteady(b *testing.B) { fleetScaleSteady(b, true) }
+
+// FleetScale1kSteadyOff is the same fleet through the general per-tick
+// loop — the denominator of the steady speedup.
+func FleetScale1kSteadyOff(b *testing.B) { fleetScaleSteady(b, false) }

@@ -238,6 +238,55 @@ func (mgr *Manager) NextWake(m *sim.Machine) sim.Time {
 	return m.Now()
 }
 
+// SteadyBegin implements sim.SteadyDaemon: inside a certified steady window
+// no unit completes, so no heartbeat can arrive and Tick reduces to its
+// polling charge plus a reconcilePlatform that is a pure no-op on the frozen
+// platform. The declared entry is exactly that per-tick charge; the window
+// is accepted only when the platform already fits the manager's state (so
+// reconcilePlatform would not re-apply) and no unconsumed heartbeat is
+// pending (Tick would process it). No per-tick internal state advances, so
+// no Ticker is declared.
+func (mgr *Manager) SteadyBegin(m *sim.Machine) (sim.SteadyEntry, bool) {
+	if mgr.proc.Exited() {
+		// Tick is a pure no-op, but NextWake already reports "sleep
+		// forever"; declining keeps the two contracts from overlapping.
+		return sim.SteadyEntry{}, false
+	}
+	if !mgr.platformSettled(m) || mgr.proc.HB.Count() != mgr.lastSeen {
+		return sim.SteadyEntry{}, false
+	}
+	return sim.SteadyEntry{ChargeCPU: mgr.cfg.OverheadCPU, Charge: mgr.cfg.PollPerTick}, true
+}
+
+// platformSettled reports whether reconcilePlatform would be a pure no-op:
+// the clamped state equals the current one and every core of the applied
+// schedule is still online.
+func (mgr *Manager) platformSettled(m *sim.Machine) bool {
+	b := MachineBounds(m)
+	cs := mgr.state
+	if cs.BigCores > b.MaxBigCores {
+		cs.BigCores = b.MaxBigCores
+	}
+	if cs.LittleCores > b.MaxLittleCores {
+		cs.LittleCores = b.MaxLittleCores
+	}
+	if c := b.BigLevelCap - 1; cs.BigLevel > c {
+		cs.BigLevel = c
+	}
+	if c := b.LittleLevelCap - 1; cs.LittleLevel > c {
+		cs.LittleLevel = c
+	}
+	if cs != mgr.state {
+		return false
+	}
+	for _, cpu := range mgr.appliedCores {
+		if !m.CoreOnline(cpu) {
+			return false
+		}
+	}
+	return true
+}
+
 func (mgr *Manager) Tick(m *sim.Machine) {
 	if mgr.proc.Exited() {
 		return

@@ -298,6 +298,17 @@ func (f *Fleet) AddHook(h Hook) {
 // the equivalence suite that proves exactly that.
 func (f *Fleet) SetLockstep(on bool) { f.lockstep = on }
 
+// SetSteady toggles the steady-phase turbo path on every node's machine
+// (sim.Machine.SetSteady). On by default; the switch exists for the
+// equivalence suite that pins the turbo path against the general loop and
+// for benchmarking the general loop on busy fleets. Applies to the nodes
+// present now — add nodes before calling, or call again after.
+func (f *Fleet) SetSteady(on bool) {
+	for _, n := range f.nodes {
+		n.Machine.SetSteady(on)
+	}
+}
+
 // SetWorkers shards node advancement between hook barriers across a
 // persistent pool of w goroutines fed through a chunked work cursor. Nodes
 // evolve independently between barriers, so any width — including 1, the

@@ -408,6 +408,75 @@ func (mgr *Manager) grabAnyFree(n *appNode) bool {
 	return false
 }
 
+// SteadyBegin implements sim.SteadyDaemon: inside a certified steady window
+// no unit completes, so no heartbeat arrives and every pass of Tick reduces
+// to the polling charge plus same-value rewrites of manager-internal state
+// (ReconcilePlatform re-reads unchanged levels and hotplug flags, the
+// heartbeat loop re-reads the already-consumed latest record, the frozen
+// recompute folds unchanged freezing counts). The window is accepted only
+// when each pass is provably in that regime right now — conditions that are
+// invariant while completions, platform state, and free cores are frozen:
+//
+//   - ReconcilePlatform: cached cluster frequencies match the machine's and
+//     no core's hotplug state changed underneath the ownership tables;
+//   - rescue pass: no live zero-core application while a free core exists
+//     (grabAnyFree would mutate the free pool);
+//   - heartbeat consumption: every application's beat count already seen,
+//     and its latest record already folded into the trace;
+//   - frozen recompute: the cached flags equal the recomputation;
+//   - adaptOne: every application early-returns (exited, no record yet,
+//     inside its adaptation period, or inside the target band).
+func (mgr *Manager) SteadyBegin(m *sim.Machine) (sim.SteadyEntry, bool) {
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		c := mgr.clusters[k]
+		if c.nfreq != m.Level(k) {
+			return sim.SteadyEntry{}, false
+		}
+		for i := range c.offline {
+			if m.CoreOnline(mgr.plat.CPU(k, i)) == c.offline[i] {
+				return sim.SteadyEntry{}, false
+			}
+		}
+		frozen := false
+		for n := mgr.head; n != nil; n = n.next {
+			if n.freezing(k) > 0 {
+				frozen = true
+				break
+			}
+		}
+		if c.frozen != frozen {
+			return sim.SteadyEntry{}, false
+		}
+	}
+	anyFree := mgr.freeCount(hmp.Big)+mgr.freeCount(hmp.Little) > 0
+	for n := mgr.head; n != nil; n = n.next {
+		if n.nprocsB+n.nprocsL == 0 && !n.proc.Exited() && anyFree {
+			return sim.SteadyEntry{}, false
+		}
+		if n.proc.HB.Count() != n.lastSeen {
+			return sim.SteadyEntry{}, false
+		}
+		rec, ok := n.proc.HB.Latest()
+		if !ok {
+			continue
+		}
+		if len(n.trace) == 0 || n.trace[len(n.trace)-1].HBIndex != rec.Index {
+			return sim.SteadyEntry{}, false
+		}
+		if n.proc.Exited() {
+			continue
+		}
+		if rec.Index < n.adaptationIndex+mgr.cfg.AdaptEvery {
+			continue
+		}
+		if !heartbeat.OutsideBand(n.target, rec.WindowRate) {
+			continue
+		}
+		return sim.SteadyEntry{}, false // adaptOne would search and actuate
+	}
+	return sim.SteadyEntry{ChargeCPU: mgr.cfg.OverheadCPU, Charge: mgr.cfg.PollPerTick}, true
+}
+
 // Tick implements sim.Daemon: the iterate function of Algorithm 3.
 func (mgr *Manager) Tick(m *sim.Machine) {
 	m.ChargeOverhead(mgr.cfg.OverheadCPU, mgr.cfg.PollPerTick)

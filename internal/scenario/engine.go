@@ -77,6 +77,14 @@ type Options struct {
 	// benchmarking and for that proof.
 	Lockstep bool
 
+	// NoSteady disables the machines' steady-phase turbo path
+	// (sim.Machine.SetSteady(false)), leaving the general per-tick loop to
+	// run every busy stretch. Results are bit-for-bit identical either way
+	// (the steady equivalence suite proves it); the switch exists for
+	// benchmarking and for that proof. Mirrors the hars-scenario -steady
+	// flag.
+	NoSteady bool
+
 	// WakeScan switches the fleet scheduler's NextWake to the full-scan
 	// reference implementation instead of the incremental wake index.
 	// Identical wake times either way (the equivalence suite proves it);
@@ -473,6 +481,9 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 		return nil, err
 	}
 	e.fl.SetLockstep(opts.Lockstep)
+	if opts.NoSteady {
+		e.fl.SetSteady(false)
+	}
 	if opts.Workers > 1 && opts.PerTick == nil {
 		e.fl.SetWorkers(opts.Workers)
 	}

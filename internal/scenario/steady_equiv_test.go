@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSteadyMatchesGeneral is the property suite for the steady-phase turbo
+// path: generated multi-node scenarios — thermal loops, SLO'd apps over a
+// real checkpoint-cost model, seeded fault injection, managed busy machines
+// — replay with steady advancement on (the default), off (the general
+// per-tick loop on every busy stretch), and off under full lockstep, and
+// every variant must produce byte-identical traces and digests. Strict mode
+// keeps the runtime invariant checkers on the equivalence surface. The
+// suite runs under -race in CI alongside the event-core suite.
+func TestSteadyMatchesGeneral(t *testing.T) {
+	policies := []string{"least-loaded", "big-first", "coolest", "slo-aware"}
+	maxRate := func(string, int) float64 { return 50 }
+
+	for seed := int64(1); seed <= 4; seed++ {
+		placement := policies[(seed-1)%int64(len(policies))]
+		sc := Generate(seed, GenConfig{
+			Nodes:      3,
+			MaxApps:    3,
+			Events:     5,
+			DurationMS: 6000,
+			Placement:  placement,
+			Thermal:    seed%2 == 0,
+			Periodic:   true,
+			Faults:     true,
+		})
+		sc.Checkpoint = &CheckpointSpec{FreezeUS: 30_000, PerMBUS: 1_000, SizeMB: 8}
+		for i := range sc.Apps {
+			sc.Apps[i].SLO = &SLOSpec{TargetHPS: 20, SlackMS: 150}
+		}
+
+		run := func(noSteady, lockstep bool) (string, uint64) {
+			var buf bytes.Buffer
+			res, err := Run(sc, Options{
+				Trace:    &buf,
+				MaxRate:  maxRate,
+				Strict:   true,
+				NoSteady: noSteady,
+				Lockstep: lockstep,
+			})
+			if err != nil {
+				t.Fatalf("seed %d (%s, noSteady=%v lockstep=%v): %v",
+					seed, placement, noSteady, lockstep, err)
+			}
+			return buf.String(), res.TraceDigest
+		}
+
+		refTrace, refDigest := run(true, true) // general loop, full lockstep
+		for _, v := range []struct {
+			name     string
+			noSteady bool
+		}{{"steady", false}, {"steady-off", true}} {
+			trace, digest := run(v.noSteady, false)
+			if digest != refDigest {
+				t.Errorf("seed %d (%s): %s digest %016x != general %016x",
+					seed, placement, v.name, digest, refDigest)
+			}
+			if trace != refTrace {
+				t.Errorf("seed %d (%s): %s trace diverged from general (%s)",
+					seed, placement, v.name, firstDiff(trace, refTrace))
+			}
+		}
+	}
+}

@@ -39,6 +39,85 @@ func (b *MaskBalancer) Quiescent(m *Machine) bool {
 	return len(m.runnable) == 0 && m.misplaced == 0
 }
 
+// Settled implements SteadyPlacer: with no misplaced thread the repair pass
+// is vacuous and the per-core counts Place would compute equal the O(1)
+// run-queue lengths, so Place is a pure no-op exactly when its balancing
+// sweep would move nothing — and stays one while runnability, placement,
+// affinity, and the online mask are frozen, because the counts cannot
+// change underneath it. The global spread check mirrors Place's sweep
+// skip (all cores on an all-online machine, online cores otherwise); when
+// the spread exceeds one — routine under affinity masks that pack threads
+// onto a core subset while permitted cores sit level — the sweep itself is
+// replayed read-only: a single thread with a permitted online core two
+// lighter than its own refutes settledness. Certification runs this once
+// per window, not per tick, so the O(runnable × cores) scan amortizes
+// across every tick the window jumps.
+func (b *MaskBalancer) Settled(m *Machine) bool {
+	if m.misplaced != 0 {
+		return false
+	}
+	online := m.online
+	all := online == m.allMask
+	var minC, maxC int
+	if all {
+		minC, maxC = m.cores[0].runLen, m.cores[0].runLen
+		for i := 1; i < len(m.cores); i++ {
+			n := m.cores[i].runLen
+			if n < minC {
+				minC = n
+			}
+			if n > maxC {
+				maxC = n
+			}
+		}
+	} else {
+		seen := false
+		for i := range m.cores {
+			if !online.Has(i) {
+				continue
+			}
+			n := m.cores[i].runLen
+			if !seen || n < minC {
+				minC = n
+			}
+			if !seen || n > maxC {
+				maxC = n
+			}
+			seen = true
+		}
+		if !seen {
+			return false
+		}
+	}
+	if maxC-minC <= 1 {
+		return true
+	}
+	// Replay the sweep read-only, with counts == runLen (misplaced is zero).
+	// Place's first move happens at the first thread whose core is above
+	// minC+1 with a permitted online core two lighter; if no thread has one,
+	// the sweep visits every thread and moves none.
+	nc := len(m.cores)
+	for _, id := range m.runnable {
+		t := m.threads[id]
+		if t.core < 0 {
+			continue
+		}
+		cur := m.cores[t.core].runLen
+		if cur <= minC+1 {
+			continue
+		}
+		for cpu := 0; cpu < nc; cpu++ {
+			if cpu == t.core || !t.affinity.Has(cpu) || (!all && !online.Has(cpu)) {
+				continue
+			}
+			if m.cores[cpu].runLen < cur-1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Place implements Placer.
 func (b *MaskBalancer) Place(m *Machine) {
 	nc := len(m.cores)

@@ -197,7 +197,17 @@ type Machine struct {
 
 	busyScratch [hmp.NumClusters][]float64
 	ticks       int64
-	tracer      *Tracer
+
+	// steadySkip is runUntil's certification back-off: ticks left to skip
+	// the SteadyUntil attempt after a failed or too-short window, so churny
+	// phases do not pay the scan every tick (see steadySkipTicks).
+	steadySkip int
+	// steadyOff disables steady-phase advancement (SetSteady); steady is the
+	// reusable window plan SteadyUntil certifies and RunSteady executes.
+	steadyOff bool
+	steady    steadyPlan
+
+	tracer *Tracer
 	// nodeName is the machine's fleet identity (set by NewNode, "" for a
 	// standalone machine), stamped onto every event the machine emits so
 	// a tracer shared across nodes still attributes correctly.
@@ -245,6 +255,7 @@ func New(plat *hmp.Platform, cfg Config) *Machine {
 	for cpu := range m.cores {
 		m.cores[cpu] = coreState{id: cpu, cluster: plat.ClusterOf(cpu)}
 	}
+	m.primeSteady()
 	return m
 }
 
@@ -261,7 +272,10 @@ func (m *Machine) TickLen() Time { return m.cfg.TickLen }
 func (m *Machine) SetPlacer(p Placer) { m.placer = p }
 
 // AddDaemon registers a per-tick hook. Daemons run in registration order.
-func (m *Machine) AddDaemon(d Daemon) { m.daemons = append(m.daemons, d) }
+func (m *Machine) AddDaemon(d Daemon) {
+	m.daemons = append(m.daemons, d)
+	m.primeSteady()
+}
 
 // RemoveDaemon unregisters a previously added daemon (no-op if absent).
 // Scenario engines use this to detach the manager of a departed application.
@@ -541,6 +555,7 @@ func (m *Machine) Spawn(name string, prog Program, hbWindow int) *Process {
 		}
 	}
 	m.procs = append(m.procs, p)
+	m.primeSteady()
 	prog.Start(p)
 	return p
 }
@@ -664,8 +679,9 @@ func (m *Machine) Run(d Time) { m.RunUntil(m.now + d) }
 
 // RunUntil advances the simulation until the clock reaches t. Stretches
 // during which the machine is provably inert (see InertUntil) are jumped in
-// one FastForward instead of stepped tick by tick; the resulting state is
-// bit-for-bit identical either way.
+// one FastForward instead of stepped tick by tick, and busy-but-steady
+// stretches (see SteadyUntil) run through RunSteady's tight loop; the
+// resulting state is bit-for-bit identical either way.
 func (m *Machine) RunUntil(t Time) { m.runUntil(t, nil) }
 
 // RunUntilCached is RunUntil with inert jumps routed through a JumpCache
@@ -677,6 +693,15 @@ func (m *Machine) runUntil(t Time, jc *JumpCache) {
 		if until := m.InertUntil(t); until > m.now {
 			m.fastForward(until, jc)
 			continue
+		}
+		if !m.steadyOff {
+			if m.steadySkip > 0 {
+				m.steadySkip--
+			} else if until := m.SteadyUntil(t); until >= m.now+steadyMinTicks*m.cfg.TickLen && m.RunSteady(until) {
+				continue
+			} else {
+				m.steadySkip = steadySkipTicks
+			}
 		}
 		m.Step()
 	}

@@ -1,0 +1,402 @@
+package sim
+
+import "repro/internal/hmp"
+
+// Steady-phase advancement: the busy-machine counterpart of InertUntil/
+// FastForward. A machine whose runnable threads are all mid-unit — nothing
+// completes, nothing migrates, nothing actuates — repeats the same tick over
+// and over, differing only in the float accumulators. SteadyUntil certifies
+// a window in which that repetition is provable, and RunSteady executes it
+// as a tight loop: per-tick progress accrual and the memoized energy
+// additions in registers, the same IEEE operations in the same order as the
+// general path, skipping the runnable scan, placer dispatch, daemon walk,
+// and trace checks that are provably no-ops. Like FastForward, this is an
+// execution strategy, not a semantic change — every observable state is
+// bit-for-bit what the equivalent sequence of Step calls would produce, and
+// the general per-tick loop survives as the reference the golden digests and
+// the steady-vs-general property suite pin it to.
+
+// SteadyTicker is the per-tick half of a SteadyDaemon whose Tick calls
+// inside a certified window are internal-only (they advance daemon state —
+// an integrator, a counter — without touching the machine). SteadyTick is
+// called once per window tick before the tick's effects are applied; it must
+// be pure apart from private scratch (state no later call observes) and
+// report whether the daemon's next Tick would stay internal-only: returning
+// false ends the window at that tick, which then runs through the general
+// Step. SteadyAdvance then replays exactly the internal effects one Tick
+// would have had; it runs only after every planned check of the tick passed,
+// in daemon registration order, at the point of the tick where daemons run.
+type SteadyTicker interface {
+	SteadyTick(m *Machine) bool
+	SteadyAdvance(m *Machine)
+}
+
+// SteadyEntry is a daemon's declaration of what its per-tick work amounts to
+// inside a steady window: a fixed overhead charge (Charge µs against
+// ChargeCPU per tick, exactly what its Tick would ChargeOverhead) and an
+// optional per-tick Ticker for internal state that must advance. A zero
+// Charge with a nil Ticker declares every in-window Tick a pure no-op.
+type SteadyEntry struct {
+	ChargeCPU int
+	Charge    Time
+	Ticker    SteadyTicker
+}
+
+// SteadyDaemon is the opt-in contract that lets a Daemon participate in
+// steady-phase advancement, the busy-machine analogue of Sleeper. When
+// SteadyBegin returns ok, every Tick call during the window must reduce to
+// the declared entry: charge exactly (ChargeCPU, Charge) and otherwise
+// mutate nothing the machine or a later observer can see — no actuation
+// (DVFS, caps, hotplug, migration), no trace emission, no decision — with
+// internal state advanced solely through the entry's Ticker. SteadyBegin
+// itself must be pure; it is consulted once per window, so any condition it
+// certifies must be invariant while the runnable set, placement, platform
+// state, and heartbeat counts are frozen (which the machine-side
+// certification guarantees for the window). Returning !ok is always safe:
+// the machine falls back to the daemon's Sleeper contract, or to full
+// per-tick stepping.
+type SteadyDaemon interface {
+	Daemon
+	SteadyBegin(m *Machine) (SteadyEntry, bool)
+}
+
+// SteadyPlacer is the busy-machine analogue of QuiescentPlacer: Settled
+// reports whether the next Place call is certain to be a pure no-op even
+// though threads are runnable — every thread in its mask and no balancing
+// move available — and will stay one while runnability, placement, affinity,
+// and the online mask are all frozen. Placers with per-call state (e.g.
+// gts.Scheduler) must not implement it.
+type SteadyPlacer interface {
+	Placer
+	Settled(m *Machine) bool
+}
+
+// steadyThread is one window-constant plan row: the thread, its resolved
+// speed (speedBase × speedFactor × cacheFactor, frozen with placement), its
+// core's share, and the per-tick progress increment done = speed*share/1e6 —
+// the exact value execute's partial-progress path computes every tick.
+type steadyThread struct {
+	t     *Thread
+	speed float64
+	share float64
+	done  float64
+}
+
+// steadyCore is the per-core plan: the overhead steal (consumed and
+// re-charged every tick, so the stolen balance is a fixed point) and the
+// [lo, hi) slice of plan threads placed on it, in run-queue order.
+type steadyCore struct {
+	c        *coreState
+	steal    float64
+	share    float64
+	lo, hi   int
+	hasSteal bool
+}
+
+// steadyPlan is the reusable per-machine window plan; all slices are
+// recycled across windows, so steady advancement allocates nothing after
+// the first certification.
+type steadyPlan struct {
+	cores   []steadyCore
+	threads []steadyThread
+	tickers []SteadyTicker
+
+	// charges[cpu] is the summed per-tick overhead the window's daemons
+	// charge against cpu (chargedCPUs lists the non-zero entries for cheap
+	// reset); totalCharge is their machine-wide sum per tick.
+	charges     []Time
+	chargedCPUs []int
+	totalCharge Time
+}
+
+// SetSteady enables or disables steady-phase advancement for Run/RunUntil
+// (enabled by default). Results are bit-for-bit identical either way — the
+// switch mirrors fleet.SetLockstep: it exists for benchmarking and for the
+// equivalence suite that proves exactly that.
+func (m *Machine) SetSteady(on bool) { m.steadyOff = !on }
+
+// steadyMinTicks is the shortest certified window worth entering RunSteady
+// for — below it the certification scan costs more than the batched loop
+// saves. steadySkipTicks is the back-off runUntil arms after a failed or
+// too-short certification: churny phases (a pipeline blocking on I/O every
+// few ticks) would otherwise pay the full scan every tick for nothing. Both
+// only steer which advancement path runs; results are bit-identical either
+// way.
+const (
+	steadyMinTicks  = 4
+	steadySkipTicks = 4
+)
+
+// primeSteady sizes the reusable window plan for the machine's current
+// core, daemon, and thread population so that certification inside the hot
+// loop never allocates. New, Spawn, and AddDaemon call it from the cold
+// construction paths.
+func (m *Machine) primeSteady() {
+	p := &m.steady
+	if len(p.charges) < len(m.cores) {
+		p.charges = make([]Time, len(m.cores))
+	}
+	if cap(p.chargedCPUs) < len(m.cores) {
+		p.chargedCPUs = make([]int, 0, len(m.cores))
+	}
+	if cap(p.cores) < len(m.cores) {
+		p.cores = make([]steadyCore, 0, len(m.cores))
+	}
+	if cap(p.tickers) < len(m.daemons) {
+		p.tickers = make([]SteadyTicker, 0, len(m.daemons))
+	}
+	if cap(p.threads) < len(m.threads) {
+		p.threads = make([]steadyThread, 0, len(m.threads))
+	}
+}
+
+// SteadyUntil certifies the longest window ≤ limit in which the machine is
+// busy but steady: the runnable set, per-thread speed factors, placement,
+// and online/cap state provably cannot change, so every tick repeats the
+// same work pattern. A return of m.Now() means no window could be certified
+// and the next tick must run through Step. The bound is conservative (every
+// "maybe" is a "no") and is the earliest of: the first pending timer wakeup,
+// each non-steady Sleeper daemon's NextWake, and the caller's limit.
+// In-window unit completions are not predicted here — RunSteady detects the
+// first completing tick exactly and stops before it.
+//
+// Certification requires, mirroring each per-tick phase of Step:
+//
+//   - fireTimers: no timer due (the first pending timer bounds the window);
+//   - Place: no misplaced thread, and the placer is a SteadyPlacer
+//     reporting itself settled (or nil);
+//   - execute: every queued thread stall-free (no pending migration
+//     penalty), and every core's pending stolen overhead exactly equal to
+//     the per-tick charge the window's SteadyDaemons declare — so the
+//     steal/recharge cycle is a fixed point and capacity shares repeat;
+//   - integratePower: the memo warm and keyed exactly as integratePower
+//     keys it (levels, online counts, and the steady per-core tick
+//     utilisation, accumulated here in execute's order);
+//   - daemons: every daemon a SteadyDaemon whose SteadyBegin accepts, or a
+//     Sleeper whose future wake bounds the window.
+//
+// A successful certification leaves the window plan in m; RunSteady
+// executes against it and must be the next advancement call.
+
+func (m *Machine) SteadyUntil(limit Time) Time {
+	if limit <= m.now || m.failed {
+		return m.now
+	}
+	if len(m.runnable) == 0 {
+		// An idle machine is InertUntil's domain; steady certification
+		// exists for machines with work in flight.
+		return m.now
+	}
+	if m.misplaced != 0 || len(m.journal) != 0 {
+		return m.now
+	}
+	if m.placer != nil {
+		sp, ok := m.placer.(SteadyPlacer)
+		if !ok || !sp.Settled(m) {
+			return m.now
+		}
+	}
+	until := limit
+	if m.timers.Len() > 0 {
+		at := m.timers.entries[0].at
+		if at <= m.now {
+			return m.now
+		}
+		if at < until {
+			until = at
+		}
+	}
+
+	p := &m.steady
+	for _, cpu := range p.chargedCPUs {
+		p.charges[cpu] = 0
+	}
+	p.chargedCPUs = p.chargedCPUs[:0]
+	p.tickers = p.tickers[:0]
+	p.totalCharge = 0
+	for _, d := range m.daemons {
+		if sd, ok := d.(SteadyDaemon); ok {
+			if ent, ok := sd.SteadyBegin(m); ok {
+				if ent.Charge > 0 {
+					cpu := ent.ChargeCPU
+					if cpu < 0 || cpu >= len(m.cores) || !m.online.Has(cpu) {
+						cpu = m.firstOnline() // ChargeOverhead's fallback
+					}
+					if p.charges[cpu] == 0 {
+						p.chargedCPUs = append(p.chargedCPUs, cpu)
+					}
+					p.charges[cpu] += ent.Charge
+					p.totalCharge += ent.Charge
+				}
+				if ent.Ticker != nil {
+					p.tickers = append(p.tickers, ent.Ticker)
+				}
+				continue
+			}
+		}
+		s, ok := d.(Sleeper)
+		if !ok {
+			return m.now
+		}
+		w := s.NextWake(m)
+		if w <= m.now {
+			return m.now
+		}
+		if w < until {
+			until = w
+		}
+	}
+
+	powerOn := m.cfg.Power != nil
+	if powerOn {
+		for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+			if !m.powerValid[k] || m.levels[k] != m.lastLevel[k] {
+				return m.now
+			}
+			online := m.plat.Clusters[k].Cores
+			if m.opm != nil && m.online != m.allMask {
+				online = m.OnlineCount(k)
+			}
+			if online != m.lastOnline[k] {
+				return m.now
+			}
+		}
+	}
+
+	var speedByCluster [hmp.NumClusters]float64
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		speedByCluster[k] = m.freqScale[k][m.levels[k]]
+	}
+	p.cores = p.cores[:0]
+	p.threads = p.threads[:0]
+	for i := range m.cores {
+		c := &m.cores[i]
+		stealT := p.charges[i]
+		if c.stolen != stealT || stealT >= m.cfg.TickLen {
+			// The steal/recharge cycle is a fixed point only when the
+			// pending balance equals the per-tick charge and execute can
+			// consume it whole with capacity left over.
+			return m.now
+		}
+		n := len(c.run)
+		tu := 0.0
+		sc := steadyCore{c: c, lo: len(p.threads)}
+		if stealT > 0 {
+			sc.steal = float64(stealT)
+			sc.hasSteal = true
+			tu += sc.steal
+		}
+		if n > 0 {
+			avail := m.tickUS - sc.steal
+			share := avail / float64(n)
+			sc.share = share
+			cluster := c.cluster
+			speedBase := speedByCluster[cluster]
+			for _, id := range c.run {
+				t := m.threads[id]
+				if t.penalty != 0 || t.blocked {
+					return m.now
+				}
+				speed := speedBase * t.speedFactor[cluster] * m.cacheFactor(t, cluster)
+				if speed <= 0 {
+					continue // consumes nothing, exactly as in execute
+				}
+				p.threads = append(p.threads, steadyThread{
+					t: t, speed: speed, share: share, done: speed * share / 1e6,
+				})
+				tu += share
+			}
+		}
+		sc.hi = len(p.threads)
+		if powerOn {
+			k := c.cluster
+			if m.lastTickUse[k][i-m.plat.FirstCPU(k)] != tu {
+				return m.now
+			}
+		}
+		if sc.hasSteal || sc.hi > sc.lo {
+			p.cores = append(p.cores, sc)
+		}
+	}
+	return until
+}
+
+// RunSteady executes the window certified by the immediately preceding
+// SteadyUntil call as a tight per-tick loop, stopping early — before the
+// offending tick — when a thread's current unit would complete within its
+// share (the heartbeat-window edge: the completion runs through the general
+// Step so its callback, beats, and reconcile happen on the reference path)
+// or when a planned daemon's SteadyTick declines the tick. Reports whether
+// at least one tick was advanced; on false the machine is untouched and the
+// caller must fall back to Step.
+//
+// Per tick, in Step's order: thread progress accrues with the exact
+// subtraction execute performs (remaining -= done, workDone += done, core
+// busy += share, after the overhead steal's busy add), the memoized
+// per-cluster energy adds replay in integratePower's order (cluster
+// accumulator then total, clusters ascending), daemon internal state
+// advances via SteadyAdvance, and the clock and tick counters increment.
+// The per-core tick utilisation and stolen balances are fixed points of the
+// certified pattern and are left untouched; lastRan stamps and the summed
+// overhead charge are applied once at the end (only their final values are
+// observable).
+func (m *Machine) RunSteady(until Time) bool {
+	p := &m.steady
+	start := m.now
+	tickLen := m.cfg.TickLen
+	powerOn := m.cfg.Power != nil
+	// Hoist the energy accumulators into registers for the window; nothing
+	// observes them mid-window.
+	e := m.lastE
+	ce := m.clusterEnergyJ
+	tot := m.energyJ
+window:
+	for m.now < until {
+		for i := range p.threads {
+			st := &p.threads[i]
+			if st.t.remaining/st.speed*1e6 <= st.share {
+				break window // unit completes this tick: general path's turn
+			}
+		}
+		for _, tk := range p.tickers {
+			if !tk.SteadyTick(m) {
+				break window
+			}
+		}
+		m.execTick++
+		for ci := range p.cores {
+			sc := &p.cores[ci]
+			if sc.hasSteal {
+				sc.c.busy += sc.steal
+			}
+			for i := sc.lo; i < sc.hi; i++ {
+				st := &p.threads[i]
+				st.t.remaining -= st.done
+				st.t.workDone += st.done
+				sc.c.busy += sc.share
+			}
+		}
+		if powerOn {
+			for k := 0; k < int(hmp.NumClusters); k++ {
+				ce[k] += e[k]
+				tot += e[k]
+			}
+		}
+		for _, tk := range p.tickers {
+			tk.SteadyAdvance(m)
+		}
+		m.now += tickLen
+		m.ticks++
+	}
+	if m.now == start {
+		return false
+	}
+	m.clusterEnergyJ = ce
+	m.energyJ = tot
+	steps := (m.now - start) / tickLen
+	m.overhead += steps * p.totalCharge
+	for i := range p.threads {
+		p.threads[i].t.lastRan = m.execTick
+	}
+	return true
+}

@@ -1,0 +1,309 @@
+package sim_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hmp"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+)
+
+// busySteady builds a warm busy machine whose next stretch is certifiable:
+// one long-unit spinner thread (nothing completes for a while), one general
+// Step to warm the power memo and settle placement.
+func busySteady(t *testing.T, daemons ...sim.Daemon) *sim.Machine {
+	t.Helper()
+	plat := hmp.Default()
+	m := sim.New(plat, sim.Config{Power: power.DefaultGroundTruth(plat)})
+	for _, d := range daemons {
+		m.AddDaemon(d)
+	}
+	m.Spawn("s", &spinner{threads: 1, unit: 1e9}, 0)
+	m.Step()
+	return m
+}
+
+// TestSteadyUntilGates pins the conditions under which no steady window
+// exists at all: idle machines belong to InertUntil, a cold power memo
+// declines, and a daemon outside both the SteadyDaemon and Sleeper
+// contracts pins the machine to per-tick stepping.
+func TestSteadyUntilGates(t *testing.T) {
+	plat := hmp.Default()
+
+	// Idle machine: steady certification is for machines with work in
+	// flight.
+	m := sim.New(plat, sim.Config{Power: power.DefaultGroundTruth(plat)})
+	m.Step()
+	if u := m.SteadyUntil(m.Now() + sim.Second); u != m.Now() {
+		t.Fatalf("idle machine certified steady until %d", u)
+	}
+
+	// Busy but cold: the first tick after spawn must run through Step to
+	// warm the energy memo.
+	m = sim.New(plat, sim.Config{Power: power.DefaultGroundTruth(plat)})
+	m.Spawn("s", &spinner{threads: 1, unit: 1e9}, 0)
+	if u := m.SteadyUntil(m.Now() + sim.Second); u != m.Now() {
+		t.Fatalf("cold busy machine certified steady until %d", u)
+	}
+
+	// Warm and busy: certifiable to the caller's limit.
+	m.Step()
+	limit := m.Now() + sim.Second
+	if u := m.SteadyUntil(limit); u != limit {
+		t.Fatalf("warm busy machine certified until %d, want %d", u, limit)
+	}
+
+	// A daemon that is neither SteadyDaemon nor Sleeper forces per-tick
+	// stepping.
+	m2 := busySteady(t, &tickCounter{})
+	if u := m2.SteadyUntil(m2.Now() + sim.Second); u != m2.Now() {
+		t.Fatalf("non-steady daemon certified steady until %d", u)
+	}
+}
+
+// TestSteadyBoundaryExact pins the window bound to the exact microsecond for
+// each bounding source — the caller's limit, the first pending timer
+// (tick-aligned and not), and a sleeping daemon's NextWake. Off-by-one
+// errors here would silently shift which tick runs through the general path.
+func TestSteadyBoundaryExact(t *testing.T) {
+	cases := []struct {
+		name  string
+		setup func(m *sim.Machine) // arms the bound; machine is warm+busy at 1 ms
+		want  sim.Time             // expected SteadyUntil result
+	}{
+		{
+			name:  "caller limit",
+			setup: func(m *sim.Machine) {},
+			want:  500 * sim.Millisecond,
+		},
+		{
+			name: "timer on the tick grid",
+			setup: func(m *sim.Machine) {
+				m.Spawn("w", &spinner{threads: 1, unit: 0.01, delay: 200 * sim.Millisecond}, 0)
+			},
+			want: 200 * sim.Millisecond,
+		},
+		{
+			name: "timer off the tick grid",
+			setup: func(m *sim.Machine) {
+				m.Spawn("w", &spinner{threads: 1, unit: 0.01, delay: 200*sim.Millisecond + 500}, 0)
+			},
+			want: 200*sim.Millisecond + 500,
+		},
+		{
+			name: "sleeping daemon NextWake",
+			// The napper was added before setup ran, so its first wake at
+			// time 0 already happened during the warming Step; its next
+			// deadline is the bound.
+			want: 70 * sim.Millisecond,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var daemons []sim.Daemon
+			if tc.setup == nil {
+				daemons = append(daemons, &napper{period: 70 * sim.Millisecond})
+			}
+			m := busySteady(t, daemons...)
+			if tc.setup != nil {
+				tc.setup(m)
+			}
+			u := m.SteadyUntil(500 * sim.Millisecond)
+			if u != tc.want {
+				t.Fatalf("SteadyUntil = %d, want %d", u, tc.want)
+			}
+			// The certified window must actually advance to its bound (or
+			// its tick-grid ceiling): nothing inside it may stop early.
+			if !m.RunSteady(u) {
+				t.Fatal("RunSteady advanced nothing inside a certified window")
+			}
+			tick := sim.Time(sim.Millisecond)
+			wantNow := (u + tick - 1) / tick * tick
+			if m.Now() != wantNow {
+				t.Fatalf("after RunSteady now = %d, want %d", m.Now(), wantNow)
+			}
+		})
+	}
+}
+
+// TestSteadyCompletionEdgeExact pins the heartbeat-window edge: RunSteady
+// must stop exactly one tick before a unit completes, handing that tick —
+// and only that tick — to the general path. The expected tick index comes
+// from a per-tick reference run of the identical machine, so the test pins
+// the off-by-one without hardcoding platform speed constants.
+func TestSteadyCompletionEdgeExact(t *testing.T) {
+	build := func() (*sim.Machine, *sim.Process) {
+		plat := hmp.Default()
+		m := sim.New(plat, sim.Config{Power: power.DefaultGroundTruth(plat)})
+		p := m.Spawn("s", &spinner{threads: 1, unit: 2.0, beats: true}, 0)
+		return m, p
+	}
+
+	// Reference: step until the first unit completes (the first heartbeat).
+	ref, rp := build()
+	for rp.HB.Count() == 0 {
+		ref.Step()
+		if ref.Now() > 10*sim.Second {
+			t.Fatal("reference run never completed a unit")
+		}
+	}
+	completionEnd := ref.Now() // end of the tick that completed the unit
+
+	// Steady: after the warming tick, one certified window must advance to
+	// exactly the completion tick's start, not into or past it.
+	m, p := build()
+	m.Step()
+	limit := sim.Time(10 * sim.Second)
+	u := m.SteadyUntil(limit)
+	if u != limit {
+		t.Fatalf("SteadyUntil = %d, want uncapped %d", u, limit)
+	}
+	if !m.RunSteady(u) {
+		t.Fatal("RunSteady advanced nothing")
+	}
+	wantStop := completionEnd - sim.Time(sim.Millisecond)
+	if m.Now() != wantStop {
+		t.Fatalf("RunSteady stopped at %d, want %d (one tick before completion)", m.Now(), wantStop)
+	}
+	if p.HB.Count() != 0 {
+		t.Fatal("steady window completed a unit; completions belong to the general path")
+	}
+	// The handed-over tick completes the unit on the general path.
+	m.Step()
+	if p.HB.Count() != 1 {
+		t.Fatalf("general tick after the window did not complete the unit (beats=%d)", p.HB.Count())
+	}
+	if m.Now() != completionEnd {
+		t.Fatalf("completion tick ended at %d, want %d", m.Now(), completionEnd)
+	}
+}
+
+// TestSteadyGovernorEdgeExact pins the thermal-governor boundary: with a
+// governor heating toward its throttle zone, the steady window must end
+// exactly at the tick whose zone switch actuates a ceiling change — that
+// tick runs through the general path, and the steady machine's cap history
+// stays tick-identical to the reference.
+func TestSteadyGovernorEdgeExact(t *testing.T) {
+	spec := thermal.Spec{Enabled: true, TripC: 45, ThrottleC: 33, ReleaseC: 30}
+	build := func() (*sim.Machine, *thermal.Governor) {
+		plat := hmp.Default()
+		m := sim.New(plat, sim.Config{Power: power.DefaultGroundTruth(plat)})
+		gov, err := thermal.NewGovernor(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.AddDaemon(gov)
+		m.Spawn("s", &spinner{threads: 8, unit: 1e9}, 0)
+		return m, gov
+	}
+
+	// Reference: step per tick to the first ceiling change.
+	ref, _ := build()
+	capAt := sim.Time(0)
+	base := ref.LevelCap(hmp.Big)
+	for ref.Now() < 10*sim.Second {
+		ref.Step()
+		if ref.LevelCap(hmp.Big) != base {
+			capAt = ref.Now() // end of the actuating tick
+			break
+		}
+	}
+	if capAt == 0 {
+		t.Fatal("governor never throttled; the fixture must heat into the throttle zone")
+	}
+
+	// Steady: windows must advance right up to the actuating tick and hand
+	// it to the general path.
+	m, gov := build()
+	m.Step()
+	limit := sim.Time(10 * sim.Second)
+	for m.Now() < capAt-sim.Time(sim.Millisecond) {
+		u := m.SteadyUntil(limit)
+		if u <= m.Now() {
+			m.Step()
+			continue
+		}
+		if !m.RunSteady(u) {
+			m.Step()
+		}
+		if m.Now() > capAt-sim.Time(sim.Millisecond) {
+			t.Fatalf("steady advancement ran through the actuating tick: now %d, actuation at %d", m.Now(), capAt)
+		}
+	}
+	if m.LevelCap(hmp.Big) != base {
+		t.Fatal("ceiling changed before the actuating tick")
+	}
+	m.Step()
+	if m.Now() != capAt || m.LevelCap(hmp.Big) == base {
+		t.Fatalf("actuating tick: now %d cap %d, want actuation at %d", m.Now(), m.LevelCap(hmp.Big), capAt)
+	}
+	if g, r := gov.TempC(hmp.Big), spec.ThrottleC; g < r {
+		t.Fatalf("throttle fired below the throttle zone: %.2f°C < %.2f°C", g, r)
+	}
+}
+
+// TestSteadyMatchesStepping is the machine-level equivalence property for
+// the steady turbo path: RunUntil with steady advancement must leave a busy,
+// thermally instrumented, heartbeat-emitting machine bit-for-bit where the
+// per-tick reference loop leaves it — clock, exact energy bits, retired
+// work, heartbeats, overhead, temperatures, and governor counters.
+func TestSteadyMatchesStepping(t *testing.T) {
+	build := func() (*sim.Machine, *sim.Process, *thermal.Governor) {
+		plat := hmp.Default()
+		m := sim.New(plat, sim.Config{Power: power.DefaultGroundTruth(plat)})
+		gov, err := thermal.NewGovernor(thermal.Spec{Enabled: true, TripC: 45, ThrottleC: 33, ReleaseC: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.AddDaemon(gov)
+		m.AddDaemon(&napper{period: 70 * sim.Millisecond})
+		p := m.Spawn("s", &spinner{threads: 4, unit: 0.3, beats: true}, 0)
+		return m, p, gov
+	}
+
+	fast, fp, fgov := build()
+	slow, sp, sgov := build()
+
+	end := sim.Time(2 * sim.Second)
+	fast.RunUntil(end)
+	for slow.Now() < end {
+		slow.Step()
+	}
+
+	if fast.Now() != slow.Now() {
+		t.Fatalf("clocks diverged: %d != %d", fast.Now(), slow.Now())
+	}
+	if fb, sb := math.Float64bits(fast.EnergyJ()), math.Float64bits(slow.EnergyJ()); fb != sb {
+		t.Fatalf("energy diverged: %x != %x (%v vs %v)", fb, sb, fast.EnergyJ(), slow.EnergyJ())
+	}
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		if math.Float64bits(fast.ClusterEnergyJ(k)) != math.Float64bits(slow.ClusterEnergyJ(k)) {
+			t.Fatalf("cluster %v energy diverged: %v != %v", k, fast.ClusterEnergyJ(k), slow.ClusterEnergyJ(k))
+		}
+		if math.Float64bits(fgov.TempC(k)) != math.Float64bits(sgov.TempC(k)) {
+			t.Fatalf("cluster %v temperature diverged: %v != %v", k, fgov.TempC(k), sgov.TempC(k))
+		}
+		if math.Float64bits(fgov.PeakC(k)) != math.Float64bits(sgov.PeakC(k)) {
+			t.Fatalf("cluster %v peak diverged: %v != %v", k, fgov.PeakC(k), sgov.PeakC(k))
+		}
+		if fast.LevelCap(k) != slow.LevelCap(k) {
+			t.Fatalf("cluster %v cap diverged: %d != %d", k, fast.LevelCap(k), slow.LevelCap(k))
+		}
+	}
+	if math.Float64bits(fp.WorkDone()) != math.Float64bits(sp.WorkDone()) {
+		t.Fatalf("work diverged: %v != %v", fp.WorkDone(), sp.WorkDone())
+	}
+	if fp.HB.Count() != sp.HB.Count() {
+		t.Fatalf("heartbeats diverged: %d != %d", fp.HB.Count(), sp.HB.Count())
+	}
+	if fast.Overhead() != slow.Overhead() {
+		t.Fatalf("overhead diverged: %d != %d", fast.Overhead(), slow.Overhead())
+	}
+	if fgov.Throttles() != sgov.Throttles() || fgov.Trips() != sgov.Trips() || fgov.Releases() != sgov.Releases() {
+		t.Fatalf("governor counters diverged: %d/%d/%d != %d/%d/%d",
+			fgov.Throttles(), fgov.Trips(), fgov.Releases(),
+			sgov.Throttles(), sgov.Trips(), sgov.Releases())
+	}
+}

@@ -290,15 +290,24 @@ func (md *Model) MaxStepC(k hmp.ClusterKind, watts, dtSec float64) float64 {
 // watts. One forward-Euler step, fixed evaluation order: byte-identical
 // replays depend on it.
 func (md *Model) Step(dtSec float64, watts [hmp.NumClusters]float64) {
+	dLittle, dBig := md.stepDelta(dtSec, watts)
+	md.temp[hmp.Little] += dLittle
+	md.temp[hmp.Big] += dBig
+}
+
+// stepDelta computes one forward-Euler step's temperature increments without
+// applying them — the pure half of Step, shared with the governor's steady-
+// window probe so the probed and the applied step are the same IEEE
+// operations.
+func (md *Model) stepDelta(dtSec float64, watts [hmp.NumClusters]float64) (dLittle, dBig float64) {
 	// Heat flowing from the big node into the little node through the
 	// coupling conductance (negative when little is hotter).
 	flow := md.coupling * (md.temp[hmp.Big] - md.temp[hmp.Little])
-	dLittle := (watts[hmp.Little] + flow - (md.temp[hmp.Little]-md.ambient)/md.rc[hmp.Little].ResistanceKPerW) *
+	dLittle = (watts[hmp.Little] + flow - (md.temp[hmp.Little]-md.ambient)/md.rc[hmp.Little].ResistanceKPerW) *
 		dtSec / md.rc[hmp.Little].CapacitanceJPerK
-	dBig := (watts[hmp.Big] - flow - (md.temp[hmp.Big]-md.ambient)/md.rc[hmp.Big].ResistanceKPerW) *
+	dBig = (watts[hmp.Big] - flow - (md.temp[hmp.Big]-md.ambient)/md.rc[hmp.Big].ResistanceKPerW) *
 		dtSec / md.rc[hmp.Big].CapacitanceJPerK
-	md.temp[hmp.Little] += dLittle
-	md.temp[hmp.Big] += dBig
+	return dLittle, dBig
 }
 
 // Governor is the closed-loop thermal daemon: each tick it feeds the
@@ -316,6 +325,11 @@ type Governor struct {
 	throttles int
 	releases  int
 	peak      [hmp.NumClusters]float64
+
+	// stepDL and stepDB carry the model deltas SteadyTick computed over to
+	// SteadyAdvance — private scratch no later observer reads, so a tick
+	// declined after the probe leaves them harmlessly stale.
+	stepDL, stepDB float64
 }
 
 // NewGovernor validates the spec and builds a governor with a fresh model.
@@ -414,6 +428,84 @@ func (g *Governor) Tick(m *sim.Machine) {
 				g.setCap(m, tr, k, cap+1, t)
 				g.releases++
 			}
+		}
+	}
+}
+
+// SteadyBegin implements sim.SteadyDaemon: the governor charges no overhead
+// and keeps purely internal per-tick state (the RC integrator, its tick
+// counter, the peak tracker, the sample clock), so inside a steady window —
+// where the machine certifies its per-cluster power constant — every Tick
+// that takes no action and emits nothing is internal-only. Whether a given
+// tick qualifies depends on the evolving temperatures, so the per-tick
+// decision lives in the declared Ticker; SteadyBegin itself always accepts.
+func (g *Governor) SteadyBegin(m *sim.Machine) (sim.SteadyEntry, bool) {
+	return sim.SteadyEntry{Ticker: g}, true
+}
+
+// SteadyTick implements sim.SteadyTicker: it computes the tick's model step
+// (the exact IEEE operations Tick's model.Step would perform, stashed for
+// SteadyAdvance) and reports whether Tick would stay internal-only at the
+// resulting temperatures — no EvTemp sample due while a tracer listens, no
+// trip clamp, and no graduated step or release on a period edge. Declining
+// ends the steady window before this tick, so the actuation (or emission)
+// happens on the general path.
+func (g *Governor) SteadyTick(m *sim.Machine) bool {
+	var watts [hmp.NumClusters]float64
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		watts[k] = m.LastTickPowerW(k)
+	}
+	g.stepDL, g.stepDB = g.model.stepDelta(sim.Seconds(m.TickLen()), watts)
+	var temps [hmp.NumClusters]float64
+	temps[hmp.Little] = g.model.temp[hmp.Little] + g.stepDL
+	temps[hmp.Big] = g.model.temp[hmp.Big] + g.stepDB
+	now := m.Now()
+	if now >= g.nextSample && m.Tracer() != nil {
+		return false
+	}
+	stepEdge := (g.ticks+1)%int64(g.spec.PeriodTicks) == 0
+	plat := m.Platform()
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		t := temps[k]
+		maxLv := plat.Clusters[k].MaxLevel()
+		minLv := g.spec.MinLevel
+		if minLv > maxLv {
+			minLv = maxLv
+		}
+		cap := m.LevelCap(k)
+		switch {
+		case t >= g.spec.TripC:
+			if cap > minLv {
+				return false
+			}
+		case t >= g.spec.ThrottleC:
+			if stepEdge && cap > minLv {
+				return false
+			}
+		case t <= g.spec.ReleaseC:
+			if stepEdge && cap < maxLv {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SteadyAdvance implements sim.SteadyTicker: the internal effects of one
+// Tick, in Tick's order — apply the probed model step, count the tick,
+// advance the sample clock when a (tracerless) sample came due, and track
+// the peaks.
+func (g *Governor) SteadyAdvance(m *sim.Machine) {
+	g.model.temp[hmp.Little] += g.stepDL
+	g.model.temp[hmp.Big] += g.stepDB
+	g.ticks++
+	now := m.Now()
+	if now >= g.nextSample {
+		g.nextSample = now + g.sampleEvery
+	}
+	for k := hmp.ClusterKind(0); k < hmp.NumClusters; k++ {
+		if t := g.model.TempC(k); t > g.peak[k] {
+			g.peak[k] = t
 		}
 	}
 }
